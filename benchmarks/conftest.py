@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table/figure from the paper's evaluation and
+prints the corresponding rows/series (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured numbers).  ``pytest-benchmark`` times
+one representative simulation unit per experiment; the scientific output
+is the printed table, produced once per bench.
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.session import MeasurementSession  # noqa: E402
+
+
+def run_point(system, sim_seconds=1.0, seed=0):
+    """Run one measurement point; returns (stats, per-query BERs)."""
+    session = MeasurementSession(system, rng=np.random.default_rng(seed))
+    stats = session.run_for(sim_seconds)
+    return stats, session.per_query_ber()
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,110 @@
+"""E3 / paper Figure 3 + §5.2: channel-change techniques compared.
+
+The paper's design insight: instead of toggling between reflecting and
+non-reflecting (open/short), an always-reflecting tag that flips its
+phase between 0 and 180 degrees doubles the channel change |h - h'|
+(+6 dB of perturbation power), which lowers BER and extends range.
+
+This bench measures, across tag positions: (a) the channel-change
+magnitude for both designs and (b) the resulting probability that a
+corrupted subframe actually fails — the quantity that becomes bit-0
+reliability.
+"""
+
+import numpy as np
+
+from conftest import print_banner
+from repro.analysis.reporting import Table
+from repro.phy.channel import BackscatterChannel, ChannelGeometry, TagState
+from repro.phy.error_model import LinkErrorModel
+from repro.phy.mcs import ht_mcs
+from repro.tag.antenna import open_short_design, phase_flip_design
+
+DISTANCES_M = [1.0, 2.0, 4.0, 6.0, 7.0]
+MPDU_BITS = 1000
+N_SAMPLES = 150
+
+
+def corruption_failure_probability(model, design, rng):
+    """P(corrupted subframe still decodes) under fading."""
+    total = 0.0
+    for _ in range(N_SAMPLES):
+        fading = model.sample_fading()
+        total += model.subframe_success_probability(
+            MPDU_BITS,
+            design.state_for_bit_one,
+            design.state_for_bit_zero,
+            fading,
+        )
+    return total / N_SAMPLES
+
+
+def sweep():
+    designs = {
+        "open/short": open_short_design(),
+        "phase-flip": phase_flip_design(),
+    }
+    rows = []
+    for d in DISTANCES_M:
+        geometry = ChannelGeometry.on_line(8.0, d)
+        channel = BackscatterChannel(
+            geometry=geometry, rng=np.random.default_rng(7)
+        )
+        model = LinkErrorModel(
+            channel=channel, mcs=ht_mcs(7), rng=np.random.default_rng(8)
+        )
+        row = {"distance_m": d}
+        for name, design in designs.items():
+            delta = channel.mean_change_magnitude(
+                design.state_for_bit_one, design.state_for_bit_zero
+            )
+            row[f"{name}_delta"] = delta
+            row[f"{name}_fail"] = corruption_failure_probability(
+                model, design, np.random.default_rng(9)
+            )
+        rows.append(row)
+    return rows
+
+
+def test_fig3_channel_change_techniques(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner(
+        "Figure 3 / Section 5.2: open-short vs always-reflect phase flip"
+    )
+    table = Table(
+        "channel change |dh| and P(corruption fails) per design",
+        [
+            "tag dist (m)",
+            "|dh| open/short",
+            "|dh| phase-flip",
+            "P(fail) open/short",
+            "P(fail) phase-flip",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["distance_m"],
+                row["open/short_delta"],
+                row["phase-flip_delta"],
+                row["open/short_fail"],
+                row["phase-flip_fail"],
+            ]
+        )
+    print(table.render())
+    print(
+        "paper: phase flip doubles |h - h'| (Figure 3 right), reducing "
+        "BER and increasing range"
+    )
+
+    for row in rows:
+        # The headline 2x channel change (0.9 -> 2.0 coefficient delta).
+        ratio = row["phase-flip_delta"] / row["open/short_delta"]
+        assert ratio == np.float64(ratio)
+        assert 2.1 < ratio < 2.4
+        # And it translates into more reliable corruption everywhere.
+        assert row["phase-flip_fail"] <= row["open/short_fail"] + 1e-9
+    # Mid-range, the improvement must be material.
+    mid = rows[2]
+    assert mid["phase-flip_fail"] < mid["open/short_fail"]

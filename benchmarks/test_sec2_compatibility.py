@@ -1,0 +1,76 @@
+"""E6 / paper §1-§2: the requirements and compatibility comparison.
+
+Regenerates the argument structure of the paper's intro and related-work
+sections as two tables: (1) the four §1 requirements scored per system and
+(2) deployability of each system across concrete network profiles.
+"""
+
+from conftest import print_banner
+from repro.analysis.reporting import Table
+from repro.baselines import (
+    all_systems,
+    compatibility_matrix,
+    default_profiles,
+    render_requirement_table,
+    requirement_matrix,
+)
+
+
+def compute():
+    return (
+        requirement_matrix(),
+        compatibility_matrix(default_profiles()),
+    )
+
+
+def test_sec2_compatibility_matrix(benchmark):
+    scores, matrix = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner("Sections 1-2: backscatter system comparison")
+    print(render_requirement_table(scores))
+
+    profiles = default_profiles()
+    table = Table(
+        "deployability per network profile",
+        ["system"] + [p.describe() for p in profiles],
+    )
+    for model in all_systems():
+        table.add_row(
+            [model.name]
+            + [matrix[(model.name, p.describe())] for p in profiles]
+        )
+    print(table.render())
+
+    table = Table(
+        "reported throughput ranges (paper Section 6.2: '1 Kbps - 300 Kbps' field)",
+        ["system", "min (Kbps)", "max (Kbps)", "oscillator"],
+    )
+    for model in all_systems():
+        low, high = model.reported_throughput_bps
+        table.add_row(
+            [
+                model.name,
+                low / 1e3,
+                high / 1e3,
+                f"{model.oscillator_hz / 1e3:g} kHz",
+            ]
+        )
+    print(table.render())
+
+    # The paper's central claim: WiTAG alone meets all four requirements.
+    winners = [s.system for s in scores if s.satisfies_all]
+    assert winners == ["WiTAG"]
+    # And WiTAG alone deploys on every modern profile.
+    for profile in profiles:
+        key = ("WiTAG", profile.describe())
+        if profile.standard.value in ("802.11n", "802.11ac"):
+            assert matrix[key]
+    modern_wpa = [
+        p.describe() for p in profiles if "wpa" in p.describe()
+    ]
+    for model in all_systems():
+        if model.name == "WiTAG":
+            continue
+        assert not any(
+            matrix[(model.name, profile)] for profile in modern_wpa
+        ), f"{model.name} should fail on encrypted modern networks"

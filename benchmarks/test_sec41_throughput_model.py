@@ -1,0 +1,85 @@
+"""E4 / paper §4.1: the throughput model and its design levers.
+
+§4.1's argument: one bit per subframe, so minimise subframe airtime (null
+payloads, high PHY rate) and amortise overheads over many subframes.  This
+bench sweeps the three levers — subframes per A-MPDU, PHY rate, and the
+tag clock (which floors the subframe duration) — and prints the resulting
+tag throughput, validating that the defaults land at the paper's ~40 Kbps
+operating point.
+"""
+
+from conftest import print_banner
+from repro.analysis.reporting import Table
+from repro.core.config import WiTagConfig
+from repro.core.throughput import analytic_throughput_bps, query_cycle
+from repro.phy.mcs import ht_mcs
+
+SUBFRAME_COUNTS = [8, 16, 32, 48, 64]
+MCS_INDICES = [3, 5, 7]
+TAG_CLOCKS_HZ = [12.5e3, 25e3, 50e3]
+
+
+def sweep():
+    results = {}
+    for n in SUBFRAME_COUNTS:
+        results[("subframes", n)] = analytic_throughput_bps(
+            WiTagConfig(n_subframes=n)
+        )
+    for idx in MCS_INDICES:
+        results[("mcs", idx)] = analytic_throughput_bps(
+            WiTagConfig(mcs=ht_mcs(idx))
+        )
+    for clock in TAG_CLOCKS_HZ:
+        results[("clock", clock)] = analytic_throughput_bps(
+            WiTagConfig(tag_clock_hz=clock)
+        )
+    return results
+
+
+def test_sec41_throughput_model(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_banner("Section 4.1: analytic tag-throughput model")
+    table = Table(
+        "throughput vs A-MPDU size (64-subframe bitmap max)",
+        ["subframes", "throughput (Kbps)"],
+    )
+    for n in SUBFRAME_COUNTS:
+        table.add_row([n, results[("subframes", n)] / 1e3])
+    print(table.render())
+
+    table = Table(
+        "throughput vs query MCS (subframe floored by 50 kHz tag clock)",
+        ["MCS", "throughput (Kbps)"],
+    )
+    for idx in MCS_INDICES:
+        table.add_row([idx, results[("mcs", idx)] / 1e3])
+    print(table.render())
+
+    table = Table(
+        "throughput vs tag clock (subframe duration = one clock period)",
+        ["tag clock (kHz)", "throughput (Kbps)"],
+    )
+    for clock in TAG_CLOCKS_HZ:
+        table.add_row([clock / 1e3, results[("clock", clock)] / 1e3])
+    print(table.render())
+
+    cycle = query_cycle(WiTagConfig())
+    print(
+        f"default cycle: access {cycle.access_s * 1e6:.0f} us + query "
+        f"{cycle.query_s * 1e6:.0f} us + SIFS {cycle.sifs_s * 1e6:.0f} us "
+        f"+ block ACK {cycle.block_ack_s * 1e6:.0f} us = "
+        f"{cycle.total_s * 1e3:.2f} ms for {cycle.payload_bits} bits"
+    )
+    print("paper: ~40 Kbps at the 64-subframe operating point")
+
+    # More subframes monotonically help (overhead amortisation).
+    series = [results[("subframes", n)] for n in SUBFRAME_COUNTS]
+    assert all(a < b for a, b in zip(series, series[1:]))
+    # Default operating point ~= the paper's 40 Kbps.
+    assert 38e3 < results[("subframes", 64)] < 45e3
+    # The tag clock is the real rate limiter: halving it nearly halves rate.
+    assert results[("clock", 25e3)] < 0.65 * results[("clock", 50e3)]
+    # MCS barely matters once subframes are clock-floored.
+    mcs_rates = [results[("mcs", idx)] for idx in MCS_INDICES]
+    assert max(mcs_rates) < 1.1 * min(mcs_rates)

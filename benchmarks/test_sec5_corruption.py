@@ -1,0 +1,77 @@
+"""E8 / paper §5: the subframe-corruption mechanism, microscopically.
+
+Verifies the MAC-level story end to end on real frame bytes: a single
+channel estimate covers the whole A-MPDU; corrupting chosen subframes
+flips exactly their block-ACK bits; delimiter resynchronisation isolates
+the damage; and the same holds on CCMP-encrypted frames.
+"""
+
+import numpy as np
+
+from conftest import print_banner
+from repro.analysis.reporting import Table
+from repro.core.config import EncryptionMode
+from repro.phy.channel import ChannelGeometry
+from repro.sim.scenario import build_system
+
+PATTERN = [1, 0, 1, 1, 0, 0, 1, 0] * 7 + [1, 0, 1, 0, 1, 0]  # 62 bits
+
+
+def run_pattern(encryption, key=None, seed=40):
+    system, _ = build_system(
+        ChannelGeometry.on_line(8.0, 1.0),
+        encryption=encryption,
+        encryption_key=key,
+        seed=seed,
+    )
+    system.load_tag_bits(list(PATTERN))
+    result = system.run_query()
+    return result
+
+
+def compute():
+    return {
+        "open": run_pattern(EncryptionMode.OPEN),
+        "wpa2": run_pattern(
+            EncryptionMode.WPA2_CCMP, key=b"0123456789abcdef"
+        ),
+        "wep": run_pattern(EncryptionMode.WEP, key=b"12345"),
+    }
+
+
+def test_sec5_subframe_corruption(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner(
+        "Section 5: selective subframe corruption -> block-ACK bits"
+    )
+    table = Table(
+        "a 62-bit pattern through one query A-MPDU, per encryption mode",
+        ["network", "bits sent", "bit errors", "bitmap (hex)"],
+    )
+    for name, result in results.items():
+        table.add_row(
+            [
+                name,
+                result.n_bits,
+                result.bit_errors,
+                f"{result.block_ack.bitmap:016x}",
+            ]
+        )
+    print(table.render())
+    print(
+        "paper: corrupted subframes read 0, intact ones 1, regardless of "
+        "encryption; the AP needs no modification"
+    )
+
+    for name, result in results.items():
+        assert result.detected, name
+        assert result.n_bits == 62
+        # Near the endpoint the pattern must come through almost clean.
+        assert result.bit_errors <= 3, name
+        # Trigger subframes always survive.
+        assert result.block_ack.bit(0) and result.block_ack.bit(1)
+    # Encryption changes nothing about the mechanism.
+    open_errors = results["open"].bit_errors
+    assert abs(results["wpa2"].bit_errors - open_errors) <= 3
+    assert abs(results["wep"].bit_errors - open_errors) <= 3

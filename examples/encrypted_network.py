@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""WiTAG on a WPA2-encrypted network — and why prior systems cannot follow.
+
+The paper's sharpest claim (Section 1): because the tag corrupts whole
+(encrypted) MAC subframes instead of rewriting PHY symbols, WiTAG works
+unchanged on WPA/WEP networks.  This example runs the same tag message
+over an open and a WPA2-CCMP network, then demonstrates the failure mode
+of symbol-rewriting systems: one flipped ciphertext bit destroys the MIC.
+
+Run:
+    python examples/encrypted_network.py
+"""
+
+from repro.core import EncryptionMode, TagEncoder, TagMessage, TagReader
+from repro.mac.security.ccmp import CcmpContext, MicError
+from repro.phy.channel import ChannelGeometry
+from repro.sim import build_system
+
+KEY = b"witag-example-k!"
+
+
+def transfer_over(mode: EncryptionMode, key: bytes | None) -> int:
+    system, info = build_system(
+        ChannelGeometry.on_line(8.0, 2.0),
+        encryption=mode,
+        encryption_key=key,
+        seed=11,
+    )
+    encoder = TagEncoder()
+    message = TagMessage(payload=b"badge=4711;door=open")
+    system.load_tag_bits(encoder.encode(message.to_bits()))
+    reader = TagReader(encoder=encoder)
+    queries = 0
+    while not reader.messages() and queries < 20:
+        result = system.run_query()
+        reader.ingest(result.block_ack, result.query)
+        queries += 1
+    received = reader.messages()
+    label = mode.value
+    if received:
+        print(
+            f"  {label:10s}: delivered {received[0].payload.decode()!r} "
+            f"in {queries} queries"
+        )
+    else:
+        print(f"  {label:10s}: FAILED")
+    return queries
+
+
+def show_symbol_rewrite_failure() -> None:
+    """What happens to a HitchHike-style tag on this network."""
+    print("\nwhy symbol-rewriting backscatter cannot do this:")
+    ccmp = CcmpContext(KEY)
+    protected, _ = ccmp.encrypt(b"an encrypted WiFi frame", b"\x02" * 6)
+    # A codeword-translating tag flips payload bits in flight.
+    rewritten = bytearray(protected)
+    rewritten[12] ^= 0x0F
+    try:
+        CcmpContext(KEY).decrypt(bytes(rewritten), b"\x02" * 6)
+        print("  (unexpectedly decrypted!)")
+    except MicError:
+        print(
+            "  flipping ciphertext bits -> CCMP MIC failure -> the AP "
+            "drops the frame;\n  the embedded tag data is unreachable "
+            "(paper Section 2, HitchHike limitation 1)"
+        )
+
+
+def main() -> None:
+    print("same tag, same message, two networks:\n")
+    transfer_over(EncryptionMode.OPEN, None)
+    transfer_over(EncryptionMode.WPA2_CCMP, KEY)
+    show_symbol_rewrite_failure()
+    print(
+        "\nWiTAG never reads or writes frame contents -- it only decides "
+        "which\nsubframes survive -- so ciphertext is as good as plaintext."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Inventory wall: many tags, one reader, addressed triggers.
+
+Extends the paper's single-tag design the way its trigger mechanism (§7)
+invites: different known trigger patterns select different tags, so a
+reader can inventory a shelf of battery-free tags one addressed query at
+a time.  Also demonstrates what goes wrong *without* addressing — every
+tag answers a broadcast query at once and their corruption collides.
+
+Run:
+    python examples/multitag_inventory.py
+"""
+
+import numpy as np
+
+from repro.core import MultiTagCell, TagEndpoint, WiTagConfig
+from repro.core.framing import TagMessage
+from repro.sim import los_scenario
+from repro.tag.state_machine import TagStateMachine
+
+SHELF = {
+    "pallet-01": 1.2,
+    "pallet-02": 2.8,
+    "pallet-03": 4.5,
+    "pallet-04": 6.3,
+}
+
+
+def build_cell() -> MultiTagCell:
+    endpoints = {}
+    for i, (name, distance) in enumerate(SHELF.items()):
+        system, _ = los_scenario(distance, seed=300 + i)
+        endpoints[name] = TagEndpoint(
+            name=name,
+            tag=TagStateMachine(rng=np.random.default_rng(400 + i)),
+            error_model=system.error_model,
+            rx_power_dbm=system.rx_power_at_tag_dbm,
+        )
+    return MultiTagCell(
+        config=WiTagConfig(),
+        endpoints=endpoints,
+        rng=np.random.default_rng(500),
+    )
+
+
+def inventory_round(cell: MultiTagCell) -> None:
+    print("addressed inventory round:\n")
+    for i, name in enumerate(sorted(SHELF)):
+        payload = f"{name}:count={17 + i}".encode()
+        bits = TagMessage(payload=payload).to_bits()
+        cell.load_bits(name, bits + [1] * (62 - len(bits) % 62))
+    for name, result in cell.poll_round().items():
+        sent = result.per_tag_sent.get(name, ())
+        errors = sum(a != b for a, b in zip(sent, result.raw_bits))
+        print(
+            f"  {name}: {len(sent)} bits, {errors} errors, "
+            f"responders={list(result.responded)}"
+        )
+
+
+def broadcast_collision(cell: MultiTagCell) -> None:
+    print("\nwhat happens without addressing (broadcast query):\n")
+    rng = np.random.default_rng(600)
+    for endpoint in cell.endpoints.values():
+        endpoint.tag.data_queue.clear()  # drop leftovers from the round
+    for name in SHELF:
+        # Each tag wants to send its own (random) data simultaneously.
+        cell.load_bits(name, [int(b) for b in rng.integers(0, 2, 62)])
+    result = cell.run_query()  # broadcast: everyone answers
+    total_errors = 0
+    observed = 0
+    for name, sent in result.per_tag_sent.items():
+        errors = sum(a != b for a, b in zip(sent, result.raw_bits))
+        total_errors += errors
+        observed += len(sent)
+    print(
+        f"  responders: {list(result.responded)}; "
+        f"{total_errors}/{observed} bits garbled by collision"
+    )
+    print("  -> a deployment polls tags with addressed triggers instead")
+
+
+def main() -> None:
+    cell = build_cell()
+    inventory_round(cell)
+    broadcast_collision(cell)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Non-line-of-sight deployment: tags reaching an AP through walls.
+
+Recreates the paper's Figure 6 scenario as an application: a warehouse
+reader polls tags whose AP sits one or several rooms away, behind wooden
+walls, concrete and metal cabinets (the paper's Figure 4 floor plan).
+Prints the per-run BER distribution the paper plots as a CDF.
+
+Run:
+    python examples/nlos_warehouse.py
+"""
+
+import numpy as np
+
+from repro.analysis import EmpiricalCdf
+from repro.core import MeasurementSession
+from repro.sim import nlos_scenario, paper_testbed
+
+
+def describe_floorplan() -> None:
+    plan = paper_testbed()
+    print(f"floor plan: {plan.name} ({plan.width_m:g} x {plan.height_m:g} m)")
+    for location in ("A", "B"):
+        link = plan.link(f"client_{location}", "ap")
+        print(
+            f"  location {location}: {link.distance_m:.1f} m from AP, "
+            f"{link.walls_crossed} obstacles, "
+            f"{link.obstruction_db:g} dB wall loss"
+        )
+    print()
+
+
+def measure(location: str, runs: int = 8, seconds: float = 0.5) -> EmpiricalCdf:
+    bers = []
+    for run in range(runs):
+        system, info = nlos_scenario(location, seed=2000 + run)
+        session = MeasurementSession(
+            system, rng=np.random.default_rng(run)
+        )
+        stats = session.run_for(seconds)
+        bers.append(stats.ber)
+    print(
+        f"location {location}: MCS {info.mcs_index}, link SNR "
+        f"{info.link_snr_db:.1f} dB, {runs} runs x {seconds:g} s"
+    )
+    return EmpiricalCdf.from_samples(bers)
+
+
+def main() -> None:
+    describe_floorplan()
+    cdfs = {location: measure(location) for location in ("A", "B")}
+    print()
+    print(f"{'location':10s} {'median BER':>12s} {'90th pct':>10s} {'max':>10s}")
+    for location, cdf in cdfs.items():
+        print(
+            f"{location:10s} {cdf.median:12.4f} "
+            f"{cdf.percentile(90):10.4f} {cdf.percentile(100):10.4f}"
+        )
+    print(
+        "\npaper Figure 6: 90th-percentile BER 0.007 at A, 0.018 at B; "
+        "'performance is very stable ... even when the AP and client "
+        "device are 17 meters apart and the line of sight is completely "
+        "blocked'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Tag power engineering: budgets, harvesting, and temperature limits.
+
+Walks through the paper's Section 7 argument with the library's hardware
+models: why channel-shifting tags need >= 20 MHz clocks, what that costs,
+whether ambient RF can power each design, and what a warm room does to a
+ring-oscillator tag's BER.
+
+Run:
+    python examples/power_budget.py
+"""
+
+import numpy as np
+
+from repro.core import MeasurementSession
+from repro.sim import los_scenario
+from repro.tag import (
+    RfHarvester,
+    TagStateMachine,
+    channel_shift_precision_budget,
+    channel_shift_ring_budget,
+    power_vs_frequency_uw,
+    ring_oscillator_20mhz,
+    witag_budget,
+)
+
+
+def show_budgets() -> None:
+    print("tag power budgets (paper Section 7):\n")
+    harvester = RfHarvester()
+    for budget in (
+        witag_budget(),
+        channel_shift_ring_budget(),
+        channel_shift_precision_budget(),
+    ):
+        needed = harvester.min_input_dbm(budget)
+        harvest = f"harvestable from {needed:g} dBm RF" if needed is not None \
+            else "NOT harvestable"
+        print(f"  {budget.name:32s} {budget.total_uw:8.1f} uW   {harvest}")
+        for component, draw in sorted(budget.components.items()):
+            print(f"      {component:20s} {draw:8.2f} uW")
+    print()
+
+
+def show_frequency_scaling() -> None:
+    print("oscillator power ~ f^2 (why 20 MHz clocks hurt):\n")
+    for f in (50e3, 500e3, 2e6, 11e6, 20e6):
+        power = power_vs_frequency_uw(f)
+        bar = "#" * min(60, int(np.log10(max(power, 1)) * 12))
+        print(f"  {f / 1e6:6.2f} MHz {power:10.1f} uW {bar}")
+    print()
+
+
+def show_temperature_effect() -> None:
+    print("BER vs room temperature, crystal vs ring oscillator tag:\n")
+    print(f"  {'temp':>6s} {'crystal-50kHz':>15s} {'ring-20MHz':>12s}")
+    for temp in (25.0, 27.0, 30.0):
+        row = [f"  {temp:5.0f}C"]
+        for name, factory in (
+            ("crystal", None),
+            ("ring", ring_oscillator_20mhz),
+        ):
+            tag = (
+                TagStateMachine(rng=np.random.default_rng(3))
+                if factory is None
+                else TagStateMachine(
+                    oscillator=factory(), rng=np.random.default_rng(3)
+                )
+            )
+            system, _ = los_scenario(2.0, seed=int(temp), tag=tag)
+            system.temperature_c = temp
+            stats = MeasurementSession(
+                system, rng=np.random.default_rng(int(temp))
+            ).run_for(0.3)
+            row.append(f"{stats.ber:12.4f}")
+        print(" ".join(row))
+    print(
+        "\npaper footnote 4: a 5 degC change shifts a ring oscillator by "
+        "~600 kHz,\nwhich is why channel-shifting tags only work where "
+        "temperature is stable."
+    )
+
+
+def main() -> None:
+    show_budgets()
+    show_frequency_scaling()
+    show_temperature_effect()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Under the microscope: watching a tag corrupt OFDM symbols in IQ samples.
+
+Every other example works at frame granularity.  This one zooms all the
+way in (`repro.phy.waveform`): actual OFDM symbols through a channel whose
+tag flips its reflection phase for a window of symbols, decoded by a
+receiver that — like every 802.11 receiver — trusts the channel estimate
+it made from the preamble.  The per-symbol error profile shows the paper's
+Section 5 mechanism directly, and comparing constellations shows why
+queries should use the highest reliable rate (Section 4.1).
+
+Run:
+    python examples/waveform_microscope.py
+"""
+
+import numpy as np
+
+from repro.phy.waveform import run_corruption_experiment
+
+FLIP = (8, 12)
+WIDTH = 40
+
+
+def bar(value: float) -> str:
+    filled = int(round(value * WIDTH))
+    return "#" * filled + "." * (WIDTH - filled)
+
+
+def show_profile(name: str, bits_per_symbol: int) -> None:
+    rates = run_corruption_experiment(
+        bits_per_symbol=bits_per_symbol, flip_range=FLIP
+    )
+    print(f"\n{name}: per-OFDM-symbol bit error rate")
+    for index, rate in enumerate(rates):
+        marker = " <-- tag flipped" if FLIP[0] <= index < FLIP[1] else ""
+        print(f"  sym {index:2d} |{bar(rate)}| {rate:5.2f}{marker}")
+    window = np.mean(rates[FLIP[0] : FLIP[1]])
+    outside = np.mean(
+        [r for i, r in enumerate(rates) if not FLIP[0] <= i < FLIP[1]]
+    )
+    print(f"  mean BER inside flip window: {window:.3f}, outside: {outside:.3f}")
+
+
+def main() -> None:
+    print(
+        "One channel estimate from the preamble; the tag flips its phase\n"
+        f"during symbols {FLIP[0]}..{FLIP[1] - 1}.  Errors land exactly "
+        "there."
+    )
+    show_profile("16-QAM (dense constellation, what query frames use)", 4)
+    show_profile("BPSK (robust constellation, immune to this tag)", 1)
+    print(
+        "\ntakeaway: the same reflection that shreds 16-QAM does nothing "
+        "to BPSK --\nWiTAG queries ride the highest reliable MCS so the "
+        "tag's small perturbation\nis enough (paper Sections 4.1 and 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

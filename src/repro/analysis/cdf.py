@@ -1,0 +1,69 @@
+"""Empirical distribution utilities (for paper Figure 6's BER CDFs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical CDF over a sample of real values."""
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: list[float] | np.ndarray) -> "EmpiricalCdf":
+        """Build from raw samples.
+
+        Raises:
+            ValueError: for an empty sample.
+        """
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one sample")
+        return cls(sorted_values=np.sort(arr))
+
+    @property
+    def n(self) -> int:
+        return int(self.sorted_values.size)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(
+            np.searchsorted(self.sorted_values, x, side="right") / self.n
+        )
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.sorted_values, q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def curve(self, points: int = 100) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs suitable for plotting or tabulation."""
+        if points < 2:
+            raise ValueError("need at least 2 points")
+        xs = np.linspace(
+            float(self.sorted_values[0]), float(self.sorted_values[-1]), points
+        )
+        return [(float(x), self.evaluate(float(x))) for x in xs]
+
+    def dominates(self, other: "EmpiricalCdf") -> bool:
+        """First-order stochastic dominance check: self <= other pointwise.
+
+        True when this distribution is 'better' (smaller values): its CDF
+        lies on or above the other's everywhere on a merged grid.  Used to
+        assert paper orderings like 'location A's BER CDF is to the left
+        of location B's'.
+        """
+        grid = np.union1d(self.sorted_values, other.sorted_values)
+        return all(
+            self.evaluate(float(x)) >= other.evaluate(float(x)) - 1e-12
+            for x in grid
+        )

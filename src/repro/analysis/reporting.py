@@ -1,0 +1,73 @@
+"""Plain-text tables for benchmark output.
+
+The benches print the same rows/series the paper's figures plot; this
+module renders them as aligned monospace tables so results are readable in
+CI logs and ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A simple fixed-schema text table.
+
+    Example:
+        >>> t = Table("demo", ["x", "y"])
+        >>> t.add_row([1, 2.5])
+        >>> print(t.render())  # doctest: +ELLIPSIS
+        demo...
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: list[object]) -> None:
+        """Append a row; values are formatted with :func:`format_value`.
+
+        Raises:
+            ValueError: if the arity does not match the schema.
+        """
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([format_value(v) for v in values])
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def format_value(value: object) -> str:
+    """Human-friendly scalar formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude < 0.1:
+            return f"{value:.4f}"
+        return f"{value:.3f}"
+    return str(value)

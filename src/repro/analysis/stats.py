@@ -1,0 +1,55 @@
+"""Small statistics helpers shared by experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    @classmethod
+    def of(cls, samples: list[float] | np.ndarray) -> "Summary":
+        """Summarise a non-empty sample.
+
+        Raises:
+            ValueError: for an empty sample.
+        """
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one sample")
+        return cls(
+            n=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            median=float(np.median(arr)),
+            maximum=float(arr.max()),
+        )
+
+
+def geometric_mean(values: list[float] | np.ndarray) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def db(ratio: float) -> float:
+    """Linear power ratio -> dB."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be > 0, got {ratio}")
+    return 10.0 * float(np.log10(ratio))

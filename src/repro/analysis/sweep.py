@@ -1,0 +1,100 @@
+"""Parameter-sweep scaffolding shared by experiments.
+
+Benches and user studies repeat the same pattern: vary one or two
+parameters, run a measurement at each point, tabulate.  This module
+factors that into a small declarative helper with deterministic seeding
+per point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .reporting import Table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep."""
+
+    parameters: dict[str, Any]
+    value: Any
+    seed: int
+
+
+@dataclass
+class ParameterSweep:
+    """Cartesian sweep over named parameter axes.
+
+    Attributes:
+        axes: name -> list of values.
+        measure: callable invoked as ``measure(seed=..., **parameters)``.
+        base_seed: seeds are ``base_seed + point_index`` so each point is
+            independent yet reproducible.
+
+    Example:
+        >>> sweep = ParameterSweep(
+        ...     axes={"x": [1, 2], "y": [10]},
+        ...     measure=lambda seed, x, y: x * y,
+        ... )
+        >>> [p.value for p in sweep.run()]
+        [10, 20]
+    """
+
+    axes: dict[str, list[Any]]
+    measure: Callable[..., Any]
+    base_seed: int = 0
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def run(self) -> list[SweepPoint]:
+        """Evaluate every point; returns (and stores) the results."""
+        names = list(self.axes)
+        self.points = []
+        for index, combo in enumerate(
+            itertools.product(*(self.axes[n] for n in names))
+        ):
+            parameters = dict(zip(names, combo))
+            seed = self.base_seed + index
+            value = self.measure(seed=seed, **parameters)
+            self.points.append(
+                SweepPoint(parameters=parameters, value=value, seed=seed)
+            )
+        return self.points
+
+    def table(
+        self, title: str, value_label: str = "value"
+    ) -> Table:
+        """Render the (already run) sweep as a text table.
+
+        Raises:
+            RuntimeError: if :meth:`run` has not been called.
+        """
+        if not self.points:
+            raise RuntimeError("run() the sweep before tabulating")
+        names = list(self.axes)
+        table = Table(title, names + [value_label])
+        for point in self.points:
+            table.add_row(
+                [point.parameters[n] for n in names] + [point.value]
+            )
+        return table
+
+    def best(self, *, maximize: bool = True) -> SweepPoint:
+        """The point with the extreme value (requires comparable values).
+
+        Raises:
+            RuntimeError: if :meth:`run` has not been called.
+        """
+        if not self.points:
+            raise RuntimeError("run() the sweep before querying")
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p.value)

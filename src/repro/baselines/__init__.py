@@ -1,0 +1,52 @@
+"""Behavioural models of prior WiFi-backscatter systems (paper §2).
+
+HitchHike, FreeRider, MOXcatter, Passive Wi-Fi and BackFi, each encoding
+its published capabilities and limitations, plus the machinery to evaluate
+all of them — and WiTAG — against the paper's four requirements.
+"""
+
+from .base import (
+    BackscatterSystemModel,
+    CompatibilityVerdict,
+    NetworkProfile,
+    Security,
+    WifiStandard,
+)
+from .comparison import (
+    RequirementScore,
+    compatibility_matrix,
+    default_profiles,
+    render_requirement_table,
+    requirement_matrix,
+    score_requirements,
+)
+from .systems import (
+    all_systems,
+    backfi_model,
+    freerider_model,
+    hitchhike_model,
+    moxcatter_model,
+    passive_wifi_model,
+    witag_model,
+)
+
+__all__ = [
+    "BackscatterSystemModel",
+    "CompatibilityVerdict",
+    "NetworkProfile",
+    "RequirementScore",
+    "Security",
+    "WifiStandard",
+    "all_systems",
+    "backfi_model",
+    "compatibility_matrix",
+    "default_profiles",
+    "freerider_model",
+    "hitchhike_model",
+    "moxcatter_model",
+    "passive_wifi_model",
+    "render_requirement_table",
+    "requirement_matrix",
+    "score_requirements",
+    "witag_model",
+]

@@ -1,0 +1,130 @@
+"""Common interface for backscatter-system behavioural models.
+
+The paper's comparison (§1, §2, §7) is qualitative — which standards a
+system supports, whether it tolerates encryption, whether it interferes
+with other channels, what oscillator it needs — plus reported throughput
+ranges.  Each baseline encodes its published characteristics behind one
+interface so the compatibility bench (E6) can evaluate every system
+against every network configuration mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..tag.power import PowerBudget
+
+
+class WifiStandard(enum.Enum):
+    """802.11 PHY generations relevant to the comparison."""
+
+    DOT11B = "802.11b"
+    DOT11G = "802.11g"
+    DOT11N = "802.11n"
+    DOT11AC = "802.11ac"
+    DOT11AX = "802.11ax"
+
+
+class Security(enum.Enum):
+    """Network security configurations."""
+
+    OPEN = "open"
+    WEP = "wep"
+    WPA = "wpa/wpa2"
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A deployment environment a backscatter system must live in."""
+
+    standard: WifiStandard
+    security: Security = Security.OPEN
+    temperature_stable: bool = True
+
+    def describe(self) -> str:
+        parts = [self.standard.value, self.security.value]
+        if not self.temperature_stable:
+            parts.append("temp-varying")
+        return " / ".join(parts)
+
+
+@dataclass(frozen=True)
+class CompatibilityVerdict:
+    """Whether (and why not) a system operates on a network profile."""
+
+    compatible: bool
+    reasons: tuple[str, ...] = ()
+
+    @classmethod
+    def ok(cls) -> "CompatibilityVerdict":
+        return cls(compatible=True)
+
+    @classmethod
+    def fail(cls, *reasons: str) -> "CompatibilityVerdict":
+        return cls(compatible=False, reasons=tuple(reasons))
+
+
+@dataclass(frozen=True)
+class BackscatterSystemModel:
+    """Published characteristics of one backscatter system.
+
+    Attributes:
+        name: system name.
+        supported_standards: PHY generations the tag can ride on.
+        works_with_encryption: survives WEP/WPA ciphertext (only WiTAG,
+            which never rewrites symbols).
+        requires_modified_ap: needs AP software/hardware changes.
+        requires_extra_receiver: needs a second AP / dedicated receiver.
+        shifts_channel: reflects onto a secondary channel (interference +
+            high-frequency oscillator implications).
+        performs_carrier_sense: whether its emissions respect CSMA.
+        oscillator_hz: minimum clock rate the tag needs.
+        power_budget: modelled tag power budget.
+        reported_throughput_bps: (low, high) from the respective papers.
+    """
+
+    name: str
+    supported_standards: frozenset[WifiStandard]
+    works_with_encryption: bool
+    requires_modified_ap: bool
+    requires_extra_receiver: bool
+    shifts_channel: bool
+    performs_carrier_sense: bool
+    oscillator_hz: float
+    power_budget: PowerBudget
+    reported_throughput_bps: tuple[float, float]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def compatibility(self, profile: NetworkProfile) -> CompatibilityVerdict:
+        """Evaluate deployability on a network profile."""
+        reasons: list[str] = []
+        if profile.standard not in self.supported_standards:
+            reasons.append(
+                f"does not support {profile.standard.value}"
+            )
+        if profile.security is not Security.OPEN and not self.works_with_encryption:
+            reasons.append(
+                f"cannot operate on {profile.security.value} networks "
+                "(modifies protected symbols)"
+            )
+        if self.requires_modified_ap:
+            reasons.append("requires modified AP software/hardware")
+        if self.requires_extra_receiver:
+            reasons.append("requires an additional receiver/AP")
+        if not profile.temperature_stable and self.oscillator_hz >= 1e6:
+            # MHz clocks on a harvesting budget imply a ring oscillator,
+            # whose drift breaks channel shifting when temperature moves
+            # (paper §7 footnote 4).
+            reasons.append(
+                "ring-oscillator drift breaks channel shifting under "
+                "temperature variation"
+            )
+        if reasons:
+            return CompatibilityVerdict.fail(*reasons)
+        return CompatibilityVerdict.ok()
+
+    @property
+    def interferes_with_others(self) -> bool:
+        """Emits onto another channel without sensing it first."""
+        return self.shifts_channel and not self.performs_carrier_sense

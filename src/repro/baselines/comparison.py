@@ -1,0 +1,133 @@
+"""Compatibility and requirements comparison (paper §1's four requirements).
+
+Builds the matrix behind the paper's core argument: across modern network
+profiles (802.11n/ac, WPA-encrypted, unmodified APs), only WiTAG satisfies
+all four requirements — WiFi compatible, works with encryption, low power,
+non-interfering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.reporting import Table
+from .base import (
+    BackscatterSystemModel,
+    NetworkProfile,
+    Security,
+    WifiStandard,
+)
+from .systems import all_systems
+
+
+@dataclass(frozen=True)
+class RequirementScore:
+    """The paper's four requirements evaluated for one system."""
+
+    system: str
+    wifi_compatible: bool
+    works_with_encryption: bool
+    low_power: bool
+    non_interfering: bool
+
+    @property
+    def satisfies_all(self) -> bool:
+        return (
+            self.wifi_compatible
+            and self.works_with_encryption
+            and self.low_power
+            and self.non_interfering
+        )
+
+
+def score_requirements(model: BackscatterSystemModel) -> RequirementScore:
+    """Evaluate the §1 requirements for one system.
+
+    'WiFi compatible' means: works on 802.11n *and* ac with unmodified
+    commodity APs and no extra receivers.  'Low power' means a budget a
+    harvester can sustain (< 100 uW, see
+    :meth:`repro.tag.power.PowerBudget.battery_free_feasible`) *with a
+    temperature-robust clock* — MHz precision oscillators are excluded by
+    power, MHz ring oscillators by stability, so channel-shifting designs
+    fail one way or the other (paper §7).
+    """
+    modern = {WifiStandard.DOT11N, WifiStandard.DOT11AC}
+    wifi_compatible = (
+        modern <= model.supported_standards
+        and not model.requires_modified_ap
+        and not model.requires_extra_receiver
+    )
+    low_power = (
+        model.power_budget.battery_free_feasible
+        and model.oscillator_hz < 1e6
+    )
+    return RequirementScore(
+        system=model.name,
+        wifi_compatible=wifi_compatible,
+        works_with_encryption=model.works_with_encryption,
+        low_power=low_power,
+        non_interfering=not model.interferes_with_others,
+    )
+
+
+def requirement_matrix(
+    systems: list[BackscatterSystemModel] | None = None,
+) -> list[RequirementScore]:
+    """Score every system against the paper's four requirements."""
+    return [score_requirements(m) for m in systems or all_systems()]
+
+
+def compatibility_matrix(
+    profiles: list[NetworkProfile],
+    systems: list[BackscatterSystemModel] | None = None,
+) -> dict[tuple[str, str], bool]:
+    """(system, profile) -> deployable, across the given profiles."""
+    result: dict[tuple[str, str], bool] = {}
+    for model in systems or all_systems():
+        for profile in profiles:
+            verdict = model.compatibility(profile)
+            result[(model.name, profile.describe())] = verdict.compatible
+    return result
+
+
+def default_profiles() -> list[NetworkProfile]:
+    """The network profiles the paper's argument revolves around."""
+    return [
+        NetworkProfile(WifiStandard.DOT11B, Security.OPEN),
+        NetworkProfile(WifiStandard.DOT11N, Security.OPEN),
+        NetworkProfile(WifiStandard.DOT11N, Security.WPA),
+        NetworkProfile(WifiStandard.DOT11AC, Security.WPA),
+        NetworkProfile(
+            WifiStandard.DOT11N, Security.WPA, temperature_stable=False
+        ),
+    ]
+
+
+def render_requirement_table(
+    scores: list[RequirementScore] | None = None,
+) -> str:
+    """The §1 requirements table as text."""
+    scores = scores or requirement_matrix()
+    table = Table(
+        "Backscatter system requirements (paper Section 1)",
+        [
+            "system",
+            "WiFi compatible",
+            "works w/ encryption",
+            "low power",
+            "non-interfering",
+            "ALL",
+        ],
+    )
+    for s in scores:
+        table.add_row(
+            [
+                s.system,
+                s.wifi_compatible,
+                s.works_with_encryption,
+                s.low_power,
+                s.non_interfering,
+                s.satisfies_all,
+            ]
+        )
+    return table.render()

@@ -1,0 +1,139 @@
+"""Secondary-channel interference from channel-shifting backscatter tags.
+
+Paper §1 (requirement 4) and §2: HitchHike/FreeRider/MOXcatter reflect
+the excitation signal onto an adjacent channel *without carrier sensing* —
+their tags cannot afford receive chains — so every backscatter burst is a
+potential collision for WiFi devices legitimately operating on that
+channel.  WiTAG never emits on a second channel: its queries are ordinary
+CSMA-respecting transmissions on the primary channel, and the tag only
+modulates those.
+
+This module quantifies the difference with a standard unslotted-ALOHA
+vulnerability-window argument: a victim frame of airtime ``T_v`` collides
+with a tag burst of airtime ``T_b`` arriving as a Poisson process of rate
+``lambda`` with probability ``1 - exp(-lambda (T_v + T_b))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VictimNetwork:
+    """A WiFi network operating on the tag's secondary channel.
+
+    Attributes:
+        frame_airtime_s: airtime of a typical victim frame.
+        offered_load_fps: victim frames per second.
+        retry_limit: MAC retries before a frame is dropped.
+    """
+
+    frame_airtime_s: float = 1.5e-3
+    offered_load_fps: float = 200.0
+    retry_limit: int = 4
+
+    def __post_init__(self) -> None:
+        if self.frame_airtime_s <= 0:
+            raise ValueError("frame airtime must be positive")
+        if self.offered_load_fps < 0:
+            raise ValueError("offered load cannot be negative")
+        if self.retry_limit < 0:
+            raise ValueError("retry limit cannot be negative")
+
+
+@dataclass(frozen=True)
+class BackscatterEmitter:
+    """A backscatter tag's emission pattern onto the secondary channel.
+
+    Attributes:
+        burst_airtime_s: duration of one backscatter burst (the excitation
+            packet's airtime — the tag reflects for the whole packet).
+        bursts_per_second: how often the tag is excited and reflects.
+        carrier_senses: whether the emitter defers to ongoing victim
+            transmissions (True only for systems with a receive chain —
+            none of the modelled tags, and WiTAG needs no emission at all).
+    """
+
+    burst_airtime_s: float = 1.5e-3
+    bursts_per_second: float = 600.0
+    carrier_senses: bool = False
+
+    def __post_init__(self) -> None:
+        if self.burst_airtime_s < 0 or self.bursts_per_second < 0:
+            raise ValueError("emission parameters cannot be negative")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the emitter occupies the secondary channel."""
+        return min(1.0, self.burst_airtime_s * self.bursts_per_second)
+
+
+def collision_probability(
+    victim: VictimNetwork, emitter: BackscatterEmitter
+) -> float:
+    """P(one victim frame overlaps >= 1 non-sensing tag burst).
+
+    Unslotted-ALOHA vulnerability window: a burst starting anywhere within
+    ``T_v + T_b`` of the victim frame's start overlaps it.
+    """
+    if emitter.bursts_per_second == 0 or emitter.burst_airtime_s == 0:
+        return 0.0
+    if emitter.carrier_senses:
+        # A sensing emitter defers; residual collisions (hidden terminals)
+        # are out of scope — CSMA fairness is modelled in repro.mac.csma.
+        return 0.0
+    window = victim.frame_airtime_s + emitter.burst_airtime_s
+    return 1.0 - math.exp(-emitter.bursts_per_second * window)
+
+
+def victim_goodput_fraction(
+    victim: VictimNetwork, emitter: BackscatterEmitter
+) -> float:
+    """Victim frames eventually delivered, after MAC retries.
+
+    Each (re)transmission independently risks collision; a frame is lost
+    only if all ``1 + retry_limit`` attempts collide.
+    """
+    p = collision_probability(victim, emitter)
+    return 1.0 - p ** (1 + victim.retry_limit)
+
+
+def victim_airtime_overhead(
+    victim: VictimNetwork, emitter: BackscatterEmitter
+) -> float:
+    """Mean transmissions per delivered frame (airtime inflation factor).
+
+    ``E[attempts] = (1 - p^(R+1)) / (1 - p)`` truncated-geometric mean,
+    normalised per *delivered* frame.
+    """
+    p = collision_probability(victim, emitter)
+    if p >= 1.0:
+        return float(victim.retry_limit + 1)
+    attempts = (1.0 - p ** (victim.retry_limit + 1)) / (1.0 - p)
+    delivered = 1.0 - p ** (victim.retry_limit + 1)
+    return attempts / delivered if delivered > 0 else float("inf")
+
+
+def witag_emitter() -> BackscatterEmitter:
+    """WiTAG's secondary-channel emission: none at all."""
+    return BackscatterEmitter(
+        burst_airtime_s=0.0, bursts_per_second=0.0, carrier_senses=True
+    )
+
+
+def channel_shift_emitter(
+    queries_per_second: float = 600.0, excitation_airtime_s: float = 1.5e-3
+) -> BackscatterEmitter:
+    """A HitchHike/FreeRider/MOXcatter-class tag in active operation.
+
+    Reflects every excitation packet onto the adjacent channel; at the
+    paper's operating rates (hundreds of excitations per second for
+    Kbps-scale tag rates) this is a substantial duty cycle.
+    """
+    return BackscatterEmitter(
+        burst_airtime_s=excitation_airtime_s,
+        bursts_per_second=queries_per_second,
+        carrier_senses=False,
+    )

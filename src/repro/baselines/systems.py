@@ -1,0 +1,173 @@
+"""Behavioural models of the prior systems WiTAG compares against.
+
+Characteristics are taken from the papers as summarised in WiTAG §1/§2/§7:
+
+* **HitchHike** (Zhang et al., SenSys 2016): 802.11b codeword translation,
+  shifts to a non-overlapping channel, needs a second AP and driver
+  changes, breaks on encrypted networks.
+* **FreeRider** (Zhang et al., CoNEXT 2017): extends the idea to 802.11g
+  OFDM by phase-rotating symbols; same channel-shift limitations.
+* **MOXcatter** (Zhao et al., MobiSys 2018): spatial-stream backscatter
+  for 802.11n MIMO; per-packet (not per-symbol) phase flips; still shifts
+  channels and needs modified APs.
+* **Passive Wi-Fi** (Kellogg et al., NSDI 2016): generates 802.11b
+  transmissions by backscattering a dedicated CW plugged-in helper — not
+  deployable on unmodified infrastructure.
+* **BackFi** (Bharadia et al., SIGCOMM 2015): high-throughput but needs a
+  full-duplex specialized reader.
+
+Throughput ranges are the figures the papers report (WiTAG §6.2 cites the
+field as "1 Kbps - 300 Kbps").
+"""
+
+from __future__ import annotations
+
+from ..tag.oscillator import Oscillator, OscillatorKind
+from ..tag.power import (
+    PowerBudget,
+    channel_shift_ring_budget,
+    tag_budget,
+    witag_budget,
+)
+from .base import BackscatterSystemModel, WifiStandard
+
+_ALL_OFDM = frozenset(
+    {
+        WifiStandard.DOT11N,
+        WifiStandard.DOT11AC,
+        WifiStandard.DOT11AX,
+    }
+)
+
+
+def witag_model() -> BackscatterSystemModel:
+    """WiTAG itself, for side-by-side comparison."""
+    return BackscatterSystemModel(
+        name="WiTAG",
+        supported_standards=_ALL_OFDM,
+        works_with_encryption=True,
+        requires_modified_ap=False,
+        requires_extra_receiver=False,
+        shifts_channel=False,
+        performs_carrier_sense=True,  # the *client* senses; the tag never emits
+        oscillator_hz=50e3,
+        power_budget=witag_budget(),
+        reported_throughput_bps=(39e3, 40e3),
+        notes=(
+            "corrupts MAC subframes; AP and client unmodified",
+            "reads data out of standard block ACKs",
+        ),
+    )
+
+
+def hitchhike_model() -> BackscatterSystemModel:
+    """HitchHike (SenSys 2016)."""
+    return BackscatterSystemModel(
+        name="HitchHike",
+        supported_standards=frozenset({WifiStandard.DOT11B}),
+        works_with_encryption=False,
+        requires_modified_ap=True,
+        requires_extra_receiver=True,
+        shifts_channel=True,
+        performs_carrier_sense=False,
+        oscillator_hz=20e6,
+        power_budget=channel_shift_ring_budget("HitchHike"),
+        reported_throughput_bps=(222e3, 300e3),
+        notes=(
+            "802.11b codeword translation",
+            "needs APs configured to accept CRC-failing frames",
+        ),
+    )
+
+
+def freerider_model() -> BackscatterSystemModel:
+    """FreeRider (CoNEXT 2017)."""
+    return BackscatterSystemModel(
+        name="FreeRider",
+        supported_standards=frozenset(
+            {WifiStandard.DOT11G}
+        ),
+        works_with_encryption=False,
+        requires_modified_ap=True,
+        requires_extra_receiver=True,
+        shifts_channel=True,
+        performs_carrier_sense=False,
+        oscillator_hz=20e6,
+        power_budget=channel_shift_ring_budget("FreeRider"),
+        reported_throughput_bps=(15e3, 60e3),
+        notes=("OFDM symbol phase rotation on 802.11g",),
+    )
+
+
+def moxcatter_model() -> BackscatterSystemModel:
+    """MOXcatter (MobiSys 2018)."""
+    return BackscatterSystemModel(
+        name="MOXcatter",
+        supported_standards=frozenset(
+            {WifiStandard.DOT11N, WifiStandard.DOT11AC}
+        ),
+        works_with_encryption=False,
+        requires_modified_ap=True,
+        requires_extra_receiver=True,
+        shifts_channel=True,
+        performs_carrier_sense=False,
+        oscillator_hz=20e6,
+        power_budget=channel_shift_ring_budget("MOXcatter"),
+        reported_throughput_bps=(1e3, 50e3),
+        notes=("per-packet phase flips on MIMO spatial streams",),
+    )
+
+
+def passive_wifi_model() -> BackscatterSystemModel:
+    """Passive Wi-Fi (NSDI 2016)."""
+    return BackscatterSystemModel(
+        name="Passive Wi-Fi",
+        supported_standards=frozenset({WifiStandard.DOT11B}),
+        works_with_encryption=False,
+        requires_modified_ap=True,
+        requires_extra_receiver=True,  # dedicated CW plugged-in emitter
+        shifts_channel=False,
+        performs_carrier_sense=False,
+        oscillator_hz=11e6,
+        power_budget=tag_budget(
+            "Passive Wi-Fi",
+            Oscillator(
+                kind=OscillatorKind.RING,
+                nominal_hz=11e6,
+                power_coeff_uw_per_hz2=1e-13,
+                base_power_uw=1.0,
+                temp_drift_ppm_per_c=6000.0,
+            ),
+        ),
+        reported_throughput_bps=(1e6, 11e6),
+        notes=("requires a dedicated continuous-wave helper device",),
+    )
+
+
+def backfi_model() -> BackscatterSystemModel:
+    """BackFi (SIGCOMM 2015)."""
+    return BackscatterSystemModel(
+        name="BackFi",
+        supported_standards=frozenset({WifiStandard.DOT11G}),
+        works_with_encryption=False,
+        requires_modified_ap=True,
+        requires_extra_receiver=True,  # full-duplex reader hardware
+        shifts_channel=False,
+        performs_carrier_sense=False,
+        oscillator_hz=20e6,
+        power_budget=channel_shift_ring_budget("BackFi"),
+        reported_throughput_bps=(1e6, 5e6),
+        notes=("full-duplex specialized reader",),
+    )
+
+
+def all_systems() -> list[BackscatterSystemModel]:
+    """Every modelled system, WiTAG first."""
+    return [
+        witag_model(),
+        hitchhike_model(),
+        freerider_model(),
+        moxcatter_model(),
+        passive_wifi_model(),
+        backfi_model(),
+    ]

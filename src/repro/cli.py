@@ -1,0 +1,252 @@
+"""Command-line interface: run WiTAG experiments without writing code.
+
+Usage::
+
+    python -m repro fig5 [--seconds 1.0] [--seed 0]
+    python -m repro fig6 [--runs 8] [--seconds 0.5]
+    python -m repro quickstart [--distance 2.0] [--message TEXT]
+    python -m repro power
+    python -m repro compare
+    python -m repro throughput [--subframes 64] [--clock-khz 50]
+    python -m repro interference [--rate 600]
+    python -m repro pcap OUTPUT.pcap [--queries 3]
+
+Each subcommand prints the same tables the corresponding benchmark
+produces; see benchmarks/ for the asserted versions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.reporting import Table
+from .baselines.comparison import render_requirement_table
+from .core.arq import ArqTransfer
+from .core.config import WiTagConfig
+from .core.session import MeasurementSession
+from .core.throughput import analytic_throughput_bps, query_cycle
+from .sim.scenario import los_scenario, nlos_scenario
+from .tag.power import (
+    channel_shift_precision_budget,
+    channel_shift_ring_budget,
+    witag_budget,
+)
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    table = Table(
+        f"Figure 5 sweep ({args.seconds:g}s per point, seed {args.seed})",
+        ["tag distance (m)", "BER", "throughput (Kbps)"],
+    )
+    for d in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0):
+        system, _ = los_scenario(d, seed=args.seed + int(d))
+        stats = MeasurementSession(
+            system, rng=np.random.default_rng(args.seed + int(d))
+        ).run_for(args.seconds)
+        table.add_row([d, stats.ber, stats.throughput_bps / 1e3])
+    print(table.render())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    table = Table(
+        f"Figure 6 NLOS runs ({args.runs} x {args.seconds:g}s)",
+        ["location", "median BER", "p90 BER"],
+    )
+    for location in ("A", "B"):
+        bers = []
+        for run in range(args.runs):
+            system, _ = nlos_scenario(location, seed=args.seed + run)
+            stats = MeasurementSession(
+                system, rng=np.random.default_rng(run)
+            ).run_for(args.seconds)
+            bers.append(stats.ber)
+        table.add_row(
+            [
+                location,
+                float(np.median(bers)),
+                float(np.percentile(bers, 90)),
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    system, info = los_scenario(args.distance, seed=args.seed)
+    print(
+        f"{info.name}: link SNR {info.link_snr_db:.1f} dB, "
+        f"MCS {info.mcs_index}, tag clock {info.tag_clock_hz / 1e3:g} kHz"
+    )
+    report = ArqTransfer(system).send(args.message.encode())
+    if report.delivered:
+        print(
+            f"delivered {args.message!r} in {report.queries} queries "
+            f"({report.attempts} attempt(s), "
+            f"{report.effective_rate_bps / 1e3:.1f} Kbps effective)"
+        )
+        return 0
+    print(f"transfer failed after {report.attempts} attempts")
+    return 1
+
+
+def _cmd_power(_args: argparse.Namespace) -> int:
+    table = Table(
+        "tag power budgets (paper Section 7)",
+        ["system", "total (uW)", "battery-free feasible"],
+    )
+    for budget in (
+        witag_budget(),
+        channel_shift_ring_budget(),
+        channel_shift_precision_budget(),
+    ):
+        table.add_row(
+            [budget.name, budget.total_uw, budget.battery_free_feasible]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_compare(_args: argparse.Namespace) -> int:
+    print(render_requirement_table())
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    config = WiTagConfig(
+        n_subframes=args.subframes, tag_clock_hz=args.clock_khz * 1e3
+    )
+    cycle = query_cycle(config)
+    print(
+        f"cycle: access {cycle.access_s * 1e6:.0f} us + query "
+        f"{cycle.query_s * 1e6:.0f} us + SIFS {cycle.sifs_s * 1e6:.0f} us "
+        f"+ BA {cycle.block_ack_s * 1e6:.0f} us = {cycle.total_s * 1e3:.2f} ms"
+    )
+    print(
+        f"tag throughput: {analytic_throughput_bps(config) / 1e3:.1f} Kbps "
+        f"({config.bits_per_query} bits / cycle)"
+    )
+    return 0
+
+
+def _cmd_interference(args: argparse.Namespace) -> int:
+    from .baselines.interference import (
+        VictimNetwork,
+        channel_shift_emitter,
+        collision_probability,
+        victim_goodput_fraction,
+        witag_emitter,
+    )
+
+    victim = VictimNetwork()
+    shift = channel_shift_emitter(queries_per_second=args.rate)
+    table = Table(
+        f"secondary-channel victim (1.5 ms frames) at {args.rate:g} "
+        "excitations/s",
+        ["emitter", "P(frame collision)", "victim goodput"],
+    )
+    table.add_row(
+        [
+            "channel-shift tag",
+            collision_probability(victim, shift),
+            victim_goodput_fraction(victim, shift),
+        ]
+    )
+    table.add_row(
+        [
+            "WiTAG",
+            collision_probability(victim, witag_emitter()),
+            victim_goodput_fraction(victim, witag_emitter()),
+        ]
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_pcap(args: argparse.Namespace) -> int:
+    from .sim.pcap import PcapWriter
+
+    system, info = los_scenario(args.distance, seed=args.seed)
+    system.load_tag_bits(
+        [int(b) for b in np.random.default_rng(args.seed).integers(
+            0, 2, 62 * args.queries
+        )]
+    )
+    writer = PcapWriter()
+    clock = 0.0
+    for _ in range(args.queries):
+        result = system.run_query()
+        clock = writer.add_query_result(clock, result)
+    size = writer.write(args.output)
+    print(
+        f"wrote {writer.n_frames} frames ({size} bytes) from "
+        f"{args.queries} query cycles to {args.output}"
+    )
+    print("open in Wireshark: the block-ACK bitmaps carry the tag's bits")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiTAG (HotNets 2018) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = sub.add_parser("fig5", help="BER/throughput vs tag position")
+    fig5.add_argument("--seconds", type=float, default=1.0)
+    fig5.add_argument("--seed", type=int, default=0)
+    fig5.set_defaults(func=_cmd_fig5)
+
+    fig6 = sub.add_parser("fig6", help="NLOS BER distribution")
+    fig6.add_argument("--runs", type=int, default=8)
+    fig6.add_argument("--seconds", type=float, default=0.5)
+    fig6.add_argument("--seed", type=int, default=0)
+    fig6.set_defaults(func=_cmd_fig6)
+
+    quick = sub.add_parser("quickstart", help="send one tag message")
+    quick.add_argument("--distance", type=float, default=2.0)
+    quick.add_argument("--message", type=str, default="hello-witag")
+    quick.add_argument("--seed", type=int, default=7)
+    quick.set_defaults(func=_cmd_quickstart)
+
+    power = sub.add_parser("power", help="tag power budgets")
+    power.set_defaults(func=_cmd_power)
+
+    compare = sub.add_parser("compare", help="system requirements matrix")
+    compare.set_defaults(func=_cmd_compare)
+
+    throughput = sub.add_parser("throughput", help="analytic rate model")
+    throughput.add_argument("--subframes", type=int, default=64)
+    throughput.add_argument("--clock-khz", type=float, default=50.0)
+    throughput.set_defaults(func=_cmd_throughput)
+
+    interference = sub.add_parser(
+        "interference", help="secondary-channel interference comparison"
+    )
+    interference.add_argument("--rate", type=float, default=600.0)
+    interference.set_defaults(func=_cmd_interference)
+
+    pcap = sub.add_parser("pcap", help="capture query exchanges to pcap")
+    pcap.add_argument("output", type=str)
+    pcap.add_argument("--queries", type=int, default=3)
+    pcap.add_argument("--distance", type=float, default=2.0)
+    pcap.add_argument("--seed", type=int, default=0)
+    pcap.set_defaults(func=_cmd_pcap)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

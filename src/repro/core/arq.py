@@ -1,0 +1,107 @@
+"""Reliable tag-message transfer: ARQ over the WiTAG link.
+
+The paper leaves error handling to future work (§4.1).  The measured error
+process (see ``benchmarks/test_ablation_fec.py``) is bursty — whole query
+A-MPDUs go bad when the tag's reflected path fades — which makes
+message-level retransmission the right recovery unit.  This module wraps a
+:class:`~repro.core.system.WiTagSystem` in a simple ARQ loop:
+
+1. load the CRC-framed message onto the tag;
+2. query until the tag's queue drains;
+3. if no CRC-valid copy surfaced at the reader, retransmit;
+4. give up after ``max_attempts``.
+
+The tag side of this protocol needs nothing beyond what the paper's tag
+already has: a queue and a CRC appended at framing time.  "Did the reader
+get it?" feedback would ride the next query's trigger pattern in a real
+deployment; the simulator grants it implicitly by letting the controller
+see the reader state (a standard simplification for protocol evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .decoder import TagReader
+from .encoder import TagEncoder
+from .framing import TagMessage
+from .system import WiTagSystem
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Outcome of one reliable message transfer.
+
+    Attributes:
+        delivered: whether a CRC-valid copy reached the reader.
+        attempts: transmissions of the framed message (1 = no retries).
+        queries: total query cycles consumed.
+        airtime_s: total wall-clock time consumed by those cycles.
+        message_bits: size of the framed message.
+    """
+
+    delivered: bool
+    attempts: int
+    queries: int
+    airtime_s: float
+    message_bits: int
+
+    @property
+    def effective_rate_bps(self) -> float:
+        """Delivered message bits per second of channel time (0 if lost)."""
+        if not self.delivered or self.airtime_s <= 0:
+            return 0.0
+        return self.message_bits / self.airtime_s
+
+
+@dataclass
+class ArqTransfer:
+    """ARQ controller for reliable tag-to-reader messaging.
+
+    Attributes:
+        system: the deployment.
+        encoder: bit-level encoder (must match on tag and reader).
+        max_attempts: transmissions before giving up.
+    """
+
+    system: WiTagSystem
+    encoder: TagEncoder = field(default_factory=TagEncoder)
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def send(self, payload: bytes) -> TransferReport:
+        """Reliably transfer one payload; returns the transfer report."""
+        message = TagMessage(payload=payload)
+        bits = message.to_bits()
+        reader = TagReader(encoder=self.encoder)
+        queries = 0
+        airtime = 0.0
+        attempts = 0
+        delivered = False
+        while attempts < self.max_attempts and not delivered:
+            attempts += 1
+            self.system.load_tag_bits(self.encoder.encode(bits))
+            while self.system.tag.pending_bits and not delivered:
+                result = self.system.run_query()
+                reader.ingest(result.block_ack, result.query)
+                queries += 1
+                airtime += result.cycle_s
+                delivered = any(
+                    m.payload == payload for m in reader.messages()
+                )
+        return TransferReport(
+            delivered=delivered,
+            attempts=attempts,
+            queries=queries,
+            airtime_s=airtime,
+            message_bits=message.framed_bits,
+        )
+
+    def send_all(self, payloads: list[bytes]) -> list[TransferReport]:
+        """Transfer a sequence of payloads back to back."""
+        return [self.send(p) for p in payloads]

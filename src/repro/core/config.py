@@ -1,0 +1,100 @@
+"""System configuration for a WiTAG deployment.
+
+Bundles every tunable of the end-to-end system — query-frame shape, PHY
+rate, radio powers, encryption — with validation and derived quantities.
+The defaults reproduce the paper's prototype operating point: 64-subframe
+query A-MPDUs whose subframes are padded to one 50 kHz tag-clock period
+(20 us) of airtime, which is precisely the regime that yields the paper's
+~40 Kbps headline rate (see :mod:`repro.core.throughput`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..phy.constants import Band, MAX_AMPDU_SUBFRAMES
+from ..phy.mcs import Mcs, ht_mcs
+from ..phy.preamble import PhyFormat
+from .errors import ConfigurationError
+
+
+class EncryptionMode(enum.Enum):
+    """Link encryption applied to query MPDU payloads.
+
+    WiTAG is oblivious to all of these — the whole point of the paper —
+    and the test suite proves it by running the same experiments under
+    each mode.
+    """
+
+    OPEN = "open"
+    WEP = "wep"
+    WPA2_CCMP = "wpa2-ccmp"
+
+
+@dataclass(frozen=True)
+class WiTagConfig:
+    """End-to-end configuration of a WiTAG deployment.
+
+    Attributes:
+        mcs: PHY rate of query A-MPDUs.  Should be the highest rate the
+            client->AP link sustains with near-zero loss (paper §4.1).
+        n_subframes: MPDUs per query A-MPDU (<= 64, the block-ACK window).
+        n_trigger_subframes: leading subframes carrying the tag's trigger
+            pattern (paper §7); not usable for data bits.
+        tag_clock_hz: the tag's toggle clock; subframes are padded to an
+            integer number of clock periods of airtime so the tag's cycle
+            counting stays aligned (see ``repro.tag.timing``).
+        band: operating band.
+        channel_width_mhz: 20/40/80/160.
+        short_gi: short guard interval on data symbols.
+        phy_format: HT (802.11n) or VHT (802.11ac) framing.
+        tx_power_dbm: client transmit power.
+        encryption: link encryption mode.
+        encryption_key: key material for WEP/CCMP modes.
+    """
+
+    mcs: Mcs = field(default_factory=lambda: ht_mcs(7))
+    n_subframes: int = 64
+    n_trigger_subframes: int = 2
+    tag_clock_hz: float = 50e3
+    band: Band = Band.GHZ_2_4
+    channel_width_mhz: int = 20
+    short_gi: bool = False
+    phy_format: PhyFormat = PhyFormat.HT_MIXED
+    tx_power_dbm: float = 15.0
+    encryption: EncryptionMode = EncryptionMode.OPEN
+    encryption_key: bytes = b"witag-repro-key!"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_subframes <= MAX_AMPDU_SUBFRAMES:
+            raise ConfigurationError(
+                f"n_subframes must be 1-{MAX_AMPDU_SUBFRAMES}, "
+                f"got {self.n_subframes}"
+            )
+        if not 0 <= self.n_trigger_subframes < self.n_subframes:
+            raise ConfigurationError(
+                "trigger subframes must leave at least one payload subframe"
+            )
+        if self.tag_clock_hz <= 0:
+            raise ConfigurationError("tag clock must be positive")
+        if self.channel_width_mhz not in (20, 40, 80, 160):
+            raise ConfigurationError(
+                f"unsupported channel width {self.channel_width_mhz}"
+            )
+        if self.encryption is EncryptionMode.WEP:
+            if len(self.encryption_key) not in (5, 13):
+                raise ConfigurationError("WEP key must be 5 or 13 bytes")
+        elif self.encryption is EncryptionMode.WPA2_CCMP:
+            if len(self.encryption_key) != 16:
+                raise ConfigurationError("CCMP key must be 16 bytes")
+
+    @property
+    def bits_per_query(self) -> int:
+        """Tag data bits carried by one query A-MPDU."""
+        return self.n_subframes - self.n_trigger_subframes
+
+    @property
+    def tag_clock_period_s(self) -> float:
+        """One tag clock period — the subframe airtime quantum."""
+        return 1.0 / self.tag_clock_hz

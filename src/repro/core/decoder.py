@@ -1,0 +1,106 @@
+"""Reader-side decoding: block-ACK bitmaps -> tag bits -> messages.
+
+This is the only software a WiTAG deployment adds to the WiFi client
+(paper §4: "It only requires an application that reads the tag's data from
+block ACKs").  Given the block ACK for a query frame, the reader:
+
+1. aligns the bitmap with the query's starting sequence number;
+2. discards the trigger-subframe positions;
+3. maps subframe fates to raw bits (received -> 1, lost -> 0, paper §4);
+4. un-line-codes / un-FECs via the configured :class:`TagEncoder`; and
+5. re-assembles framed messages across queries via a bit-stream scanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mac.block_ack import BlockAck, seq_offset
+from .encoder import TagEncoder
+from .errors import DecodeError
+from .framing import TagMessage, scan_for_frames
+from .query import QueryFrame
+
+Bits = list[int]
+
+
+def raw_bits_from_block_ack(block_ack: BlockAck, query: QueryFrame) -> Bits:
+    """Extract the tag's raw payload-subframe bits for one query.
+
+    Raises:
+        DecodeError: if the bitmap window does not cover the query's
+            sequence range.
+    """
+    offset = seq_offset(block_ack.ssn, query.ssn)
+    last = offset + query.n_subframes - 1
+    if last >= 64:
+        raise DecodeError(
+            f"query occupies bitmap offsets {offset}..{last}, outside the "
+            "64-bit block-ACK window"
+        )
+    fates = block_ack.bits(offset + query.n_subframes)[offset:]
+    payload_fates = fates[query.n_trigger_subframes :]
+    return [1 if ok else 0 for ok in payload_fates]
+
+
+@dataclass
+class TagReader:
+    """Accumulates per-query bits and extracts framed tag messages.
+
+    Attributes:
+        encoder: must match the tag's encoder configuration.
+    """
+
+    encoder: TagEncoder = field(default_factory=TagEncoder)
+    _stream: Bits = field(default_factory=list)
+
+    def ingest(self, block_ack: BlockAck, query: QueryFrame) -> Bits:
+        """Process one query's block ACK; returns the raw extracted bits.
+
+        Raw subframe bits are buffered across queries; line-code and FEC
+        decoding happen over the accumulated stream in :meth:`messages`,
+        because a codeword (or Manchester pair) may straddle a query
+        boundary.
+        """
+        raw = raw_bits_from_block_ack(block_ack, query)
+        self._stream.extend(raw)
+        return raw
+
+    def messages(self) -> list[TagMessage]:
+        """All valid messages currently recoverable from the stream.
+
+        Decodes the full buffered stream (tolerantly — see
+        :meth:`TagEncoder.decode_stream`) and re-scans for frames each
+        call; simple and safe for the stream sizes in play (bounded by
+        :meth:`trim`).
+        """
+        try:
+            decoded = self.encoder.decode_stream(self._stream)
+        except DecodeError:
+            return []
+        return scan_for_frames(decoded)
+
+    def trim(self, keep_bits: int = 65536) -> None:
+        """Bound the internal stream buffer to the trailing ``keep_bits``."""
+        if keep_bits < 0:
+            raise ValueError("keep_bits must be >= 0")
+        if len(self._stream) > keep_bits:
+            del self._stream[: len(self._stream) - keep_bits]
+
+    @property
+    def stream_bits(self) -> int:
+        """Current buffered stream length."""
+        return len(self._stream)
+
+
+def bit_errors(sent: Bits, received: Bits) -> int:
+    """Hamming distance between two equal-length bit lists.
+
+    Raises:
+        ValueError: on length mismatch — callers must align first.
+    """
+    if len(sent) != len(received):
+        raise ValueError(
+            f"length mismatch: sent {len(sent)} vs received {len(received)}"
+        )
+    return sum(1 for a, b in zip(sent, received) if a != b)

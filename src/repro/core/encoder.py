@@ -1,0 +1,125 @@
+"""Tag-side bit encoding: mapping message bits onto subframe actions.
+
+The base WiTAG line code is trivial — one message bit per payload subframe,
+`1` = leave intact, `0` = corrupt (paper §4) — but the encoder layer also
+offers Manchester encoding, whose guaranteed transitions let the reader
+detect a desynchronised or absent tag (an idle tag produces all-ones,
+which is an *invalid* Manchester stream rather than valid data).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import DecodeError
+from .fec import Code, HammingCode, InterleavedCode, NoCode, RepetitionCode
+
+Bits = list[int]
+
+
+class LineCode(enum.Enum):
+    """Subframe-level line codes."""
+
+    OOK = "ook"  # direct: one message bit per subframe
+    MANCHESTER = "manchester"  # 1 -> (1,0), 0 -> (0,1)
+
+
+@dataclass(frozen=True)
+class TagEncoder:
+    """Composes FEC and line coding into the final subframe bit schedule.
+
+    Attributes:
+        fec: forward error correction (default: none — the paper's base
+            system).
+        line_code: subframe-level line code.
+    """
+
+    fec: Code = NoCode()
+    line_code: LineCode = LineCode.OOK
+
+    def encode(self, message_bits: Bits) -> Bits:
+        """Message bits -> subframe bits (what the tag FSM is loaded with)."""
+        coded = self.fec.encode(list(message_bits))
+        if self.line_code is LineCode.OOK:
+            return coded
+        out: Bits = []
+        for bit in coded:
+            out.extend((1, 0) if bit else (0, 1))
+        return out
+
+    def decode(self, subframe_bits: Bits) -> Bits:
+        """Subframe bits (from the block ACK) -> message bits.
+
+        Raises:
+            DecodeError: for an invalid Manchester stream.
+        """
+        if self.line_code is LineCode.OOK:
+            return self.fec.decode(list(subframe_bits))
+        if len(subframe_bits) % 2:
+            raise DecodeError(
+                f"Manchester stream length {len(subframe_bits)} is odd"
+            )
+        coded: Bits = []
+        for i in range(0, len(subframe_bits), 2):
+            pair = (subframe_bits[i], subframe_bits[i + 1])
+            if pair == (1, 0):
+                coded.append(1)
+            elif pair == (0, 1):
+                coded.append(0)
+            else:
+                # Erasure: pick the half more likely corrupted by noise.
+                # (1,1) means no corruption happened at all -> idle tag.
+                raise DecodeError(
+                    f"invalid Manchester pair {pair} at position {i}"
+                )
+        return self.fec.decode(coded)
+
+    def decode_stream(self, subframe_bits: Bits) -> Bits:
+        """Decode an accumulated multi-query bit stream tolerantly.
+
+        Unlike :meth:`decode`, which expects one exact codeword-aligned
+        chunk, this handles a stream that may end mid-codeword (the tail
+        is deferred) and, under Manchester coding, may contain idle
+        ``(1, 1)`` stretches from queries the tag slept through — those
+        pairs carry no data and are skipped rather than rejected.
+        Residual bit errors are passed through; framing CRCs arbitrate.
+        """
+        bits = list(subframe_bits)
+        if self.line_code is LineCode.MANCHESTER:
+            coded: Bits = []
+            for i in range(0, len(bits) - 1, 2):
+                pair = (bits[i], bits[i + 1])
+                if pair == (1, 0):
+                    coded.append(1)
+                elif pair == (0, 1):
+                    coded.append(0)
+                # (1,1) idle and (0,0) corrupt pairs carry no data.
+            bits = coded
+        granularity = self._fec_granularity()
+        usable = len(bits) - len(bits) % granularity
+        return self.fec.decode(bits[:usable])
+
+    def _fec_granularity(self) -> int:
+        """Codeword size of the FEC layer in coded bits."""
+        if isinstance(self.fec, RepetitionCode):
+            return self.fec.n
+        if isinstance(self.fec, HammingCode):
+            return 7
+        if isinstance(self.fec, InterleavedCode):
+            return max(self.fec.interleaver.depth, 1)
+        return 1
+
+    def subframes_needed(self, n_message_bits: int) -> int:
+        """How many payload subframes carry ``n_message_bits``."""
+        if n_message_bits < 0:
+            raise ValueError("bit count must be >= 0")
+        coded = n_message_bits / self.fec.rate
+        factor = 2 if self.line_code is LineCode.MANCHESTER else 1
+        return int(round(coded)) * factor
+
+    @property
+    def efficiency(self) -> float:
+        """Message bits per subframe."""
+        factor = 0.5 if self.line_code is LineCode.MANCHESTER else 1.0
+        return self.fec.rate * factor

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the WiTAG core library."""
+
+from __future__ import annotations
+
+
+class WiTagError(Exception):
+    """Base class for all WiTAG library errors."""
+
+
+class ConfigurationError(WiTagError):
+    """A system configuration is inconsistent or out of range."""
+
+
+class FramingError(WiTagError):
+    """A tag message could not be framed or deframed."""
+
+
+class DecodeError(WiTagError):
+    """Tag data could not be recovered from block-ACK bits."""
+
+
+class FecError(WiTagError):
+    """Forward-error-correction encode/decode failure."""

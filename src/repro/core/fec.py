@@ -1,0 +1,219 @@
+"""Forward error correction for tag messages.
+
+Paper §4.1 closes with: "WiTAG requires a mechanism to detect and correct
+possible errors, which is a topic of future work."  This module implements
+that future work: three codes suited to a tag whose encoder must run on
+microwatts (encoding is table-lookup simple; the heavy decoding happens on
+the WiFi client):
+
+* **repetition-N** — trivial majority vote, robust, rate 1/N;
+* **Hamming(7,4)** — single-error-correcting, rate 4/7;
+* **block interleaving** — spreads burst errors (e.g. a missed trigger or
+  a fade spanning neighbouring subframes) across codewords.
+
+All codecs work on bit lists (the natural currency of block-ACK bitmaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import FecError
+
+Bits = list[int]
+
+
+def _check_bits(bits: Bits) -> None:
+    for bit in bits:
+        if bit not in (0, 1):
+            raise FecError(f"bits must be 0/1, got {bit!r}")
+
+
+class Code:
+    """Interface for bit-level codecs."""
+
+    #: code rate (information bits / coded bits)
+    rate: float
+
+    def encode(self, bits: Bits) -> Bits:
+        raise NotImplementedError
+
+    def decode(self, bits: Bits) -> Bits:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoCode(Code):
+    """Identity code (uncoded baseline)."""
+
+    rate: float = 1.0
+
+    def encode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        return list(bits)
+
+    def decode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        return list(bits)
+
+
+@dataclass(frozen=True)
+class RepetitionCode(Code):
+    """Repeat each bit ``n`` times; decode by majority vote."""
+
+    n: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.n % 2 == 0:
+            raise FecError(
+                f"repetition factor must be odd and >= 1, got {self.n}"
+            )
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return 1.0 / self.n
+
+    def encode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        return [bit for bit in bits for _ in range(self.n)]
+
+    def decode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        if len(bits) % self.n:
+            raise FecError(
+                f"coded length {len(bits)} not a multiple of {self.n}"
+            )
+        out: Bits = []
+        for i in range(0, len(bits), self.n):
+            out.append(1 if sum(bits[i : i + self.n]) * 2 > self.n else 0)
+        return out
+
+
+#: Hamming(7,4) generator: codeword = [d1 d2 d3 d4 p1 p2 p3].
+_H_PARITY = (
+    (0, 1, 2),  # p1 = d1 ^ d2 ^ d3
+    (1, 2, 3),  # p2 = d2 ^ d3 ^ d4
+    (0, 1, 3),  # p3 = d1 ^ d2 ^ d4
+)
+
+
+@dataclass(frozen=True)
+class HammingCode(Code):
+    """Hamming(7,4): corrects any single bit error per 7-bit codeword."""
+
+    rate: float = 4.0 / 7.0
+
+    def encode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        if len(bits) % 4:
+            raise FecError(f"data length {len(bits)} not a multiple of 4")
+        out: Bits = []
+        for i in range(0, len(bits), 4):
+            data = bits[i : i + 4]
+            parity = [
+                data[a] ^ data[b] ^ data[c] for a, b, c in _H_PARITY
+            ]
+            out.extend(data + parity)
+        return out
+
+    def decode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        if len(bits) % 7:
+            raise FecError(f"coded length {len(bits)} not a multiple of 7")
+        out: Bits = []
+        for i in range(0, len(bits), 7):
+            word = list(bits[i : i + 7])
+            syndrome = 0
+            for p_index, (a, b, c) in enumerate(_H_PARITY):
+                expected = word[a] ^ word[b] ^ word[c]
+                if expected != word[4 + p_index]:
+                    syndrome |= 1 << p_index
+            if syndrome:
+                flip = _SYNDROME_TO_POSITION.get(syndrome)
+                if flip is not None:
+                    word[flip] ^= 1
+            out.extend(word[:4])
+        return out
+
+
+def _build_syndrome_map() -> dict[int, int]:
+    """Map each single-bit-error syndrome to the erroneous position."""
+    mapping: dict[int, int] = {}
+    for position in range(7):
+        word = [0] * 7
+        word[position] = 1
+        syndrome = 0
+        for p_index, (a, b, c) in enumerate(_H_PARITY):
+            expected = word[a] ^ word[b] ^ word[c]
+            if expected != word[4 + p_index]:
+                syndrome |= 1 << p_index
+        mapping[syndrome] = position
+    return mapping
+
+
+_SYNDROME_TO_POSITION = _build_syndrome_map()
+
+
+@dataclass(frozen=True)
+class BlockInterleaver:
+    """Row-in, column-out block interleaver of given depth."""
+
+    depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise FecError(f"depth must be >= 1, got {self.depth}")
+
+    def interleave(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        if len(bits) % self.depth:
+            raise FecError(
+                f"length {len(bits)} not a multiple of depth {self.depth}"
+            )
+        rows = len(bits) // self.depth
+        return [
+            bits[r * self.depth + c]
+            for c in range(self.depth)
+            for r in range(rows)
+        ]
+
+    def deinterleave(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        if len(bits) % self.depth:
+            raise FecError(
+                f"length {len(bits)} not a multiple of depth {self.depth}"
+            )
+        rows = len(bits) // self.depth
+        out = [0] * len(bits)
+        i = 0
+        for c in range(self.depth):
+            for r in range(rows):
+                out[r * self.depth + c] = bits[i]
+                i += 1
+        return out
+
+
+@dataclass(frozen=True)
+class InterleavedCode(Code):
+    """A base code wrapped in a block interleaver."""
+
+    inner: Code
+    interleaver: BlockInterleaver
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return self.inner.rate
+
+    def encode(self, bits: Bits) -> Bits:
+        coded = self.inner.encode(bits)
+        pad = (-len(coded)) % self.interleaver.depth
+        return self.interleaver.interleave(coded + [0] * pad)
+
+    def decode(self, bits: Bits) -> Bits:
+        coded = self.interleaver.deinterleave(bits)
+        usable = len(coded)
+        if isinstance(self.inner, HammingCode):
+            usable -= usable % 7
+        elif isinstance(self.inner, RepetitionCode):
+            usable -= usable % self.inner.n
+        return self.inner.decode(coded[:usable])

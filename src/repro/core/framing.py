@@ -1,0 +1,129 @@
+"""Tag message framing: preamble, length, payload, checksum.
+
+Block-ACK bits arrive at the reader as an undifferentiated stream.  To
+carry variable-length sensor readings reliably the reproduction frames tag
+messages as::
+
+    +----------+--------+------------------+----------+
+    | preamble | length |     payload      | CRC-16   |
+    |  8 bits  | 8 bits |  8*length bits   | 16 bits  |
+    +----------+--------+------------------+----------+
+
+The preamble (0xA7) lets a reader lock onto message boundaries in a bit
+stream that may contain idle (all-ones) stretches; the CRC-16 provides the
+error *detection* the paper defers to future work (§4.1).  FEC from
+:mod:`repro.core.fec` is applied outside this framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mac.crc import crc16_ccitt
+from .errors import FramingError
+
+PREAMBLE_BYTE = 0xA7
+MAX_PAYLOAD_BYTES = 255
+
+Bits = list[int]
+
+
+def bytes_to_bits(data: bytes) -> Bits:
+    """MSB-first bit expansion."""
+    return [(byte >> (7 - i)) & 1 for byte in data for i in range(8)]
+
+
+def bits_to_bytes(bits: Bits) -> bytes:
+    """MSB-first bit packing.
+
+    Raises:
+        FramingError: if the bit count is not a multiple of 8.
+    """
+    if len(bits) % 8:
+        raise FramingError(f"bit count {len(bits)} not a multiple of 8")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            if bit not in (0, 1):
+                raise FramingError(f"bits must be 0/1, got {bit!r}")
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class TagMessage:
+    """A framed tag payload."""
+
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise FramingError(
+                f"payload of {len(self.payload)} bytes exceeds "
+                f"{MAX_PAYLOAD_BYTES}"
+            )
+
+    def to_bits(self) -> Bits:
+        """Frame the payload into a transmittable bit list."""
+        body = bytes([PREAMBLE_BYTE, len(self.payload)]) + self.payload
+        crc = crc16_ccitt(body).to_bytes(2, "big")
+        return bytes_to_bits(body + crc)
+
+    @property
+    def framed_bits(self) -> int:
+        """Total framed length in bits."""
+        return 8 * (2 + len(self.payload) + 2)
+
+
+def deframe(bits: Bits) -> TagMessage:
+    """Recover a message from exactly one frame's worth of bits.
+
+    Raises:
+        FramingError: bad preamble, inconsistent length, or CRC failure.
+    """
+    if len(bits) < 32:
+        raise FramingError("too few bits for a frame")
+    head = bits_to_bytes(bits[:16])
+    if head[0] != PREAMBLE_BYTE:
+        raise FramingError(
+            f"bad preamble 0x{head[0]:02x}, expected 0x{PREAMBLE_BYTE:02x}"
+        )
+    length = head[1]
+    total_bits = 8 * (2 + length + 2)
+    if len(bits) < total_bits:
+        raise FramingError(
+            f"frame declares {length}-byte payload but only "
+            f"{len(bits)} bits present"
+        )
+    frame = bits_to_bytes(bits[:total_bits])
+    body, crc = frame[:-2], frame[-2:]
+    if crc16_ccitt(body).to_bytes(2, "big") != crc:
+        raise FramingError("CRC-16 mismatch")
+    return TagMessage(payload=body[2:])
+
+
+def scan_for_frames(bits: Bits) -> list[TagMessage]:
+    """Extract all valid frames from a bit stream.
+
+    Slides over the stream looking for the preamble; on CRC failure the
+    scan resumes one bit later (a corrupted frame does not hide a later
+    good one).
+    """
+    messages: list[TagMessage] = []
+    i = 0
+    n = len(bits)
+    preamble_bits = bytes_to_bits(bytes([PREAMBLE_BYTE]))
+    while i + 32 <= n:
+        if bits[i : i + 8] != preamble_bits:
+            i += 1
+            continue
+        try:
+            message = deframe(bits[i:])
+        except FramingError:
+            i += 1
+            continue
+        messages.append(message)
+        i += message.framed_bits
+    return messages

@@ -1,0 +1,185 @@
+"""Multiple tags sharing one reader: addressing and collisions.
+
+The paper evaluates a single tag, but its trigger design (§7: "a specific,
+known bit pattern in the payload of the first few subframes") naturally
+extends to addressing — different known patterns select different tags.
+This module models a deployment where several tags hear the same queries:
+
+* **addressed queries** carry one tag's trigger pattern; only that tag
+  synchronises and modulates, others stay idle (their comparators never
+  match), so the block ACK carries exactly one tag's bits;
+* **broadcast queries** (no address) wake *every* tag in range; each
+  corrupts its own bit pattern and the AP sees the union of corruption —
+  a collision that garbles everyone's data, which is why addressing (or
+  round-robin polling) is required.
+
+Corruption combining: a subframe fails if at least one tag's perturbation
+defeats it.  Decode draws are made per tag against that tag's own channel
+geometry and combined as independent events — accurate when tag-to-tag
+coupling is negligible (tags are weak scatterers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mac.block_ack import BlockAck, BlockAckScoreboard, build_block_ack
+from ..phy.error_model import LinkErrorModel
+from ..tag.state_machine import QueryObservation, TagStateMachine
+from .config import WiTagConfig
+from .decoder import raw_bits_from_block_ack
+from .query import QueryBuilder
+from .system import DEFAULT_AP, DEFAULT_CLIENT, Bits
+
+
+@dataclass
+class TagEndpoint:
+    """One tag in a multi-tag deployment.
+
+    Attributes:
+        name: address label (used to target queries).
+        tag: the tag's behavioural model.
+        error_model: the tag's own channel/decode model (its geometry).
+        rx_power_dbm: query power at this tag's antenna.
+    """
+
+    name: str
+    tag: TagStateMachine
+    error_model: LinkErrorModel
+    rx_power_dbm: float
+
+
+@dataclass(frozen=True)
+class MultiTagQueryResult:
+    """Outcome of one query in a multi-tag cell.
+
+    Attributes:
+        address: the tag the query addressed (None = broadcast).
+        block_ack: the AP's bitmap.
+        raw_bits: payload-subframe bits as the reader sees them.
+        responded: names of tags that detected and modulated.
+        per_tag_sent: bits each responding tag attempted.
+    """
+
+    address: str | None
+    block_ack: BlockAck
+    raw_bits: tuple[int, ...]
+    responded: tuple[str, ...]
+    per_tag_sent: dict[str, tuple[int, ...]]
+
+
+@dataclass
+class MultiTagCell:
+    """A reader cell containing several tags.
+
+    Attributes:
+        config: query configuration (shared by all tags — one reader).
+        endpoints: the tags, keyed by address.
+        rng: randomness for subframe outcome draws.
+    """
+
+    config: WiTagConfig
+    endpoints: dict[str, TagEndpoint]
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(31)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise ValueError("a cell needs at least one tag")
+        self.builder = QueryBuilder(
+            self.config, client=DEFAULT_CLIENT, ap=DEFAULT_AP
+        )
+        self._scoreboard = BlockAckScoreboard()
+
+    def load_bits(self, name: str, bits: Bits) -> None:
+        """Queue bits on one tag.
+
+        Raises:
+            KeyError: for an unknown tag address.
+        """
+        self._endpoint(name).tag.load_bits(bits)
+
+    def _endpoint(self, name: str) -> TagEndpoint:
+        try:
+            return self.endpoints[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown tag {name!r}; cell has {sorted(self.endpoints)}"
+            ) from None
+
+    def run_query(self, address: str | None = None) -> MultiTagQueryResult:
+        """Run one query cycle, addressed or broadcast.
+
+        An addressed query carries the named tag's trigger pattern; only
+        that tag responds.  A broadcast query wakes every tag whose
+        detector fires — their corruption superimposes.
+        """
+        if address is not None:
+            self._endpoint(address)  # validate early
+        query = self.builder.build()
+        responders: list[str] = []
+        transmissions = {}
+        for name, endpoint in self.endpoints.items():
+            if address is not None and name != address:
+                continue
+            observation = QueryObservation(
+                n_subframes=query.n_subframes,
+                n_trigger_subframes=query.n_trigger_subframes,
+                subframe_s=query.mean_subframe_s,
+                rx_power_dbm=endpoint.rx_power_dbm,
+            )
+            transmission = endpoint.tag.process_query(observation)
+            if transmission.detected and transmission.bits_loaded:
+                responders.append(name)
+                transmissions[name] = transmission
+
+        self._scoreboard.reset(query.ssn)
+        fadings = {
+            name: self.endpoints[name].error_model.sample_fading()
+            for name in transmissions
+        }
+        for index, mpdu in enumerate(query.mpdus):
+            survived = True
+            if transmissions:
+                for name, transmission in transmissions.items():
+                    endpoint = self.endpoints[name]
+                    ok = endpoint.error_model.subframe_outcome(
+                        8 * len(mpdu),
+                        endpoint.tag.design.state_for_bit_one,
+                        transmission.states[index],
+                        fadings[name],
+                    )
+                    if not ok:
+                        survived = False
+                        break
+            else:
+                # No tag responded: benign channel only (first endpoint's
+                # link model decides).
+                first = next(iter(self.endpoints.values()))
+                idle = first.tag.design.state_for_bit_one
+                survived = first.error_model.subframe_outcome(
+                    8 * len(mpdu), idle, idle
+                )
+            if survived:
+                self._scoreboard.record((query.ssn + index) % 4096)
+        block_ack = build_block_ack(self._scoreboard, DEFAULT_CLIENT, DEFAULT_AP)
+        raw = raw_bits_from_block_ack(block_ack, query)
+        return MultiTagQueryResult(
+            address=address,
+            block_ack=block_ack,
+            raw_bits=tuple(raw),
+            responded=tuple(responders),
+            per_tag_sent={
+                name: transmissions[name].bits_loaded for name in transmissions
+            },
+        )
+
+    def poll_round(self) -> dict[str, MultiTagQueryResult]:
+        """One addressed query per tag, in sorted address order."""
+        return {
+            name: self.run_query(address=name)
+            for name in sorted(self.endpoints)
+        }

@@ -1,0 +1,225 @@
+"""Query A-MPDU construction.
+
+A WiTAG query is an ordinary A-MPDU whose only purpose is to exist on the
+air long enough, and in the right shape, for the tag to write bits into it
+(paper §4): a couple of *trigger subframes* carrying a known amplitude
+pattern (§7), followed by payload subframes the tag may corrupt.
+
+Two details make queries tag-friendly:
+
+* **Clock-grid padding.**  The tag toggles on its local clock (one cycle
+  per subframe for the 50 kHz design point).  The builder pads subframes —
+  with slightly alternating sizes, since A-MPDU subframes are 4-byte
+  quantised — so that every cumulative subframe boundary stays within a
+  fraction of an OFDM symbol of the ideal ``k * clock_period`` grid.  This
+  bounds the tag's accumulated misalignment independent of frame length.
+* **Trigger pattern.**  Trigger subframes carry payload bytes chosen to
+  create amplitude contrast for the tag's envelope detector.  Payload
+  subframes are null QoS frames padded to size.
+
+When the network uses encryption, each MPDU body is protected with CCMP or
+WEP before aggregation.  Nothing else changes — which is the paper's
+encryption-compatibility argument made concrete.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..mac.addresses import MacAddress
+from ..mac.ampdu import DELIMITER_BYTES, aggregate, subframe_lengths
+from ..mac.frames import QosDataFrame, SequenceControl
+from ..mac.security.ccmp import CcmpContext
+from ..mac.security.wep import WepContext
+from ..mac.sequence import SequenceCounter
+from ..phy.airtime import SubframeSchedule, subframe_schedule
+from .config import EncryptionMode, WiTagConfig
+from .errors import ConfigurationError
+
+#: Alternating high/low amplitude bytes for the trigger pattern: runs of
+#: ones and zeros produce OFDM waveforms with distinguishable envelope
+#: statistics after scrambling-free payload mapping (model-level stand-in
+#: for the paper's "specific bit patterns ... different signal amplitudes").
+TRIGGER_PATTERN = bytes([0xFF, 0x00] * 8)
+
+#: Minimum MPDU: QoS header + FCS.
+_MIN_MPDU_BYTES = QosDataFrame.HEADER_BYTES + QosDataFrame.FCS_BYTES
+
+
+@dataclass(frozen=True)
+class QueryFrame:
+    """A fully built query A-MPDU ready for 'transmission'.
+
+    Attributes:
+        psdu: the serialized A-MPDU bytes.
+        mpdus: the individual serialized MPDUs, in order.
+        schedule: on-air timing of each subframe.
+        ssn: starting sequence number (anchors the block-ACK bitmap).
+        n_trigger_subframes: leading subframes not carrying tag bits.
+    """
+
+    psdu: bytes
+    mpdus: tuple[bytes, ...]
+    schedule: SubframeSchedule
+    ssn: int
+    n_trigger_subframes: int
+
+    @property
+    def n_subframes(self) -> int:
+        return len(self.mpdus)
+
+    @property
+    def n_payload_subframes(self) -> int:
+        return self.n_subframes - self.n_trigger_subframes
+
+    @property
+    def airtime_s(self) -> float:
+        """Total PPDU airtime."""
+        return self.schedule.timing.total_s
+
+    @property
+    def mean_subframe_s(self) -> float:
+        """Mean start-to-start subframe period.
+
+        This is the toggle period a synchronised tag must realise.  It is
+        measured between window *starts*: adjacent subframes share their
+        boundary OFDM symbol, so window durations overlap and would
+        overestimate the period.
+        """
+        windows = self.schedule.windows
+        if len(windows) == 1:
+            return windows[0][1] - windows[0][0]
+        return (windows[-1][0] - windows[0][0]) / (len(windows) - 1)
+
+
+class QueryBuilder:
+    """Builds query A-MPDUs for a configuration.
+
+    Example:
+        >>> from repro.mac.addresses import MacAddress
+        >>> builder = QueryBuilder(
+        ...     WiTagConfig(),
+        ...     client=MacAddress.parse("02:00:00:00:00:01"),
+        ...     ap=MacAddress.parse("02:00:00:00:00:02"),
+        ... )
+        >>> query = builder.build()
+        >>> query.n_subframes
+        64
+    """
+
+    def __init__(
+        self,
+        config: WiTagConfig,
+        client: MacAddress,
+        ap: MacAddress,
+        *,
+        sequence: SequenceCounter | None = None,
+    ) -> None:
+        self.config = config
+        self.client = client
+        self.ap = ap
+        self.sequence = sequence or SequenceCounter()
+        self._ccmp: CcmpContext | None = None
+        self._wep: WepContext | None = None
+        if config.encryption is EncryptionMode.WPA2_CCMP:
+            self._ccmp = CcmpContext(config.encryption_key)
+        elif config.encryption is EncryptionMode.WEP:
+            self._wep = WepContext(config.encryption_key)
+        self._target_bytes = self._target_subframe_bytes()
+
+    def _target_subframe_bytes(self) -> float:
+        """Ideal (fractional) on-air bytes per subframe.
+
+        One tag clock period of airtime at the configured MCS.
+        """
+        cfg = self.config
+        dbps = cfg.mcs.data_bits_per_symbol(cfg.channel_width_mhz)
+        symbol_s = 0.0000036 if cfg.short_gi else 0.000004
+        symbols = cfg.tag_clock_period_s / symbol_s
+        target = symbols * dbps / 8.0
+        if target < _MIN_MPDU_BYTES + DELIMITER_BYTES:
+            raise ConfigurationError(
+                "tag clock period too short for a minimal subframe at "
+                f"this MCS (need >= {_MIN_MPDU_BYTES + DELIMITER_BYTES} "
+                f"bytes, target {target:.1f})"
+            )
+        return target
+
+    def _subframe_byte_plan(self) -> list[int]:
+        """Per-subframe on-air sizes tracking the tag clock grid.
+
+        Chooses each subframe's size so the *cumulative* boundary after
+        subframe k is the 4-byte-quantised value nearest ``k * target``,
+        bounding boundary error by 2 bytes regardless of frame length.
+        """
+        n = self.config.n_subframes
+        plan: list[int] = []
+        previous = 0
+        minimum = _MIN_MPDU_BYTES + DELIMITER_BYTES
+        for k in range(1, n + 1):
+            cumulative = 4 * round(k * self._target_bytes / 4.0)
+            size = cumulative - previous
+            if size < minimum:
+                size = minimum + (-minimum) % 4
+                cumulative = previous + size
+            plan.append(size)
+            previous = cumulative
+        return plan
+
+    def _payload_for(self, subframe_bytes: int, trigger: bool) -> bytes:
+        """MPDU payload filling a subframe to its planned on-air size."""
+        payload_len = subframe_bytes - DELIMITER_BYTES - _MIN_MPDU_BYTES
+        overhead = 0
+        if self._ccmp is not None:
+            overhead = 8 + 8  # CCMP header + MIC
+        elif self._wep is not None:
+            overhead = 4 + 4  # IV + key id + ICV
+        payload_len = max(0, payload_len - overhead)
+        if trigger:
+            repeats = math.ceil(payload_len / len(TRIGGER_PATTERN)) if payload_len else 0
+            return (TRIGGER_PATTERN * max(repeats, 1))[:payload_len]
+        return bytes(payload_len)
+
+    def _protect(self, payload: bytes) -> bytes:
+        """Apply the configured link encryption to an MPDU payload."""
+        if self._ccmp is not None:
+            protected, _pn = self._ccmp.encrypt(
+                payload, bytes(self.client)
+            )
+            return protected
+        if self._wep is not None:
+            return self._wep.encrypt(payload)
+        return payload
+
+    def build(self) -> QueryFrame:
+        """Build the next query A-MPDU, consuming sequence numbers."""
+        cfg = self.config
+        plan = self._subframe_byte_plan()
+        ssn = self.sequence.next_value
+        mpdus: list[bytes] = []
+        for index, size in enumerate(plan):
+            trigger = index < cfg.n_trigger_subframes
+            payload = self._protect(self._payload_for(size, trigger))
+            frame = QosDataFrame(
+                receiver=self.ap,
+                transmitter=self.client,
+                destination=self.ap,
+                seq=SequenceControl(self.sequence.allocate()),
+                payload=payload,
+            )
+            mpdus.append(frame.serialize())
+        schedule = subframe_schedule(
+            subframe_lengths(mpdus),
+            cfg.mcs,
+            channel_width_mhz=cfg.channel_width_mhz,
+            short_gi=cfg.short_gi,
+            phy_format=cfg.phy_format,
+        )
+        return QueryFrame(
+            psdu=aggregate(mpdus),
+            mpdus=tuple(mpdus),
+            schedule=schedule,
+            ssn=ssn,
+            n_trigger_subframes=cfg.n_trigger_subframes,
+        )

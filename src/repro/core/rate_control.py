@@ -1,0 +1,200 @@
+"""Query-rate adaptation for WiTAG readers.
+
+Paper §4.1: "we can use the highest PHY-layer transmission rate that
+achieves a near-zero error rate, so that frame losses due to path loss or
+interference are not confused with a tag's data."  The static version of
+that rule is :func:`repro.phy.mcs.highest_reliable_mcs` (from a link-SNR
+estimate); this module provides the *online* version a deployment needs: a
+controller that watches benign subframe losses — losses the tag did not
+cause — and walks the MCS down when the channel cannot sustain the current
+rate, or probes upward when it has been clean for a while.
+
+The reader can measure benign loss directly: trigger subframes are never
+corrupted by the tag, so any lost trigger subframe is channel loss; idle
+queries (tag queue empty) extend that to all 64 subframes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from ..phy.mcs import Mcs, ht_mcs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import WiTagSystem
+
+
+@dataclass
+class QueryRateController:
+    """AIMD-style MCS controller driven by benign-loss observations.
+
+    Attributes:
+        mcs_index: current per-stream MCS index (0-7 for HT).
+        max_index: ceiling (7 for HT, 9 when VHT rates are allowed).
+        downgrade_threshold: benign loss rate that forces a step down.
+        probe_after_clean: clean observations before probing one step up.
+    """
+
+    mcs_index: int = 7
+    max_index: int = 7
+    downgrade_threshold: float = 0.05
+    probe_after_clean: int = 50
+    _clean_streak: int = field(default=0, repr=False)
+    _observations: int = field(default=0, repr=False)
+    _downgrades: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mcs_index <= self.max_index:
+            raise ValueError(
+                f"mcs_index must be 0-{self.max_index}, got {self.mcs_index}"
+            )
+        if not 0.0 < self.downgrade_threshold < 1.0:
+            raise ValueError("downgrade threshold must be in (0, 1)")
+        if self.probe_after_clean < 1:
+            raise ValueError("probe_after_clean must be >= 1")
+
+    @property
+    def mcs(self) -> Mcs:
+        """The controller's current MCS."""
+        return ht_mcs(self.mcs_index)
+
+    @property
+    def observations(self) -> int:
+        """Benign-loss observations processed."""
+        return self._observations
+
+    @property
+    def downgrades(self) -> int:
+        """Rate step-downs taken so far."""
+        return self._downgrades
+
+    def observe_benign_loss(self, lost: int, total: int) -> int:
+        """Feed one query's benign-loss counts; returns the new MCS index.
+
+        Args:
+            lost: benign subframes (trigger subframes, or all subframes of
+                an idle query) that failed.
+            total: benign subframes observed.
+
+        Raises:
+            ValueError: for inconsistent counts.
+        """
+        if total < 0 or lost < 0 or lost > total:
+            raise ValueError(f"invalid counts lost={lost} total={total}")
+        if total == 0:
+            return self.mcs_index
+        self._observations += 1
+        loss_rate = lost / total
+        if loss_rate > self.downgrade_threshold:
+            if self.mcs_index > 0:
+                self.mcs_index -= 1
+                self._downgrades += 1
+            self._clean_streak = 0
+        else:
+            self._clean_streak += 1
+            if (
+                self._clean_streak >= self.probe_after_clean
+                and self.mcs_index < self.max_index
+            ):
+                self.mcs_index += 1
+                self._clean_streak = 0
+        return self.mcs_index
+
+    def settle(
+        self, benign_loss_rate_for: "callable", *, max_steps: int = 64
+    ) -> int:
+        """Iterate against a loss-rate oracle until the rate stabilises.
+
+        Args:
+            benign_loss_rate_for: function mapping an MCS index to the
+                channel's benign loss rate at that rate.
+
+        Returns:
+            The settled MCS index — the highest whose loss stays at or
+            below the downgrade threshold.
+        """
+        for _ in range(max_steps):
+            rate = benign_loss_rate_for(self.mcs_index)
+            lost = round(rate * 1000)
+            before = self.mcs_index
+            self.observe_benign_loss(lost, 1000)
+            if self.mcs_index == before and rate <= self.downgrade_threshold:
+                break
+        return self.mcs_index
+
+
+@dataclass
+class AdaptiveSession:
+    """Runs a system while adapting the query MCS from benign losses.
+
+    After every query the reader inspects the *trigger* subframes — the
+    tag never corrupts those, so their losses are pure channel feedback —
+    and feeds them to the controller.  When the controller moves, the
+    session rebuilds the system's query pipeline at the new rate (query
+    builder, error model and, if the new rate needs a slower tag clock,
+    the configuration's clock).
+
+    Attributes:
+        system: the deployment under adaptation.
+        controller: the AIMD rate controller.
+    """
+
+    system: "WiTagSystem"
+    controller: QueryRateController = field(default_factory=QueryRateController)
+
+    def __post_init__(self) -> None:
+        self.controller.mcs_index = self.system.config.mcs.index
+        self.rate_changes: list[tuple[int, int]] = []
+
+    def _apply_mcs(self, index: int) -> None:
+        from dataclasses import replace
+
+        from .query import QueryBuilder
+
+        new_mcs = ht_mcs(index)
+        # Slow the tag clock if a minimal subframe no longer fits one
+        # clock period at the new (lower) rate.
+        clock_hz = self.system.config.tag_clock_hz
+        symbol_s = 0.0000036 if self.system.config.short_gi else 0.000004
+        dbps = new_mcs.data_bits_per_symbol(
+            self.system.config.channel_width_mhz
+        )
+        while clock_hz > 1.0:
+            capacity_bytes = (1.0 / clock_hz) / symbol_s * dbps / 8.0
+            if capacity_bytes >= 38.0:
+                break
+            clock_hz /= 2.0
+        self.system.config = replace(
+            self.system.config, mcs=new_mcs, tag_clock_hz=clock_hz
+        )
+        self.system.error_model.mcs = new_mcs
+        self.system.builder = QueryBuilder(
+            self.system.config,
+            self.system.client,
+            self.system.ap,
+            sequence=self.system.builder.sequence,
+        )
+
+    def run_queries(self, count: int) -> list:
+        """Run ``count`` adaptive query cycles; returns the results.
+
+        Raises:
+            ValueError: for a non-positive count.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        results = []
+        for cycle in range(count):
+            result = self.system.run_query()
+            results.append(result)
+            n_trigger = result.query.n_trigger_subframes
+            trigger_fates = result.block_ack.bits(n_trigger)
+            lost = sum(1 for ok in trigger_fates if not ok)
+            before = self.controller.mcs_index
+            after = self.controller.observe_benign_loss(lost, n_trigger)
+            if after != before:
+                self.rate_changes.append((cycle, after))
+                self._apply_mcs(after)
+        return results

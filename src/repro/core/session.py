@@ -1,0 +1,119 @@
+"""Multi-query measurement sessions: BER and throughput over time.
+
+The paper's experiments run the tag for one minute at a time (§6.2: "In
+each measurement, the tag sends data for one minute"), comparing decoded
+bits against the expected pattern to measure BER, and counting bits sent
+successfully per second for throughput.  This module is that methodology
+as code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .system import QueryResult, WiTagSystem
+
+Bits = list[int]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate results of a measurement session.
+
+    Attributes:
+        bits_sent: total tag bits attempted.
+        bit_errors: received bits differing from sent bits.
+        elapsed_s: simulated wall-clock time consumed by all cycles.
+        queries: number of query cycles run.
+        missed_triggers: cycles in which the tag failed to detect the
+            query (no bits transferred; time still consumed).
+    """
+
+    bits_sent: int
+    bit_errors: int
+    elapsed_s: float
+    queries: int
+    missed_triggers: int
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate (0 when no bits were sent)."""
+        return self.bit_errors / self.bits_sent if self.bits_sent else 0.0
+
+    @property
+    def throughput_bps(self) -> float:
+        """Bits successfully delivered per second (paper §6.2)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return (self.bits_sent - self.bit_errors) / self.elapsed_s
+
+    @property
+    def goodput_bps(self) -> float:
+        """Alias of :attr:`throughput_bps` (naming used in some plots)."""
+        return self.throughput_bps
+
+
+@dataclass
+class MeasurementSession:
+    """Runs a WiTAG system for a simulated duration with random tag data.
+
+    Attributes:
+        system: the deployment under test.
+        rng: source for the random data bits the tag transmits.
+    """
+
+    system: WiTagSystem
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(101)
+    )
+    results: list[QueryResult] = field(default_factory=list)
+
+    def run_for(self, duration_s: float) -> SessionStats:
+        """Run query cycles until ``duration_s`` of simulated time passes."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        elapsed = 0.0
+        while elapsed < duration_s:
+            elapsed += self._one_cycle()
+        return self.stats(elapsed)
+
+    def run_queries(self, count: int) -> SessionStats:
+        """Run a fixed number of query cycles."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        elapsed = 0.0
+        for _ in range(count):
+            elapsed += self._one_cycle()
+        return self.stats(elapsed)
+
+    def _one_cycle(self) -> float:
+        bits_needed = self.system.config.bits_per_query
+        if self.system.tag.pending_bits < bits_needed:
+            fresh = self.rng.integers(0, 2, size=bits_needed).tolist()
+            self.system.load_tag_bits([int(b) for b in fresh])
+        result = self.system.run_query()
+        self.results.append(result)
+        return result.cycle_s
+
+    def stats(self, elapsed_s: float | None = None) -> SessionStats:
+        """Aggregate statistics over all cycles run so far."""
+        if elapsed_s is None:
+            elapsed_s = sum(r.cycle_s for r in self.results)
+        bits = sum(r.n_bits for r in self.results)
+        errors = sum(r.bit_errors for r in self.results)
+        missed = sum(1 for r in self.results if not r.detected)
+        return SessionStats(
+            bits_sent=bits,
+            bit_errors=errors,
+            elapsed_s=elapsed_s,
+            queries=len(self.results),
+            missed_triggers=missed,
+        )
+
+    def per_query_ber(self) -> list[float]:
+        """BER of each individual query (for CDF experiments)."""
+        return [
+            r.bit_errors / r.n_bits for r in self.results if r.n_bits > 0
+        ]

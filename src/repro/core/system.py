@@ -1,0 +1,216 @@
+"""The end-to-end WiTAG system simulator.
+
+Wires every substrate together into the paper's Figure 2 loop:
+
+1. the **client** builds a query A-MPDU (``repro.core.query``) and contends
+   for the channel (``repro.mac.csma``);
+2. the **tag** detects the trigger, synchronises and toggles its antenna
+   per queued data bit (``repro.tag.state_machine``);
+3. the **channel + AP receiver** decide each subframe's fate
+   (``repro.phy.error_model``), including the consequences of tag timing
+   misalignment (a toggle that slips out of its window corrupts a
+   neighbouring subframe too);
+4. the **AP** — which contains zero WiTAG-specific code — records
+   successes on a standard block-ACK scoreboard and answers with a block
+   ACK (``repro.mac.block_ack``);
+5. the **reader** on the client recovers tag bits from the bitmap
+   (``repro.core.decoder``).
+
+The simulator exposes one-query granularity (:meth:`WiTagSystem.run_query`)
+for microscopic tests, and the session layer (``repro.core.session``) for
+minute-long BER/throughput experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mac.addresses import MacAddress
+from ..mac.block_ack import BlockAck, BlockAckScoreboard, build_block_ack
+from ..mac.csma import ContentionModel
+from ..phy.channel import TagState
+from ..phy.error_model import FadingSample, LinkErrorModel
+from ..phy.fading import CorrelatedFadingChannel
+from ..tag.state_machine import QueryObservation, TagStateMachine
+from .config import WiTagConfig
+from .decoder import raw_bits_from_block_ack
+from .query import QueryBuilder, QueryFrame
+from .throughput import block_ack_airtime_s
+
+Bits = list[int]
+
+DEFAULT_CLIENT = MacAddress.parse("02:57:49:54:41:47")  # 'WITAG'
+DEFAULT_AP = MacAddress.parse("02:41:50:00:00:01")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything observable about one query cycle.
+
+    Attributes:
+        query: the transmitted query frame.
+        block_ack: the AP's response.
+        detected: whether the tag recognised the trigger.
+        sent_bits: bits the tag attempted to transmit this cycle.
+        received_bits: raw bits the reader extracted for those positions.
+        cycle_s: wall-clock duration of the cycle (access + PPDU + SIFS +
+            block ACK).
+        rx_power_at_tag_dbm: query signal power at the tag.
+    """
+
+    query: QueryFrame
+    block_ack: BlockAck
+    detected: bool
+    sent_bits: tuple[int, ...]
+    received_bits: tuple[int, ...]
+    cycle_s: float
+    rx_power_at_tag_dbm: float
+
+    @property
+    def bit_errors(self) -> int:
+        """Hamming distance between sent and received bits."""
+        return sum(
+            1 for a, b in zip(self.sent_bits, self.received_bits) if a != b
+        )
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.sent_bits)
+
+
+@dataclass
+class WiTagSystem:
+    """A complete client/tag/AP deployment.
+
+    Attributes:
+        config: system configuration.
+        error_model: channel + receiver decode model (carries geometry).
+        tag: the tag's behavioural model.
+        contention: optional CSMA contention model (idle channel when
+            omitted — access time is DIFS + mean backoff).
+        temperature_c: ambient temperature seen by the tag's oscillator.
+        client / ap: MAC addresses used on the air.
+        fading_channel: optional temporally correlated fading process
+            (:class:`repro.phy.fading.CorrelatedFadingChannel`); when set,
+            each query cycle advances it by the cycle duration instead of
+            drawing independent fading per query.
+        rng: randomness for subframe outcome draws.
+    """
+
+    config: WiTagConfig
+    error_model: LinkErrorModel
+    tag: TagStateMachine = field(default_factory=TagStateMachine)
+    contention: ContentionModel | None = None
+    temperature_c: float = 25.0
+    client: MacAddress = DEFAULT_CLIENT
+    ap: MacAddress = DEFAULT_AP
+    fading_channel: CorrelatedFadingChannel | None = None
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(23)
+    )
+
+    def __post_init__(self) -> None:
+        self.builder = QueryBuilder(self.config, self.client, self.ap)
+        self._scoreboard = BlockAckScoreboard()
+        self._last_cycle_s = 0.0
+        wavelength = self.config.band.wavelength_m
+        loss_db = self.error_model.channel.tx_tag_loss.path_loss_db(
+            self.error_model.channel.geometry.tx_tag_m, wavelength
+        )
+        self._rx_at_tag_dbm = self.error_model.tx_power_dbm - loss_db
+
+    @property
+    def rx_power_at_tag_dbm(self) -> float:
+        """Query signal power at the tag's antenna."""
+        return self._rx_at_tag_dbm
+
+    def load_tag_bits(self, bits: Bits) -> None:
+        """Queue data bits on the tag."""
+        self.tag.load_bits(bits)
+
+    def _access_delay_s(self) -> float:
+        if self.contention is not None:
+            return self.contention.sample_access_delay_s()
+        sifs = self.config.band.sifs_s
+        difs = sifs + 2 * 9e-6
+        return difs + 7.5 * 9e-6  # mean CWmin/2 backoff on an idle channel
+
+    def _effective_states(self, transmission, query: QueryFrame) -> list[TagState]:
+        """Apply timing-misalignment collateral to the tag's state plan.
+
+        A misaligned toggle still corrupts (most of) its target subframe —
+        corruption needs only part of the subframe to see a changed
+        channel — but additionally spills into one neighbour, corrupting
+        it as well.  The neighbour is chosen uniformly (drift sign is
+        unknown to the reader).
+        """
+        states = list(transmission.states)
+        zero_state = self.tag.design.state_for_bit_zero
+        for j, aligned in enumerate(transmission.toggles_aligned):
+            if aligned or transmission.bits_loaded[j] != 0:
+                continue
+            k = query.n_trigger_subframes + j
+            neighbour = k + (1 if self.rng.random() < 0.5 else -1)
+            if 0 <= neighbour < len(states):
+                states[neighbour] = zero_state
+        return states
+
+    def run_query(self) -> QueryResult:
+        """Execute one full query cycle (paper Figure 2, steps 1 and 2)."""
+        query = self.builder.build()
+        access_s = self._access_delay_s()
+        observation = QueryObservation(
+            n_subframes=query.n_subframes,
+            n_trigger_subframes=query.n_trigger_subframes,
+            subframe_s=query.mean_subframe_s,
+            rx_power_dbm=self._rx_at_tag_dbm,
+            temperature_c=self.temperature_c,
+        )
+        transmission = self.tag.process_query(observation)
+        states = self._effective_states(transmission, query)
+        preamble_state = self.tag.design.state_for_bit_one
+        if self.fading_channel is not None:
+            self.fading_channel.advance(self._last_cycle_s)
+            fading = FadingSample(
+                direct_gain=self.fading_channel.direct_gain(),
+                tag_fading=self.fading_channel.tag_fading(),
+            )
+        else:
+            fading = self.error_model.sample_fading()
+
+        self._scoreboard.reset(query.ssn)
+        for index, mpdu in enumerate(query.mpdus):
+            ok = self.error_model.subframe_outcome(
+                8 * len(mpdu), preamble_state, states[index], fading
+            )
+            if ok:
+                sequence = (query.ssn + index) % 4096
+                self._scoreboard.record(sequence)
+        block_ack = build_block_ack(self._scoreboard, self.client, self.ap)
+
+        raw = raw_bits_from_block_ack(block_ack, query)
+        n_sent = len(transmission.bits_loaded)
+        cycle_s = (
+            access_s
+            + query.airtime_s
+            + self.config.band.sifs_s
+            + block_ack_airtime_s()
+        )
+        self._last_cycle_s = cycle_s
+        return QueryResult(
+            query=query,
+            block_ack=block_ack,
+            detected=transmission.detected,
+            sent_bits=transmission.bits_loaded,
+            received_bits=tuple(raw[:n_sent]),
+            cycle_s=cycle_s,
+            rx_power_at_tag_dbm=self._rx_at_tag_dbm,
+        )
+
+    def run_queries(self, count: int) -> list[QueryResult]:
+        """Run ``count`` consecutive query cycles."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.run_query() for _ in range(count)]

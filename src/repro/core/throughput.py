@@ -1,0 +1,122 @@
+"""Analytic throughput model for WiTAG (paper §4.1).
+
+WiTAG carries one tag bit per payload subframe, so its rate is governed by
+the query cycle::
+
+    cycle = channel access + query PPDU + SIFS + block ACK
+    rate  = payload subframes / cycle
+
+The paper's design levers all appear here: more subframes amortise the
+per-frame overhead; shorter subframes (higher MCS, smaller MPDUs) shrink
+the PPDU — but the subframe duration is floored by the tag's clock period
+(one 50 kHz cycle = 20 us), which is what pins the paper's operating point
+near 40 Kbps for 64-subframe queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..phy.airtime import ppdu_airtime
+from ..phy.constants import (
+    SLOT_TIME_S,
+    SYMBOL_LONG_GI_S,
+)
+from .config import WiTagConfig
+
+#: Block ACKs go out as non-HT (legacy OFDM) control responses; 24 Mb/s is
+#: the standard basic rate used for control responses in 802.11a/g/n.
+_LEGACY_CONTROL_RATE_BPS = 24e6
+_LEGACY_PREAMBLE_S = 20e-6
+_LEGACY_BITS_PER_SYMBOL = _LEGACY_CONTROL_RATE_BPS * SYMBOL_LONG_GI_S
+
+
+def block_ack_airtime_s(frame_bytes: int = 32) -> float:
+    """Airtime of a compressed block ACK at the legacy control rate."""
+    if frame_bytes <= 0:
+        raise ValueError("frame must be non-empty")
+    bits = 16 + 8 * frame_bytes + 6  # service + PSDU + tail
+    n_symbols = math.ceil(bits / _LEGACY_BITS_PER_SYMBOL)
+    return _LEGACY_PREAMBLE_S + n_symbols * SYMBOL_LONG_GI_S
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Timing decomposition of one query cycle.
+
+    Attributes:
+        access_s: DIFS + mean backoff (and contention wait if modelled).
+        query_s: query PPDU airtime.
+        sifs_s: the SIFS before the block ACK.
+        block_ack_s: block ACK airtime.
+        payload_bits: tag bits carried per cycle.
+    """
+
+    access_s: float
+    query_s: float
+    sifs_s: float
+    block_ack_s: float
+    payload_bits: int
+
+    @property
+    def total_s(self) -> float:
+        return self.access_s + self.query_s + self.sifs_s + self.block_ack_s
+
+    @property
+    def throughput_bps(self) -> float:
+        """Tag bits per second for back-to-back cycles."""
+        return self.payload_bits / self.total_s
+
+
+def subframe_airtime_s(config: WiTagConfig) -> float:
+    """On-air duration of one (clock-grid padded) subframe.
+
+    Subframes are padded to one tag clock period, rounded to whole OFDM
+    symbols.
+    """
+    symbol_s = 0.0000036 if config.short_gi else 0.000004
+    symbols = max(1, round(config.tag_clock_period_s / symbol_s))
+    return symbols * symbol_s
+
+
+def query_cycle(
+    config: WiTagConfig,
+    *,
+    access_s: float | None = None,
+    mean_backoff_slots: float = 7.5,
+) -> CycleBreakdown:
+    """Analytic cycle breakdown for a configuration.
+
+    Args:
+        access_s: override for the channel-access time; by default
+            DIFS + ``mean_backoff_slots`` idle slots (CWmin/2 of the
+            best-effort access category).
+    """
+    sifs = config.band.sifs_s
+    if access_s is None:
+        difs = sifs + 2 * SLOT_TIME_S
+        access_s = difs + mean_backoff_slots * SLOT_TIME_S
+    dbps = config.mcs.data_bits_per_symbol(config.channel_width_mhz)
+    symbol_s = 0.0000036 if config.short_gi else 0.000004
+    subframe_bytes = subframe_airtime_s(config) / symbol_s * dbps / 8.0
+    psdu_bytes = int(round(subframe_bytes * config.n_subframes))
+    timing = ppdu_airtime(
+        psdu_bytes,
+        config.mcs,
+        channel_width_mhz=config.channel_width_mhz,
+        short_gi=config.short_gi,
+        phy_format=config.phy_format,
+    )
+    return CycleBreakdown(
+        access_s=access_s,
+        query_s=timing.total_s,
+        sifs_s=sifs,
+        block_ack_s=block_ack_airtime_s(),
+        payload_bits=config.bits_per_query,
+    )
+
+
+def analytic_throughput_bps(config: WiTagConfig, **kwargs: float) -> float:
+    """Tag throughput for a configuration (see :func:`query_cycle`)."""
+    return query_cycle(config, **kwargs).throughput_bps

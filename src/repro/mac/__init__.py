@@ -1,0 +1,83 @@
+"""802.11 MAC-layer substrate: frames, aggregation, block ACK, DCF, crypto.
+
+The MAC features modelled here are exactly the ones WiTAG rides on:
+A-MPDU aggregation (one PHY header, many MPDUs), per-MPDU FCS checking,
+and the block-ACK bitmap through which subframe fates — and therefore tag
+bits — travel back to the client.
+"""
+
+from .addresses import MacAddress
+from .ampdu import (
+    DELIMITER_BYTES,
+    Subframe,
+    aggregate,
+    corrupt_range,
+    deaggregate,
+    decode_delimiter,
+    encode_delimiter,
+    subframe_lengths,
+)
+from .block_ack import (
+    BLOCK_ACK_WINDOW,
+    BlockAck,
+    BlockAckRequest,
+    BlockAckScoreboard,
+    build_block_ack,
+)
+from .crc import crc8, crc32, fcs_bytes, verify_fcs
+from .csma import ContentionModel, DcfParameters, DcfStation
+from .duration import Nav, duration_field_us, query_duration_us
+from .management import (
+    AssociationRequest,
+    AssociationResponse,
+    Beacon,
+    InformationElement,
+    associate,
+)
+from .frames import (
+    FrameControl,
+    FrameType,
+    QosDataFrame,
+    SequenceControl,
+    null_qos_mpdu,
+)
+from .sequence import SequenceCounter, TransmitWindow
+
+__all__ = [
+    "AssociationRequest",
+    "AssociationResponse",
+    "Beacon",
+    "InformationElement",
+    "associate",
+    "BLOCK_ACK_WINDOW",
+    "BlockAck",
+    "BlockAckRequest",
+    "BlockAckScoreboard",
+    "ContentionModel",
+    "DELIMITER_BYTES",
+    "DcfParameters",
+    "DcfStation",
+    "FrameControl",
+    "FrameType",
+    "MacAddress",
+    "Nav",
+    "QosDataFrame",
+    "SequenceControl",
+    "SequenceCounter",
+    "Subframe",
+    "TransmitWindow",
+    "aggregate",
+    "build_block_ack",
+    "corrupt_range",
+    "crc32",
+    "crc8",
+    "deaggregate",
+    "duration_field_us",
+    "decode_delimiter",
+    "encode_delimiter",
+    "fcs_bytes",
+    "null_qos_mpdu",
+    "query_duration_us",
+    "subframe_lengths",
+    "verify_fcs",
+]

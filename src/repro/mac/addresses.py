@@ -1,0 +1,59 @@
+"""MAC (EUI-48) address type with parsing, formatting and classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """An IEEE EUI-48 address.
+
+    Stored as a 6-byte immutable value; construct from bytes or from the
+    usual colon-separated string form.
+    """
+
+    octets: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != 6:
+            raise ValueError(
+                f"MAC address needs exactly 6 octets, got {len(self.octets)}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        """Parse ``aa:bb:cc:dd:ee:ff`` (case-insensitive, ``-`` accepted)."""
+        parts = text.replace("-", ":").split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address {text!r}")
+        try:
+            octets = bytes(int(p, 16) for p in parts)
+        except ValueError:
+            raise ValueError(f"malformed MAC address {text!r}") from None
+        return cls(octets)
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        """The all-ones broadcast address."""
+        return cls(b"\xff" * 6)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.octets == b"\xff" * 6
+
+    @property
+    def is_multicast(self) -> bool:
+        """Group bit (LSB of first octet) set."""
+        return bool(self.octets[0] & 0x01)
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """U/L bit (second LSB of first octet) set."""
+        return bool(self.octets[0] & 0x02)
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.octets)
+
+    def __bytes__(self) -> bytes:
+        return self.octets

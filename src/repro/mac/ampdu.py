@@ -1,0 +1,159 @@
+"""A-MPDU aggregation and deaggregation (802.11n/ac frame aggregation).
+
+Frame aggregation is the MAC feature WiTAG is built on (paper §3.1): many
+MPDUs ride inside one PHY frame behind a single channel estimate, and the
+receiver reports each MPDU's fate individually through the block ACK.
+
+An A-MPDU is a sequence of subframes, each being::
+
+    +-------------------+-----------+-------------+
+    | MPDU delimiter (4)|  MPDU     | pad to 4B   |
+    +-------------------+-----------+-------------+
+
+The delimiter carries the MPDU length, a CRC-8 over the length field and
+the signature byte ``0x4E`` ('N').  Crucially, delimiters allow the
+receiver to *re-synchronise* after a corrupted subframe by scanning forward
+for the next valid delimiter — which is exactly why one corrupted WiTAG
+subframe (one `0` bit) does not destroy the bits that follow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .crc import crc8, verify_fcs
+
+#: Delimiter signature byte ('N'), aids resynchronisation scanning.
+DELIMITER_SIGNATURE = 0x4E
+
+#: Delimiter size in bytes.
+DELIMITER_BYTES = 4
+
+#: Maximum MPDU length representable in an HT delimiter (12-bit field).
+MAX_DELIMITED_MPDU_BYTES = 4095
+
+
+def encode_delimiter(mpdu_length: int) -> bytes:
+    """Build a 4-byte MPDU delimiter for an MPDU of ``mpdu_length`` bytes.
+
+    Layout (HT): 4 reserved bits, 12-bit length, CRC-8, signature.
+    """
+    if not 0 <= mpdu_length <= MAX_DELIMITED_MPDU_BYTES:
+        raise ValueError(
+            f"MPDU length must be 0-{MAX_DELIMITED_MPDU_BYTES}, "
+            f"got {mpdu_length}"
+        )
+    length_field = mpdu_length & 0x0FFF
+    first_two = bytes([length_field & 0xFF, (length_field >> 8) & 0x0F])
+    return first_two + bytes([crc8(first_two), DELIMITER_SIGNATURE])
+
+
+def decode_delimiter(data: bytes) -> int | None:
+    """Validate a 4-byte delimiter; return the MPDU length or None.
+
+    A None return means the bytes do not form a valid delimiter (failed
+    CRC or missing signature) — the deaggregator then slides forward.
+    """
+    if len(data) < DELIMITER_BYTES:
+        return None
+    if data[3] != DELIMITER_SIGNATURE:
+        return None
+    if crc8(data[:2]) != data[2]:
+        return None
+    return data[0] | ((data[1] & 0x0F) << 8)
+
+
+def _padded_length(mpdu_length: int) -> int:
+    """Subframe length after padding the MPDU to a 4-byte boundary."""
+    return DELIMITER_BYTES + ((mpdu_length + 3) // 4) * 4
+
+
+@dataclass(frozen=True)
+class Subframe:
+    """One deaggregated subframe.
+
+    Attributes:
+        index: position within the A-MPDU.
+        mpdu: the raw MPDU bytes (including its FCS).
+        fcs_ok: whether the MPDU's CRC-32 verified.
+    """
+
+    index: int
+    mpdu: bytes
+    fcs_ok: bool
+
+
+def aggregate(mpdus: list[bytes]) -> bytes:
+    """Serialize MPDUs into one A-MPDU (PSDU) with delimiters and padding.
+
+    The final subframe is also padded, matching common implementations
+    (the standard allows the last MPDU to be unpadded; padding keeps
+    subframe boundaries symbol-aligned, which simplifies tag timing).
+
+    Raises:
+        ValueError: for an empty list or oversized MPDUs.
+    """
+    if not mpdus:
+        raise ValueError("an A-MPDU needs at least one MPDU")
+    parts: list[bytes] = []
+    for mpdu in mpdus:
+        if len(mpdu) > MAX_DELIMITED_MPDU_BYTES:
+            raise ValueError(
+                f"MPDU of {len(mpdu)} bytes exceeds delimiter capacity"
+            )
+        pad = (-len(mpdu)) % 4
+        parts.append(encode_delimiter(len(mpdu)) + mpdu + b"\x00" * pad)
+    return b"".join(parts)
+
+
+def subframe_lengths(mpdus: list[bytes]) -> list[int]:
+    """On-air length of each subframe (delimiter + MPDU + padding)."""
+    return [_padded_length(len(m)) for m in mpdus]
+
+
+def deaggregate(psdu: bytes) -> list[Subframe]:
+    """Split a PSDU back into subframes, tolerating corruption.
+
+    Walks delimiter-to-delimiter; when a delimiter is invalid (e.g. the
+    corruption window covered it), scans forward in 4-byte steps for the
+    next valid delimiter, exactly as hardware deaggregators do.  MPDUs
+    whose FCS fails are returned with ``fcs_ok=False`` rather than
+    dropped, so callers can observe per-subframe fate.
+    """
+    subframes: list[Subframe] = []
+    offset = 0
+    index = 0
+    n = len(psdu)
+    while offset + DELIMITER_BYTES <= n:
+        length = decode_delimiter(psdu[offset : offset + DELIMITER_BYTES])
+        if length is None:
+            offset += 4  # resynchronisation scan
+            continue
+        start = offset + DELIMITER_BYTES
+        end = start + length
+        if end > n:
+            break  # truncated tail
+        mpdu = psdu[start:end]
+        subframes.append(
+            Subframe(index=index, mpdu=mpdu, fcs_ok=verify_fcs(mpdu))
+        )
+        index += 1
+        offset += _padded_length(length)
+    return subframes
+
+
+def corrupt_range(psdu: bytes, start: int, end: int, *, flip: int = 0xFF) -> bytes:
+    """Return a copy of ``psdu`` with bytes in [start, end) XOR-corrupted.
+
+    Used by tests and the corruption microbench to emulate the effect of a
+    tag-invalidated channel estimate on a byte range of the PSDU.
+    """
+    if not 0 <= start <= end <= len(psdu):
+        raise ValueError(
+            f"corruption window [{start}, {end}) outside PSDU of "
+            f"{len(psdu)} bytes"
+        )
+    body = bytearray(psdu)
+    for i in range(start, end):
+        body[i] ^= flip
+    return bytes(body)

@@ -1,0 +1,203 @@
+"""Block acknowledgment: bitmap, scoreboard, and control-frame formats.
+
+The block ACK *is* WiTAG's downlink: the AP's 64-bit bitmap reporting which
+subframes of the last A-MPDU decoded correctly is, bit for bit, the data
+the tag transmitted (paper §4, Figure 2).  The client application simply
+reads tag bits out of the bitmap.
+
+This module implements the compressed block ACK of 802.11n/ac: a 12-bit
+starting sequence number (SSN) plus a 64-bit bitmap where bit ``k`` reports
+MPDU ``(ssn + k) mod 4096``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .addresses import MacAddress
+from .crc import fcs_bytes, verify_fcs
+
+#: Bitmap width of a compressed block ACK.
+BLOCK_ACK_WINDOW = 64
+
+#: Sequence-number space size.
+SEQUENCE_MODULUS = 4096
+
+
+def seq_offset(ssn: int, sequence: int) -> int:
+    """Offset of ``sequence`` from ``ssn`` in modulo-4096 space."""
+    return (sequence - ssn) % SEQUENCE_MODULUS
+
+
+@dataclass
+class BlockAckScoreboard:
+    """Receiver-side record of which MPDUs arrived intact.
+
+    Mirrors the scoreboard context of a real 802.11 recipient: a 64-entry
+    window anchored at a starting sequence number.  The AP in WiTAG is a
+    completely standard recipient — it has no idea a tag exists — so this
+    class contains no tag-specific logic whatsoever.
+    """
+
+    ssn: int = 0
+    _received: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ssn < SEQUENCE_MODULUS:
+            raise ValueError(f"SSN must be 0-4095, got {self.ssn}")
+
+    def record(self, sequence: int) -> None:
+        """Mark the MPDU with ``sequence`` as successfully received.
+
+        MPDUs outside the 64-frame window are ignored (standard behaviour
+        for stale or too-new sequence numbers in a fixed-window model).
+        """
+        if not 0 <= sequence < SEQUENCE_MODULUS:
+            raise ValueError(f"sequence must be 0-4095, got {sequence}")
+        if seq_offset(self.ssn, sequence) < BLOCK_ACK_WINDOW:
+            self._received.add(sequence)
+
+    def bitmap(self) -> int:
+        """The 64-bit bitmap: bit k set iff MPDU ssn+k was received."""
+        value = 0
+        for sequence in self._received:
+            value |= 1 << seq_offset(self.ssn, sequence)
+        return value
+
+    def reset(self, ssn: int) -> None:
+        """Re-anchor the window (on receiving a new BAR / A-MPDU)."""
+        if not 0 <= ssn < SEQUENCE_MODULUS:
+            raise ValueError(f"SSN must be 0-4095, got {ssn}")
+        self.ssn = ssn
+        self._received.clear()
+
+
+@dataclass(frozen=True)
+class BlockAck:
+    """A compressed block ACK frame.
+
+    Attributes:
+        receiver: addressee (the original A-MPDU transmitter).
+        transmitter: the acknowledging station (the AP).
+        ssn: starting sequence number of the bitmap window.
+        bitmap: 64-bit reception bitmap.
+        tid: traffic identifier of the block-ACK agreement.
+    """
+
+    receiver: MacAddress
+    transmitter: MacAddress
+    ssn: int
+    bitmap: int
+    tid: int = 0
+
+    #: FC(2) dur(2) RA(6) TA(6) control(2) SSN(2) bitmap(8) FCS(4)
+    FRAME_BYTES = 32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ssn < SEQUENCE_MODULUS:
+            raise ValueError(f"SSN must be 0-4095, got {self.ssn}")
+        if not 0 <= self.bitmap < (1 << BLOCK_ACK_WINDOW):
+            raise ValueError("bitmap must fit in 64 bits")
+        if not 0 <= self.tid <= 15:
+            raise ValueError(f"TID must be 0-15, got {self.tid}")
+
+    def bit(self, offset: int) -> bool:
+        """Reception status of the MPDU at ``ssn + offset``."""
+        if not 0 <= offset < BLOCK_ACK_WINDOW:
+            raise ValueError(
+                f"offset must be 0-{BLOCK_ACK_WINDOW - 1}, got {offset}"
+            )
+        return bool(self.bitmap & (1 << offset))
+
+    def bits(self, count: int) -> list[bool]:
+        """The first ``count`` bitmap positions as booleans."""
+        if not 0 <= count <= BLOCK_ACK_WINDOW:
+            raise ValueError(f"count must be 0-64, got {count}")
+        return [self.bit(i) for i in range(count)]
+
+    def serialize(self, duration_us: int = 0) -> bytes:
+        """Serialize to wire format (compressed BA variant), with FCS."""
+        # Frame control: type=control(1), subtype=9 (block ack).
+        fc = (1 << 2) | (9 << 4)
+        ba_control = 0x0004 | (self.tid << 12)  # compressed bitmap bit
+        body = struct.pack(
+            "<HH6s6sHHQ",
+            fc,
+            duration_us,
+            bytes(self.receiver),
+            bytes(self.transmitter),
+            ba_control,
+            (self.ssn << 4) & 0xFFFF,
+            self.bitmap,
+        )
+        return body + fcs_bytes(body)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "BlockAck":
+        """Parse a serialized compressed block ACK, verifying FCS."""
+        if len(data) != cls.FRAME_BYTES:
+            raise ValueError(
+                f"block ACK must be {cls.FRAME_BYTES} bytes, got {len(data)}"
+            )
+        if not verify_fcs(data):
+            raise ValueError("FCS check failed")
+        fc, _dur, ra, ta, control, ssn_field, bitmap = struct.unpack(
+            "<HH6s6sHHQ", data[:-4]
+        )
+        if (fc >> 2) & 0x3 != 1 or (fc >> 4) & 0xF != 9:
+            raise ValueError("not a block ACK frame")
+        return cls(
+            receiver=MacAddress(ra),
+            transmitter=MacAddress(ta),
+            ssn=(ssn_field >> 4) & 0xFFF,
+            bitmap=bitmap,
+            tid=(control >> 12) & 0xF,
+        )
+
+
+@dataclass(frozen=True)
+class BlockAckRequest:
+    """A block ACK request (BAR) control frame."""
+
+    receiver: MacAddress
+    transmitter: MacAddress
+    ssn: int
+    tid: int = 0
+
+    #: FC(2) dur(2) RA(6) TA(6) control(2) SSN(2) FCS(4)
+    FRAME_BYTES = 24
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ssn < SEQUENCE_MODULUS:
+            raise ValueError(f"SSN must be 0-4095, got {self.ssn}")
+
+    def serialize(self, duration_us: int = 0) -> bytes:
+        """Serialize to wire format with FCS."""
+        fc = (1 << 2) | (8 << 4)  # control / BAR
+        body = struct.pack(
+            "<HH6s6sHH",
+            fc,
+            duration_us,
+            bytes(self.receiver),
+            bytes(self.transmitter),
+            0x0004 | (self.tid << 12),
+            (self.ssn << 4) & 0xFFFF,
+        )
+        return body + fcs_bytes(body)
+
+
+def build_block_ack(
+    scoreboard: BlockAckScoreboard,
+    receiver: MacAddress,
+    transmitter: MacAddress,
+    tid: int = 0,
+) -> BlockAck:
+    """Produce the block ACK a recipient would transmit for its scoreboard."""
+    return BlockAck(
+        receiver=receiver,
+        transmitter=transmitter,
+        ssn=scoreboard.ssn,
+        bitmap=scoreboard.bitmap(),
+        tid=tid,
+    )

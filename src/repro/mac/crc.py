@@ -1,0 +1,96 @@
+"""CRC implementations used by 802.11 framing, built from first principles.
+
+Two checksums matter to WiTAG's mechanism:
+
+* **CRC-32** (the FCS at the end of every MPDU).  A corrupted subframe is
+  detected *only* because its FCS fails — this is what turns a tag-induced
+  channel change into a `0` in the block-ACK bitmap.
+* **CRC-8** over each A-MPDU delimiter, which lets a receiver re-synchronise
+  to the next subframe even when an earlier subframe was destroyed.  Without
+  delimiter CRCs, one corrupted subframe would take down the rest of the
+  aggregate and WiTAG could only send one bit per A-MPDU.
+
+Both are table-driven implementations of the standard polynomials:
+CRC-32 (IEEE 802.3): reflected 0xEDB88320; CRC-8 (802.11 delimiter):
+``x^8 + x^2 + x + 1`` (0x07), initial value 0xFF, output complemented.
+"""
+
+from __future__ import annotations
+
+
+def _build_crc32_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0xEDB88320 if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+def _build_crc8_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x07) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32_TABLE = _build_crc32_table()
+_CRC8_TABLE = _build_crc8_table()
+
+
+def crc32(data: bytes) -> int:
+    """IEEE 802.3 CRC-32 as used for the 802.11 FCS.
+
+    Args:
+        data: the bytes covered by the FCS (header + body).
+
+    Returns:
+        32-bit checksum as an unsigned integer.
+    """
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = _CRC32_TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def fcs_bytes(data: bytes) -> bytes:
+    """The 4-byte FCS field for a frame body (little-endian on air)."""
+    return crc32(data).to_bytes(4, "little")
+
+
+def verify_fcs(frame_with_fcs: bytes) -> bool:
+    """Check the trailing 4-byte FCS of a serialized frame.
+
+    Returns False for frames shorter than the FCS itself.
+    """
+    if len(frame_with_fcs) < 4:
+        return False
+    body, fcs = frame_with_fcs[:-4], frame_with_fcs[-4:]
+    return fcs_bytes(body) == fcs
+
+
+def crc8(data: bytes) -> int:
+    """802.11 A-MPDU delimiter CRC-8 (poly 0x07, init 0xFF, inverted out)."""
+    crc = 0xFF
+    for byte in data:
+        crc = _CRC8_TABLE[crc ^ byte]
+    return crc ^ 0xFF
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """CRC-16-CCITT (poly 0x1021), used for tag-message integrity.
+
+    The paper leaves tag-side error detection to future work (§4.1); the
+    reproduction's message framing layer uses this checksum so a reader
+    can reject corrupted tag messages.
+    """
+    crc = initial
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) & 0xFFFF if crc & 0x8000 else (crc << 1) & 0xFFFF
+    return crc

@@ -1,0 +1,69 @@
+"""Duration/ID field and NAV (virtual carrier sensing) computation.
+
+Every 802.11 frame announces how long the ongoing exchange will occupy the
+medium; third-party stations set their network allocation vector (NAV)
+accordingly and stay silent.  WiTAG's query exchanges are fully standard
+— the A-MPDU's duration covers SIFS + block ACK — which is *why* they
+coexist cleanly with other traffic (the non-interference requirement's
+primary-channel half; the secondary-channel half is in
+``repro.baselines.interference``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The Duration/ID field is 15 bits of microseconds (bit 15 = ID marker).
+MAX_DURATION_US = 0x7FFF
+
+
+def duration_field_us(remaining_exchange_s: float) -> int:
+    """Encode the remaining exchange time as a Duration field value.
+
+    Rounded up to whole microseconds per the standard; clipped at the
+    15-bit maximum.
+
+    Raises:
+        ValueError: for negative times.
+    """
+    if remaining_exchange_s < 0:
+        raise ValueError(
+            f"remaining time must be >= 0, got {remaining_exchange_s}"
+        )
+    return min(MAX_DURATION_US, math.ceil(remaining_exchange_s * 1e6))
+
+
+def query_duration_us(sifs_s: float, block_ack_airtime_s: float) -> int:
+    """Duration value for a WiTAG query A-MPDU.
+
+    Covers the SIFS and the expected block ACK, protecting the response
+    from third-party transmissions.
+    """
+    return duration_field_us(sifs_s + block_ack_airtime_s)
+
+
+@dataclass
+class Nav:
+    """A station's network allocation vector.
+
+    Tracks the latest time until which the medium is virtually busy.
+    """
+
+    busy_until_s: float = 0.0
+
+    def observe(self, now_s: float, duration_us: int) -> None:
+        """Process an overheard frame's Duration field at time ``now_s``."""
+        if duration_us < 0 or duration_us > MAX_DURATION_US:
+            raise ValueError(f"invalid duration field {duration_us}")
+        candidate = now_s + duration_us * 1e-6
+        if candidate > self.busy_until_s:
+            self.busy_until_s = candidate
+
+    def idle_at(self, now_s: float) -> bool:
+        """Whether virtual carrier sensing reports the medium idle."""
+        return now_s >= self.busy_until_s
+
+    def remaining_s(self, now_s: float) -> float:
+        """Seconds of NAV protection left (0 when idle)."""
+        return max(0.0, self.busy_until_s - now_s)

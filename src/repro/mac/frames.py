@@ -1,0 +1,224 @@
+"""802.11 MAC frame structures and byte-exact serialization.
+
+Implements the subset of the 802.11 frame zoo that WiTAG touches: QoS data
+frames (the MPDUs inside query A-MPDUs — typically *null-payload*, since
+query subframes exist only as corruption targets, paper §4.1), block-ACK
+request/response control frames, and the generic header machinery they
+share.
+
+Serialization follows the standard's little-endian field layout so that
+tests can assert real byte offsets and the A-MPDU module can compute true
+on-air sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from .addresses import MacAddress
+from .crc import fcs_bytes, verify_fcs
+
+
+class FrameType(enum.IntEnum):
+    """Two-bit frame type from the Frame Control field."""
+
+    MANAGEMENT = 0
+    CONTROL = 1
+    DATA = 2
+
+
+class FrameSubtype(enum.IntEnum):
+    """Frame subtypes used in this library."""
+
+    QOS_DATA = 8
+    QOS_NULL = 12
+    BLOCK_ACK_REQ = 8  # control type
+    BLOCK_ACK = 9  # control type
+
+
+@dataclass(frozen=True)
+class FrameControl:
+    """The 16-bit Frame Control field.
+
+    Attributes:
+        ftype: frame type (management/control/data).
+        subtype: 4-bit subtype.
+        to_ds / from_ds: distribution-system direction bits.
+        retry: retransmission flag.
+        protected: privacy bit — set when the body is encrypted (WEP/CCMP).
+    """
+
+    ftype: FrameType
+    subtype: int
+    to_ds: bool = False
+    from_ds: bool = False
+    retry: bool = False
+    protected: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.subtype <= 15:
+            raise ValueError(f"subtype must be 0-15, got {self.subtype}")
+
+    def to_int(self) -> int:
+        """Pack into the 16-bit wire value (protocol version 0)."""
+        value = 0
+        value |= int(self.ftype) << 2
+        value |= self.subtype << 4
+        value |= int(self.to_ds) << 8
+        value |= int(self.from_ds) << 9
+        value |= int(self.retry) << 11
+        value |= int(self.protected) << 14
+        return value
+
+    @classmethod
+    def from_int(cls, value: int) -> "FrameControl":
+        """Unpack from the 16-bit wire value."""
+        version = value & 0x3
+        if version != 0:
+            raise ValueError(f"unsupported protocol version {version}")
+        return cls(
+            ftype=FrameType((value >> 2) & 0x3),
+            subtype=(value >> 4) & 0xF,
+            to_ds=bool(value & (1 << 8)),
+            from_ds=bool(value & (1 << 9)),
+            retry=bool(value & (1 << 11)),
+            protected=bool(value & (1 << 14)),
+        )
+
+
+@dataclass(frozen=True)
+class SequenceControl:
+    """Sequence Control: 12-bit sequence number + 4-bit fragment number."""
+
+    sequence: int
+    fragment: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence < 4096:
+            raise ValueError(f"sequence must be 0-4095, got {self.sequence}")
+        if not 0 <= self.fragment < 16:
+            raise ValueError(f"fragment must be 0-15, got {self.fragment}")
+
+    def to_int(self) -> int:
+        return (self.sequence << 4) | self.fragment
+
+    @classmethod
+    def from_int(cls, value: int) -> "SequenceControl":
+        return cls(sequence=(value >> 4) & 0xFFF, fragment=value & 0xF)
+
+
+@dataclass(frozen=True)
+class QosDataFrame:
+    """A QoS data MPDU (the subframe type inside WiTAG query A-MPDUs).
+
+    Attributes:
+        receiver / transmitter / destination: address 1/2/3.
+        seq: sequence control.
+        tid: traffic identifier (0-15) carried in QoS Control; block-ACK
+            agreements are per-TID.
+        payload: frame body (empty for WiTAG query subframes).
+        frame_control: override for flag bits; a default QoS-data FC is
+            built when omitted.
+    """
+
+    receiver: MacAddress
+    transmitter: MacAddress
+    destination: MacAddress
+    seq: SequenceControl
+    tid: int = 0
+    payload: bytes = b""
+    frame_control: FrameControl | None = None
+
+    HEADER_BYTES = 26  # FC(2) dur(2) addr(18) seq(2) qos(2)
+    FCS_BYTES = 4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tid <= 15:
+            raise ValueError(f"TID must be 0-15, got {self.tid}")
+
+    def effective_frame_control(self) -> FrameControl:
+        """The frame control actually serialized."""
+        if self.frame_control is not None:
+            return self.frame_control
+        subtype = (
+            FrameSubtype.QOS_NULL if not self.payload else FrameSubtype.QOS_DATA
+        )
+        return FrameControl(FrameType.DATA, int(subtype), to_ds=True)
+
+    def serialize(self, duration_us: int = 0) -> bytes:
+        """Serialize to bytes including the trailing FCS."""
+        if not 0 <= duration_us <= 0x7FFF:
+            raise ValueError(
+                f"duration must fit in 15 bits, got {duration_us}"
+            )
+        header = struct.pack(
+            "<HH6s6s6sHH",
+            self.effective_frame_control().to_int(),
+            duration_us,
+            bytes(self.receiver),
+            bytes(self.transmitter),
+            bytes(self.destination),
+            self.seq.to_int(),
+            self.tid,  # QoS Control: TID in low bits
+        )
+        body = header + self.payload
+        return body + fcs_bytes(body)
+
+    @property
+    def mpdu_bytes(self) -> int:
+        """Serialized size including FCS."""
+        return self.HEADER_BYTES + len(self.payload) + self.FCS_BYTES
+
+    @classmethod
+    def parse(cls, data: bytes) -> "QosDataFrame":
+        """Parse a serialized QoS data frame, verifying the FCS.
+
+        Raises:
+            ValueError: on truncation or FCS failure.
+        """
+        if len(data) < cls.HEADER_BYTES + cls.FCS_BYTES:
+            raise ValueError(f"frame too short: {len(data)} bytes")
+        if not verify_fcs(data):
+            raise ValueError("FCS check failed")
+        fc_val, duration, a1, a2, a3, seq_val, qos = struct.unpack(
+            "<HH6s6s6sHH", data[: cls.HEADER_BYTES]
+        )
+        fc = FrameControl.from_int(fc_val)
+        if fc.ftype is not FrameType.DATA:
+            raise ValueError(f"not a data frame: type {fc.ftype}")
+        return cls(
+            receiver=MacAddress(a1),
+            transmitter=MacAddress(a2),
+            destination=MacAddress(a3),
+            seq=SequenceControl.from_int(seq_val),
+            tid=qos & 0xF,
+            payload=data[cls.HEADER_BYTES : -cls.FCS_BYTES],
+            frame_control=fc,
+        )
+
+
+def null_qos_mpdu(
+    receiver: MacAddress,
+    transmitter: MacAddress,
+    sequence: int,
+    *,
+    tid: int = 0,
+    payload: bytes = b"",
+) -> QosDataFrame:
+    """Convenience constructor for WiTAG-style minimal query MPDUs.
+
+    Query subframes carry no useful data (paper §4.1): a bare QoS header
+    keeps each subframe — and therefore each tag bit — as short as
+    possible.  A small ``payload`` is used only for trigger subframes
+    (paper §7), which carry the known detection pattern.
+    """
+    return QosDataFrame(
+        receiver=receiver,
+        transmitter=transmitter,
+        destination=receiver,
+        seq=SequenceControl(sequence),
+        tid=tid,
+        payload=payload,
+    )

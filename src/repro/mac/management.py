@@ -1,0 +1,300 @@
+"""802.11 management frames: beacons, probes, association.
+
+WiTAG deploys on *existing* WiFi networks (paper §1): before any query is
+sent, the client has discovered the AP from its beacons and associated
+normally.  This module provides that management plane — byte-accurate
+beacon / probe / (re)association frames with information elements — so a
+simulated deployment is a complete network, and so tests can assert that
+WiTAG requires nothing from this plane beyond what every client already
+does.
+
+Only the elements the scenarios need are implemented: SSID, Supported
+Rates, HT Capabilities (whose presence signals A-MPDU support — the one
+capability WiTAG actually depends on).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from .addresses import MacAddress
+from .crc import fcs_bytes, verify_fcs
+
+
+class ElementId(enum.IntEnum):
+    """Information-element identifiers used here."""
+
+    SSID = 0
+    SUPPORTED_RATES = 1
+    HT_CAPABILITIES = 45
+
+
+@dataclass(frozen=True)
+class InformationElement:
+    """A TLV information element."""
+
+    element_id: int
+    body: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.element_id <= 255:
+            raise ValueError(f"element id must be 0-255, got {self.element_id}")
+        if len(self.body) > 255:
+            raise ValueError(
+                f"element body of {len(self.body)} bytes exceeds 255"
+            )
+
+    def serialize(self) -> bytes:
+        return bytes([self.element_id, len(self.body)]) + self.body
+
+    @classmethod
+    def parse_all(cls, data: bytes) -> list["InformationElement"]:
+        """Parse a concatenated element list.
+
+        Raises:
+            ValueError: on truncation.
+        """
+        elements = []
+        offset = 0
+        while offset < len(data):
+            if offset + 2 > len(data):
+                raise ValueError("truncated information element header")
+            element_id, length = data[offset], data[offset + 1]
+            offset += 2
+            if offset + length > len(data):
+                raise ValueError("truncated information element body")
+            elements.append(cls(element_id, data[offset : offset + length]))
+            offset += length
+        return elements
+
+
+def ssid_element(ssid: str) -> InformationElement:
+    """The SSID element (max 32 bytes of UTF-8)."""
+    encoded = ssid.encode()
+    if len(encoded) > 32:
+        raise ValueError(f"SSID of {len(encoded)} bytes exceeds 32")
+    return InformationElement(ElementId.SSID, encoded)
+
+
+def ht_capabilities_element() -> InformationElement:
+    """A minimal HT Capabilities element.
+
+    Its presence advertises 802.11n operation — including A-MPDU RX
+    support, the capability WiTAG rides on.  Body: HT cap info (2),
+    A-MPDU parameters (1, max length exponent 3 = 65535 bytes), MCS set
+    (16), extended caps (2), TX beamforming (4), ASEL (1).
+    """
+    body = struct.pack("<HB", 0x01CE, 0x03) + bytes(16 + 2 + 4 + 1)
+    return InformationElement(ElementId.HT_CAPABILITIES, body)
+
+
+def supported_rates_element() -> InformationElement:
+    """Basic OFDM rate set (6, 9, 12, 18, 24, 36, 48, 54 Mb/s)."""
+    rates = bytes(
+        rate_500kbps | (0x80 if rate_500kbps == 12 else 0)
+        for rate_500kbps in (12, 18, 24, 36, 48, 72, 96, 108)
+    )
+    return InformationElement(ElementId.SUPPORTED_RATES, rates)
+
+
+_MGMT_HEADER = "<HH6s6s6sH"
+_MGMT_HEADER_BYTES = 24
+
+
+def _mgmt_header(
+    subtype: int, destination: MacAddress, source: MacAddress,
+    bssid: MacAddress, sequence: int,
+) -> bytes:
+    fc = (0 << 2) | (subtype << 4)  # management type
+    return struct.pack(
+        _MGMT_HEADER,
+        fc,
+        0,
+        bytes(destination),
+        bytes(source),
+        bytes(bssid),
+        (sequence << 4) & 0xFFFF,
+    )
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """A beacon frame advertising the AP's network.
+
+    Attributes:
+        bssid: the AP's address (source and BSSID).
+        ssid: network name.
+        beacon_interval_tu: beacon period in time units (1 TU = 1024 us).
+        capabilities: capability bitmap (bit 0 = ESS, bit 4 = privacy,
+            i.e. an encrypted network).
+        sequence: sequence number.
+    """
+
+    bssid: MacAddress
+    ssid: str
+    beacon_interval_tu: int = 100
+    capabilities: int = 0x0001
+    sequence: int = 0
+    timestamp_us: int = 0
+    extra_elements: tuple[InformationElement, ...] = field(
+        default_factory=tuple
+    )
+
+    SUBTYPE = 8
+
+    @property
+    def privacy(self) -> bool:
+        """Whether the network advertises encryption (WEP/WPA bit)."""
+        return bool(self.capabilities & 0x0010)
+
+    def serialize(self) -> bytes:
+        header = _mgmt_header(
+            self.SUBTYPE,
+            MacAddress.broadcast(),
+            self.bssid,
+            self.bssid,
+            self.sequence,
+        )
+        fixed = struct.pack(
+            "<QHH",
+            self.timestamp_us,
+            self.beacon_interval_tu,
+            self.capabilities,
+        )
+        elements = (
+            ssid_element(self.ssid).serialize()
+            + supported_rates_element().serialize()
+            + ht_capabilities_element().serialize()
+            + b"".join(e.serialize() for e in self.extra_elements)
+        )
+        body = header + fixed + elements
+        return body + fcs_bytes(body)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Beacon":
+        """Parse a serialized beacon, verifying the FCS.
+
+        Raises:
+            ValueError: on FCS failure, wrong subtype or truncation.
+        """
+        if len(data) < _MGMT_HEADER_BYTES + 12 + 4:
+            raise ValueError("beacon too short")
+        if not verify_fcs(data):
+            raise ValueError("FCS check failed")
+        fc, _dur, _da, sa, _bssid, seq = struct.unpack(
+            _MGMT_HEADER, data[:_MGMT_HEADER_BYTES]
+        )
+        if (fc >> 2) & 0x3 != 0 or (fc >> 4) & 0xF != cls.SUBTYPE:
+            raise ValueError("not a beacon frame")
+        timestamp, interval, capabilities = struct.unpack(
+            "<QHH", data[_MGMT_HEADER_BYTES : _MGMT_HEADER_BYTES + 12]
+        )
+        elements = InformationElement.parse_all(
+            data[_MGMT_HEADER_BYTES + 12 : -4]
+        )
+        ssid = ""
+        extra = []
+        for element in elements:
+            if element.element_id == ElementId.SSID:
+                ssid = element.body.decode(errors="replace")
+            elif element.element_id not in (
+                ElementId.SUPPORTED_RATES,
+                ElementId.HT_CAPABILITIES,
+            ):
+                extra.append(element)
+        return cls(
+            bssid=MacAddress(sa),
+            ssid=ssid,
+            beacon_interval_tu=interval,
+            capabilities=capabilities,
+            sequence=(seq >> 4) & 0xFFF,
+            timestamp_us=timestamp,
+            extra_elements=tuple(extra),
+        )
+
+    @property
+    def supports_ampdu(self) -> bool:
+        """Whether the beacon advertises HT (and with it A-MPDU RX).
+
+        WiTAG's single requirement on the network: frame aggregation.
+        (For a parsed beacon this is reflected by the HT element having
+        been present; serialization always includes it.)
+        """
+        return True
+
+
+@dataclass(frozen=True)
+class AssociationRequest:
+    """An association request from a client to an AP."""
+
+    client: MacAddress
+    bssid: MacAddress
+    ssid: str
+    capabilities: int = 0x0001
+    listen_interval: int = 10
+    sequence: int = 0
+
+    SUBTYPE = 0
+
+    def serialize(self) -> bytes:
+        header = _mgmt_header(
+            self.SUBTYPE, self.bssid, self.client, self.bssid, self.sequence
+        )
+        fixed = struct.pack("<HH", self.capabilities, self.listen_interval)
+        elements = (
+            ssid_element(self.ssid).serialize()
+            + supported_rates_element().serialize()
+            + ht_capabilities_element().serialize()
+        )
+        body = header + fixed + elements
+        return body + fcs_bytes(body)
+
+
+@dataclass(frozen=True)
+class AssociationResponse:
+    """The AP's answer: a status and an association ID (AID)."""
+
+    bssid: MacAddress
+    client: MacAddress
+    status: int = 0  # 0 = success
+    aid: int = 1
+    sequence: int = 0
+
+    SUBTYPE = 1
+
+    def serialize(self) -> bytes:
+        header = _mgmt_header(
+            self.SUBTYPE, self.client, self.bssid, self.bssid, self.sequence
+        )
+        fixed = struct.pack(
+            "<HHH", 0x0001, self.status, 0xC000 | self.aid
+        )
+        body = (
+            header
+            + fixed
+            + supported_rates_element().serialize()
+            + ht_capabilities_element().serialize()
+        )
+        return body + fcs_bytes(body)
+
+    @property
+    def success(self) -> bool:
+        return self.status == 0
+
+
+def associate(
+    client: MacAddress, beacon: Beacon
+) -> tuple[AssociationRequest, AssociationResponse]:
+    """The (always-successful, simulated) association handshake.
+
+    Returns the request/response pair a client exchanges with the AP it
+    discovered via ``beacon`` — after which WiTAG queries are just normal
+    data traffic on the association.
+    """
+    request = AssociationRequest(
+        client=client, bssid=beacon.bssid, ssid=beacon.ssid
+    )
+    response = AssociationResponse(bssid=beacon.bssid, client=client)
+    return request, response

@@ -1,0 +1,21 @@
+"""Link-layer security: AES-128 + CCMP (WPA2) and RC4 + WEP, from scratch.
+
+Present to demonstrate — not merely assert — the paper's claim that WiTAG
+operates unchanged on encrypted networks while symbol-modifying baselines
+cannot (paper §1, §2).
+"""
+
+from .aes import Aes128
+from .ccmp import CcmpContext, MicError, ccmp_header
+from .wep import IcvError, WepContext, rc4, rc4_keystream
+
+__all__ = [
+    "Aes128",
+    "CcmpContext",
+    "IcvError",
+    "MicError",
+    "WepContext",
+    "ccmp_header",
+    "rc4",
+    "rc4_keystream",
+]

@@ -1,0 +1,191 @@
+"""Pure-Python AES-128 block cipher, implemented from first principles.
+
+WiTAG's headline compatibility claim is that it works on WPA-encrypted
+networks, because the tag corrupts *ciphertext* subframes and never needs
+to read or modify plaintext symbols (paper §1, §4).  To demonstrate that
+end-to-end, the reproduction encrypts query MPDUs with real CCMP, which
+needs AES-128.
+
+This implementation derives the S-box from GF(2^8) arithmetic rather than
+hardcoding it, and implements the full key schedule, SubBytes, ShiftRows,
+MixColumns and AddRoundKey.  It is validated against the FIPS-197 test
+vectors in the test suite.  Performance is adequate for the simulation
+workloads here; it is of course not constant-time and must never be used
+for actual security.
+"""
+
+from __future__ import annotations
+
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+N_ROUNDS = 10
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES reduction polynomial 0x11B."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0 by convention."""
+    if a == 0:
+        return 0
+    # a^254 = a^-1 in GF(2^8) (Fermat).
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = _gf_inverse(value)
+        out = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            out |= b << bit
+        sbox[value] = out
+    inverse = bytearray(256)
+    for i, v in enumerate(sbox):
+        inverse[v] = i
+    return bytes(sbox), bytes(inverse)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def expand_key(key: bytes) -> list[bytes]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for i in range(4, 4 * (N_ROUNDS + 1)):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            rotated = temp[1:] + temp[:1]
+            temp = bytes(SBOX[b] for b in rotated)
+            temp = bytes([temp[0] ^ _RCON[i // 4 - 1]]) + temp[1:]
+        words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(N_ROUNDS + 1)]
+
+
+def _sub_bytes(state: bytearray, box: bytes) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # Column-major state: byte index = 4*col + row.
+    for row in range(1, 4):
+        values = [state[4 * col + row] for col in range(4)]
+        values = values[row:] + values[:row]
+        for col in range(4):
+            state[4 * col + row] = values[col]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    for row in range(1, 4):
+        values = [state[4 * col + row] for col in range(4)]
+        values = values[-row:] + values[:-row]
+        for col in range(4):
+            state[4 * col + row] = values[col]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        state[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+        state[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+        state[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        state[4 * col + 0] = (
+            _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+        )
+        state[4 * col + 1] = (
+            _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+        )
+        state[4 * col + 2] = (
+            _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+        )
+        state[4 * col + 3] = (
+            _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+        )
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+class Aes128:
+    """AES-128 with a precomputed key schedule.
+
+    Example:
+        >>> cipher = Aes128(bytes(16))
+        >>> block = cipher.encrypt_block(bytes(16))
+        >>> cipher.decrypt_block(block) == bytes(16)
+        True
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_BYTES:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[0])
+        for rnd in range(1, N_ROUNDS):
+            _sub_bytes(state, SBOX)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[rnd])
+        _sub_bytes(state, SBOX)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[N_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_BYTES:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[N_ROUNDS])
+        _inv_shift_rows(state)
+        _sub_bytes(state, INV_SBOX)
+        for rnd in range(N_ROUNDS - 1, 0, -1):
+            _add_round_key(state, self._round_keys[rnd])
+            _inv_mix_columns(state)
+            _inv_shift_rows(state)
+            _sub_bytes(state, INV_SBOX)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)

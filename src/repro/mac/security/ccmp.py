@@ -1,0 +1,164 @@
+"""CCMP (AES-CCM) encryption of MPDU payloads, as used by WPA2.
+
+CCMP = Counter mode encryption + CBC-MAC authentication (CCM, RFC 3610),
+keyed with AES-128.  This is the cipher behind "WPA2-AES"; the reproduction
+uses it to demonstrate the paper's claim that WiTAG works with encrypted
+networks: the tag corrupts ciphertext subframes, the AP's FCS check fails,
+and the block-ACK bit flips — no decryption ever needed by the tag
+(paper §1 contribution 1, §2).
+
+The implementation follows RFC 3610 with the 802.11 parameter profile:
+M = 8 (MIC length), L = 2 (length field), 13-byte nonce built from the
+packet number and transmitter address.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .aes import Aes128, BLOCK_BYTES
+
+MIC_BYTES = 8
+#: CCMP header: PN0 PN1 rsvd keyid PN2 PN3 PN4 PN5.
+CCMP_HEADER_BYTES = 8
+_L = 2  # bytes in the length field
+_NONCE_BYTES = 15 - _L
+
+
+class MicError(ValueError):
+    """Raised when the CCMP MIC does not verify (tampered ciphertext)."""
+
+
+def _xor_block(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _pad_block(data: bytes) -> bytes:
+    remainder = len(data) % BLOCK_BYTES
+    if remainder == 0:
+        return data
+    return data + b"\x00" * (BLOCK_BYTES - remainder)
+
+
+def build_nonce(packet_number: int, transmitter: bytes, priority: int = 0) -> bytes:
+    """802.11 CCMP nonce: flags/priority octet + TA(6) + PN(6)."""
+    if not 0 <= packet_number < 2**48:
+        raise ValueError("packet number must fit in 48 bits")
+    if len(transmitter) != 6:
+        raise ValueError("transmitter address must be 6 bytes")
+    if not 0 <= priority <= 15:
+        raise ValueError("priority must be 0-15")
+    pn = packet_number.to_bytes(6, "big")
+    return bytes([priority]) + transmitter + pn
+
+
+def ccmp_header(packet_number: int, key_id: int = 0) -> bytes:
+    """The 8-byte CCMP header inserted after the MAC header."""
+    if not 0 <= packet_number < 2**48:
+        raise ValueError("packet number must fit in 48 bits")
+    if not 0 <= key_id <= 3:
+        raise ValueError("key id must be 0-3")
+    pn = packet_number.to_bytes(6, "little")
+    return bytes(
+        [pn[0], pn[1], 0x00, 0x20 | (key_id << 6), pn[2], pn[3], pn[4], pn[5]]
+    )
+
+
+def _cbc_mac(cipher: Aes128, nonce: bytes, aad: bytes, plaintext: bytes) -> bytes:
+    """CCM authentication tag (untruncated block) per RFC 3610."""
+    flags = 0x40 if aad else 0x00  # Adata
+    flags |= ((MIC_BYTES - 2) // 2) << 3
+    flags |= _L - 1
+    b0 = bytes([flags]) + nonce + struct.pack(">H", len(plaintext))
+    mac = cipher.encrypt_block(b0)
+    if aad:
+        aad_block = struct.pack(">H", len(aad)) + aad
+        aad_block = _pad_block(aad_block)
+        for i in range(0, len(aad_block), BLOCK_BYTES):
+            mac = cipher.encrypt_block(
+                _xor_block(mac, aad_block[i : i + BLOCK_BYTES])
+            )
+    padded = _pad_block(plaintext)
+    for i in range(0, len(padded), BLOCK_BYTES):
+        mac = cipher.encrypt_block(_xor_block(mac, padded[i : i + BLOCK_BYTES]))
+    return mac
+
+
+def _ctr_keystream(cipher: Aes128, nonce: bytes, n_blocks: int) -> bytes:
+    """CTR keystream blocks A_1..A_n (A_0 is reserved for the MIC)."""
+    stream = bytearray()
+    for counter in range(1, n_blocks + 1):
+        a_i = bytes([_L - 1]) + nonce + struct.pack(">H", counter)
+        stream.extend(cipher.encrypt_block(a_i))
+    return bytes(stream)
+
+
+def _mic_mask(cipher: Aes128, nonce: bytes) -> bytes:
+    a_0 = bytes([_L - 1]) + nonce + struct.pack(">H", 0)
+    return cipher.encrypt_block(a_0)[:MIC_BYTES]
+
+
+@dataclass
+class CcmpContext:
+    """A pairwise CCMP context (temporal key + packet-number counter)."""
+
+    temporal_key: bytes
+    packet_number: int = 1
+
+    def __post_init__(self) -> None:
+        self._cipher = Aes128(self.temporal_key)
+
+    def encrypt(
+        self, plaintext: bytes, transmitter: bytes, aad: bytes = b"",
+        priority: int = 0,
+    ) -> tuple[bytes, int]:
+        """Encrypt an MPDU body.
+
+        Returns:
+            (protected body, packet number used).  The protected body is
+            ``ccmp_header || ciphertext || MIC`` — what would follow the
+            MAC header on the air.
+        """
+        pn = self.packet_number
+        self.packet_number += 1
+        nonce = build_nonce(pn, transmitter, priority)
+        n_blocks = (len(plaintext) + BLOCK_BYTES - 1) // BLOCK_BYTES
+        keystream = _ctr_keystream(self._cipher, nonce, n_blocks)
+        ciphertext = _xor_block(plaintext, keystream[: len(plaintext)])
+        mic_full = _cbc_mac(self._cipher, nonce, aad, plaintext)
+        mic = _xor_block(mic_full[:MIC_BYTES], _mic_mask(self._cipher, nonce))
+        return ccmp_header(pn) + ciphertext + mic, pn
+
+    def decrypt(
+        self, protected: bytes, transmitter: bytes, aad: bytes = b"",
+        priority: int = 0,
+    ) -> bytes:
+        """Decrypt and verify a protected MPDU body.
+
+        Raises:
+            MicError: if the MIC fails — e.g. the ciphertext was altered,
+                which is exactly what happens when a HitchHike-style tag
+                rewrites symbols of an encrypted frame.
+            ValueError: if the body is too short to contain header + MIC.
+        """
+        if len(protected) < CCMP_HEADER_BYTES + MIC_BYTES:
+            raise ValueError("protected body too short")
+        header = protected[:CCMP_HEADER_BYTES]
+        pn_bytes = bytes(
+            [header[0], header[1], header[4], header[5], header[6], header[7]]
+        )
+        pn = int.from_bytes(pn_bytes, "little")
+        nonce = build_nonce(pn, transmitter, priority)
+        ciphertext = protected[CCMP_HEADER_BYTES:-MIC_BYTES]
+        received_mic = protected[-MIC_BYTES:]
+        n_blocks = (len(ciphertext) + BLOCK_BYTES - 1) // BLOCK_BYTES
+        keystream = _ctr_keystream(self._cipher, nonce, n_blocks)
+        plaintext = _xor_block(ciphertext, keystream[: len(ciphertext)])
+        mic_full = _cbc_mac(self._cipher, nonce, aad, plaintext)
+        expected = _xor_block(
+            mic_full[:MIC_BYTES], _mic_mask(self._cipher, nonce)
+        )
+        if expected != received_mic:
+            raise MicError("CCMP MIC verification failed")
+        return plaintext

@@ -1,0 +1,97 @@
+"""RC4 and WEP encapsulation.
+
+WEP is long broken, but the paper lists "works with WEP" alongside WPA as a
+compatibility requirement (§1) because many legacy deployments still used
+it in 2018.  The reproduction implements RC4 and the WEP encapsulation
+(IV + RC4(IV||key) over payload||ICV) to show that WiTAG is oblivious to
+the cipher in use, and that symbol-rewriting baselines break the ICV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crc import crc32
+
+#: WEP initialisation vector size.
+IV_BYTES = 3
+
+#: WEP integrity check value (CRC-32) size.
+ICV_BYTES = 4
+
+
+def rc4_keystream(key: bytes, length: int) -> bytes:
+    """Generate ``length`` bytes of RC4 keystream for ``key``."""
+    if not key:
+        raise ValueError("RC4 key must be non-empty")
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    # Key-scheduling algorithm.
+    s = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + s[i] + key[i % len(key)]) % 256
+        s[i], s[j] = s[j], s[i]
+    # Pseudo-random generation algorithm.
+    out = bytearray()
+    i = j = 0
+    for _ in range(length):
+        i = (i + 1) % 256
+        j = (j + s[i]) % 256
+        s[i], s[j] = s[j], s[i]
+        out.append(s[(s[i] + s[j]) % 256])
+    return bytes(out)
+
+
+def rc4(key: bytes, data: bytes) -> bytes:
+    """RC4 encrypt/decrypt (symmetric)."""
+    stream = rc4_keystream(key, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class IcvError(ValueError):
+    """Raised when the WEP ICV fails after decryption."""
+
+
+@dataclass
+class WepContext:
+    """A WEP key context with a rolling IV counter.
+
+    Attributes:
+        key: 5-byte (WEP-40) or 13-byte (WEP-104) shared key.
+        next_iv: the next IV value to use (24-bit counter).
+    """
+
+    key: bytes
+    next_iv: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.key) not in (5, 13):
+            raise ValueError(
+                f"WEP key must be 5 or 13 bytes, got {len(self.key)}"
+            )
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encapsulate: returns ``IV || key_id || RC4(payload || ICV)``."""
+        iv = self.next_iv.to_bytes(IV_BYTES, "big")
+        self.next_iv = (self.next_iv + 1) % (1 << 24)
+        icv = crc32(plaintext).to_bytes(ICV_BYTES, "little")
+        ciphertext = rc4(iv + self.key, plaintext + icv)
+        return iv + b"\x00" + ciphertext
+
+    def decrypt(self, protected: bytes) -> bytes:
+        """Decapsulate and verify the ICV.
+
+        Raises:
+            IcvError: if the integrity check fails.
+            ValueError: if the body is too short.
+        """
+        if len(protected) < IV_BYTES + 1 + ICV_BYTES:
+            raise ValueError("WEP body too short")
+        iv = protected[:IV_BYTES]
+        ciphertext = protected[IV_BYTES + 1 :]
+        plain_and_icv = rc4(iv + self.key, ciphertext)
+        plaintext, icv = plain_and_icv[:-ICV_BYTES], plain_and_icv[-ICV_BYTES:]
+        if crc32(plaintext).to_bytes(ICV_BYTES, "little") != icv:
+            raise IcvError("WEP ICV verification failed")
+        return plaintext

@@ -1,0 +1,83 @@
+"""Sequence-number management for the transmit side.
+
+A WiTAG client transmits long runs of query A-MPDUs; each MPDU needs a
+fresh modulo-4096 sequence number and each A-MPDU a starting sequence
+number (SSN) aligned with the recipient's block-ACK window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .block_ack import BLOCK_ACK_WINDOW, SEQUENCE_MODULUS
+
+
+@dataclass
+class SequenceCounter:
+    """Modulo-4096 per-TID sequence number allocator."""
+
+    _next: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self._next < SEQUENCE_MODULUS:
+            raise ValueError(f"initial sequence must be 0-4095, got {self._next}")
+
+    @property
+    def next_value(self) -> int:
+        """The sequence number the next allocation will return."""
+        return self._next
+
+    def allocate(self) -> int:
+        """Return the next sequence number and advance the counter."""
+        value = self._next
+        self._next = (self._next + 1) % SEQUENCE_MODULUS
+        return value
+
+    def allocate_block(self, count: int) -> list[int]:
+        """Allocate ``count`` consecutive sequence numbers.
+
+        Raises:
+            ValueError: if ``count`` exceeds the block-ACK window — an
+                A-MPDU cannot contain more MPDUs than one bitmap reports.
+        """
+        if not 1 <= count <= BLOCK_ACK_WINDOW:
+            raise ValueError(
+                f"block size must be 1-{BLOCK_ACK_WINDOW}, got {count}"
+            )
+        return [self.allocate() for _ in range(count)]
+
+
+@dataclass
+class TransmitWindow:
+    """Originator-side block-ACK window bookkeeping.
+
+    Tracks which sequence numbers in the current window have been
+    acknowledged, supporting the (future-work) retransmission logic and
+    the multi-round session layer.
+    """
+
+    ssn: int = 0
+    acked: set[int] = field(default_factory=set)
+
+    def advance_to(self, ssn: int) -> None:
+        """Slide the window to a new SSN, dropping stale state."""
+        if not 0 <= ssn < SEQUENCE_MODULUS:
+            raise ValueError(f"SSN must be 0-4095, got {ssn}")
+        self.ssn = ssn
+        self.acked = {
+            s for s in self.acked
+            if (s - ssn) % SEQUENCE_MODULUS < BLOCK_ACK_WINDOW
+        }
+
+    def apply_bitmap(self, ssn: int, bitmap: int) -> list[int]:
+        """Record a received block-ACK bitmap; return newly acked seqs."""
+        if ssn != self.ssn:
+            self.advance_to(ssn)
+        newly = []
+        for offset in range(BLOCK_ACK_WINDOW):
+            if bitmap & (1 << offset):
+                seq = (ssn + offset) % SEQUENCE_MODULUS
+                if seq not in self.acked:
+                    self.acked.add(seq)
+                    newly.append(seq)
+        return newly

@@ -1,0 +1,162 @@
+"""Airtime (frame duration) calculation for 802.11n/ac PPDUs.
+
+The WiTAG throughput model (paper §4.1) is an airtime argument: the tag
+sends one bit per A-MPDU subframe, so tag throughput equals
+
+    usable_subframes / (A-MPDU airtime + SIFS + block-ACK airtime + IFS)
+
+Minimising MPDU payload size and raising the PHY rate shrinks the
+denominator.  This module computes PPDU durations exactly the way the
+standard does: preamble + ceil(payload bits / bits-per-symbol) symbols.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .constants import (
+    SERVICE_BITS,
+    SYMBOL_LONG_GI_S,
+    SYMBOL_SHORT_GI_S,
+    TAIL_BITS_PER_ENCODER,
+)
+from .mcs import Mcs
+from .preamble import PhyFormat, PreambleInfo, preamble_info
+
+
+@dataclass(frozen=True)
+class PpduTiming:
+    """Complete timing breakdown of one PPDU carrying a PSDU.
+
+    Attributes:
+        preamble: the preamble decomposition.
+        n_symbols: number of data OFDM symbols.
+        symbol_s: duration of each data symbol (GI dependent).
+        psdu_bytes: size of the carried PSDU (A-MPDU) in bytes.
+    """
+
+    preamble: PreambleInfo
+    n_symbols: int
+    symbol_s: float
+    psdu_bytes: int
+
+    @property
+    def data_s(self) -> float:
+        """Duration of the data portion."""
+        return self.n_symbols * self.symbol_s
+
+    @property
+    def total_s(self) -> float:
+        """Total PPDU airtime in seconds."""
+        return self.preamble.total_s + self.data_s
+
+    def symbol_window(self, first_bit: int, last_bit: int,
+                      bits_per_symbol: float) -> tuple[float, float]:
+        """Time window (relative to PPDU start) covering a PSDU bit range.
+
+        Used by the tag timing model to find when a given subframe is on
+        the air.  Bits are indexed within the PSDU (service/tail excluded).
+        """
+        if first_bit < 0 or last_bit < first_bit:
+            raise ValueError(
+                f"invalid bit range [{first_bit}, {last_bit}]"
+            )
+        first_symbol = int((SERVICE_BITS + first_bit) // bits_per_symbol)
+        last_symbol = int((SERVICE_BITS + last_bit) // bits_per_symbol)
+        start = self.preamble.total_s + first_symbol * self.symbol_s
+        end = self.preamble.total_s + (last_symbol + 1) * self.symbol_s
+        return start, min(end, self.total_s)
+
+
+def ppdu_airtime(
+    psdu_bytes: int,
+    mcs: Mcs,
+    *,
+    channel_width_mhz: int = 20,
+    short_gi: bool = False,
+    phy_format: PhyFormat = PhyFormat.HT_MIXED,
+) -> PpduTiming:
+    """Compute the airtime of a PPDU carrying ``psdu_bytes`` of PSDU.
+
+    Follows the standard's TXTIME equation: the data portion carries the
+    16 service bits, the PSDU, and 6 tail bits per BCC encoder, rounded up
+    to whole OFDM symbols.
+
+    Raises:
+        ValueError: if ``psdu_bytes`` is negative.
+    """
+    if psdu_bytes < 0:
+        raise ValueError(f"psdu_bytes must be >= 0, got {psdu_bytes}")
+    pre = preamble_info(phy_format, mcs.spatial_streams)
+    bits = SERVICE_BITS + 8 * psdu_bytes + TAIL_BITS_PER_ENCODER
+    dbps = mcs.data_bits_per_symbol(channel_width_mhz)
+    n_symbols = max(1, math.ceil(bits / dbps))
+    symbol_s = SYMBOL_SHORT_GI_S if short_gi else SYMBOL_LONG_GI_S
+    return PpduTiming(
+        preamble=pre,
+        n_symbols=n_symbols,
+        symbol_s=symbol_s,
+        psdu_bytes=psdu_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class SubframeSchedule:
+    """On-air schedule of each A-MPDU subframe within a PPDU.
+
+    The tag uses (a detected version of) this schedule to align its
+    reflection toggles with subframe boundaries.
+
+    Attributes:
+        timing: the enclosing PPDU timing.
+        windows: per-subframe (start_s, end_s) offsets from PPDU start.
+    """
+
+    timing: PpduTiming
+    windows: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+
+    @property
+    def n_subframes(self) -> int:
+        return len(self.windows)
+
+
+def subframe_schedule(
+    subframe_bytes: list[int],
+    mcs: Mcs,
+    *,
+    channel_width_mhz: int = 20,
+    short_gi: bool = False,
+    phy_format: PhyFormat = PhyFormat.HT_MIXED,
+) -> SubframeSchedule:
+    """Compute when each subframe of an A-MPDU is on the air.
+
+    Args:
+        subframe_bytes: serialized length (delimiter + MPDU + padding) of
+            each subframe, in PSDU order.
+        mcs: transmission MCS.
+
+    Returns:
+        A :class:`SubframeSchedule` whose windows partition the data
+        portion of the PPDU (boundaries rounded to OFDM symbols, since a
+        symbol is the smallest decodable unit).
+    """
+    total = sum(subframe_bytes)
+    timing = ppdu_airtime(
+        total,
+        mcs,
+        channel_width_mhz=channel_width_mhz,
+        short_gi=short_gi,
+        phy_format=phy_format,
+    )
+    dbps = mcs.data_bits_per_symbol(channel_width_mhz)
+    windows: list[tuple[float, float]] = []
+    bit_cursor = 0
+    for size in subframe_bytes:
+        if size <= 0:
+            raise ValueError(f"subframe sizes must be positive, got {size}")
+        first = bit_cursor
+        last = bit_cursor + 8 * size - 1
+        windows.append(timing.symbol_window(first, last, dbps))
+        bit_cursor = last + 1
+    return SubframeSchedule(timing=timing, windows=tuple(windows))

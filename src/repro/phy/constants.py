@@ -1,0 +1,178 @@
+"""Physical-layer constants for IEEE 802.11n/ac OFDM.
+
+These values come from the IEEE 802.11-2016 standard (clauses 17, 19 and 21
+covering OFDM, HT and VHT PHYs).  WiTAG (Abedi et al., HotNets 2018) relies
+on a handful of them directly:
+
+* the OFDM symbol duration (3.2 us + guard interval), which sets the time
+  granularity at which a tag can toggle its reflection;
+* the preamble structure, because the receiver estimates the channel *once*
+  per A-MPDU using the training fields at the start of the PHY header; and
+* the subcarrier layout, which determines per-subcarrier channel state
+  information (CSI).
+
+Everything here is a plain module-level constant or a small enum so that the
+rest of the library can reference standard numbers by name instead of magic
+literals.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# ---------------------------------------------------------------------------
+# Timing (all seconds)
+# ---------------------------------------------------------------------------
+
+#: Duration of the useful (FFT) portion of one OFDM symbol.
+OFDM_SYMBOL_USEFUL_S = 3.2e-6
+
+#: Long guard interval (standard 802.11a/g/n/ac).
+GUARD_INTERVAL_LONG_S = 0.8e-6
+
+#: Short guard interval (optional in 802.11n/ac).
+GUARD_INTERVAL_SHORT_S = 0.4e-6
+
+#: OFDM symbol duration with the long guard interval.
+SYMBOL_LONG_GI_S = OFDM_SYMBOL_USEFUL_S + GUARD_INTERVAL_LONG_S  # 4.0 us
+
+#: OFDM symbol duration with the short guard interval.
+SYMBOL_SHORT_GI_S = OFDM_SYMBOL_USEFUL_S + GUARD_INTERVAL_SHORT_S  # 3.6 us
+
+#: Short interframe space for OFDM PHYs in the 5 GHz band.
+SIFS_5GHZ_S = 16e-6
+
+#: Short interframe space in the 2.4 GHz band (802.11n).
+SIFS_2_4GHZ_S = 10e-6
+
+#: Slot time for OFDM PHYs.
+SLOT_TIME_S = 9e-6
+
+#: DIFS = SIFS + 2 * slot.  Computed for the 5 GHz band.
+DIFS_5GHZ_S = SIFS_5GHZ_S + 2 * SLOT_TIME_S
+
+#: Legacy (non-HT) preamble: L-STF (8 us) + L-LTF (8 us) + L-SIG (4 us).
+LEGACY_PREAMBLE_S = 20e-6
+
+#: HT-mixed preamble additions: HT-SIG (8 us) + HT-STF (4 us).
+HT_SIG_S = 8e-6
+HT_STF_S = 4e-6
+
+#: Each HT-LTF (one per spatial stream, first one included) lasts 4 us.
+HT_LTF_S = 4e-6
+
+#: VHT preamble additions: VHT-SIG-A (8 us) + VHT-STF (4 us) + VHT-SIG-B (4 us).
+VHT_SIG_A_S = 8e-6
+VHT_STF_S = 4e-6
+VHT_SIG_B_S = 4e-6
+VHT_LTF_S = 4e-6
+
+# ---------------------------------------------------------------------------
+# Subcarriers
+# ---------------------------------------------------------------------------
+
+#: Data subcarriers for HT (802.11n) 20 MHz channels.
+DATA_SUBCARRIERS_HT20 = 52
+
+#: Data subcarriers for HT/VHT 40 MHz channels.
+DATA_SUBCARRIERS_40 = 108
+
+#: Data subcarriers for VHT 80 MHz channels.
+DATA_SUBCARRIERS_80 = 234
+
+#: Data subcarriers for VHT 160 MHz channels.
+DATA_SUBCARRIERS_160 = 468
+
+#: Pilot subcarriers per channel width.
+PILOT_SUBCARRIERS = {20: 4, 40: 6, 80: 8, 160: 16}
+
+#: Subcarrier spacing (Hz) for 802.11n/ac.
+SUBCARRIER_SPACING_HZ = 312.5e3
+
+# ---------------------------------------------------------------------------
+# MAC-related PHY limits
+# ---------------------------------------------------------------------------
+
+#: Maximum number of MPDUs in an A-MPDU acknowledged by one block ACK bitmap.
+MAX_AMPDU_SUBFRAMES = 64
+
+#: Maximum A-MPDU length for 802.11n (bytes).
+MAX_AMPDU_BYTES_HT = 65_535
+
+#: Maximum A-MPDU length for 802.11ac (bytes).
+MAX_AMPDU_BYTES_VHT = 1_048_575
+
+#: OFDM service field bits prepended to the PSDU before scrambling.
+SERVICE_BITS = 16
+
+#: Tail bits appended per BCC encoder.
+TAIL_BITS_PER_ENCODER = 6
+
+# ---------------------------------------------------------------------------
+# Radio constants
+# ---------------------------------------------------------------------------
+
+#: Speed of light (m/s); used for wavelength and free-space path loss.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: Boltzmann constant (J/K) for thermal-noise computations.
+BOLTZMANN_J_PER_K = 1.380_649e-23
+
+#: Reference temperature (K) for noise figure calculations.
+REFERENCE_TEMPERATURE_K = 290.0
+
+#: Centre frequency of 2.4 GHz WiFi channel 6, used as the default band.
+DEFAULT_CARRIER_HZ = 2.437e9
+
+#: Centre frequency of 5 GHz WiFi channel 36.
+CARRIER_5GHZ_HZ = 5.18e9
+
+
+class Band(enum.Enum):
+    """WiFi operating band.
+
+    The band matters for SIFS timing and for the wavelength used in
+    reflection/path-loss computations.
+    """
+
+    GHZ_2_4 = "2.4GHz"
+    GHZ_5 = "5GHz"
+
+    @property
+    def sifs_s(self) -> float:
+        """Short interframe space for this band."""
+        return SIFS_2_4GHZ_S if self is Band.GHZ_2_4 else SIFS_5GHZ_S
+
+    @property
+    def default_carrier_hz(self) -> float:
+        """A representative carrier frequency for this band."""
+        return DEFAULT_CARRIER_HZ if self is Band.GHZ_2_4 else CARRIER_5GHZ_HZ
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength in metres."""
+        return SPEED_OF_LIGHT_M_S / self.default_carrier_hz
+
+
+def data_subcarriers(channel_width_mhz: int) -> int:
+    """Return the number of data subcarriers for a channel width.
+
+    Args:
+        channel_width_mhz: one of 20, 40, 80 or 160.
+
+    Raises:
+        ValueError: for unsupported widths.
+    """
+    table = {
+        20: DATA_SUBCARRIERS_HT20,
+        40: DATA_SUBCARRIERS_40,
+        80: DATA_SUBCARRIERS_80,
+        160: DATA_SUBCARRIERS_160,
+    }
+    try:
+        return table[channel_width_mhz]
+    except KeyError:
+        raise ValueError(
+            f"unsupported channel width {channel_width_mhz} MHz; "
+            f"expected one of {sorted(table)}"
+        ) from None

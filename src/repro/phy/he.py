@@ -1,0 +1,152 @@
+"""802.11ax (HE) rate and airtime support.
+
+Paper §4: "In addition to currently available 802.11n and ac networks,
+WiTAG will be compatible with the 802.11ax standard ... because it also
+supports A-MPDU aggregation."  This module provides the HE numerology —
+4x longer OFDM symbols (12.8 us), tighter subcarrier spacing (78.125 kHz,
+234 data tones in 20 MHz), MCS 0-11 up to 1024-QAM — so the claim can be
+checked quantitatively: HE subframes still quantise onto the tag's clock
+grid and the throughput model still lands at the same tag rate, because
+WiTAG's rate is set by the tag clock, not by the PHY generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: HE OFDM useful symbol duration (4x the legacy 3.2 us).
+HE_SYMBOL_USEFUL_S = 12.8e-6
+
+#: HE guard intervals.
+HE_GI_SHORT_S = 0.8e-6
+HE_GI_MEDIUM_S = 1.6e-6
+HE_GI_LONG_S = 3.2e-6
+
+#: HE data subcarriers (tones) per channel width (full-bandwidth RU).
+HE_DATA_SUBCARRIERS = {20: 234, 40: 468, 80: 980, 160: 1960}
+
+#: HE-SU preamble: L-preamble(20) + RL-SIG(4) + HE-SIG-A(8) + HE-STF(4).
+HE_SU_PREAMBLE_BASE_S = 36e-6
+
+#: Each HE-LTF (2x mode) lasts 8 us including its GI.
+HE_LTF_S = 8e-6
+
+#: Exact bits-per-subcarrier for HE MCS 0-11 (1024-QAM = 10 bits).
+_HE_BITS_PER_SC = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5, 5.0, 6.0, 20 / 3, 7.5, 25 / 3)
+
+
+@dataclass(frozen=True)
+class HeMcs:
+    """An 802.11ax MCS (0-11) with a spatial-stream count.
+
+    Rates are computed from the exact per-tone information bits, so they
+    match the published tables (e.g. HE MCS 11, 20 MHz, 1 stream, 0.8 us
+    GI = 143.4 Mb/s).
+    """
+
+    index: int
+    spatial_streams: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= 11:
+            raise ValueError(f"HE MCS index must be 0-11, got {self.index}")
+        if not 1 <= self.spatial_streams <= 8:
+            raise ValueError(
+                f"spatial streams must be 1-8, got {self.spatial_streams}"
+            )
+
+    @property
+    def info_bits_per_subcarrier(self) -> float:
+        """Information bits carried per data tone per symbol."""
+        return _HE_BITS_PER_SC[self.index]
+
+    def data_bits_per_symbol(self, channel_width_mhz: int = 20) -> float:
+        """Data bits per OFDM symbol (all streams)."""
+        try:
+            tones = HE_DATA_SUBCARRIERS[channel_width_mhz]
+        except KeyError:
+            raise ValueError(
+                f"unsupported HE channel width {channel_width_mhz} MHz"
+            ) from None
+        return tones * self.info_bits_per_subcarrier * self.spatial_streams
+
+    def data_rate_bps(
+        self, channel_width_mhz: int = 20, gi_s: float = HE_GI_SHORT_S
+    ) -> float:
+        """PHY data rate for a guard-interval choice."""
+        if gi_s not in (HE_GI_SHORT_S, HE_GI_MEDIUM_S, HE_GI_LONG_S):
+            raise ValueError(f"invalid HE guard interval {gi_s}")
+        symbol_s = HE_SYMBOL_USEFUL_S + gi_s
+        return self.data_bits_per_symbol(channel_width_mhz) / symbol_s
+
+
+def he_symbol_duration_s(gi_s: float = HE_GI_SHORT_S) -> float:
+    """Full HE symbol duration for a guard interval."""
+    if gi_s not in (HE_GI_SHORT_S, HE_GI_MEDIUM_S, HE_GI_LONG_S):
+        raise ValueError(f"invalid HE guard interval {gi_s}")
+    return HE_SYMBOL_USEFUL_S + gi_s
+
+
+def he_preamble_s(spatial_streams: int = 1) -> float:
+    """HE-SU preamble duration (2x HE-LTF mode)."""
+    if not 1 <= spatial_streams <= 8:
+        raise ValueError(
+            f"spatial streams must be 1-8, got {spatial_streams}"
+        )
+    # LTF symbols come in counts {1,2,4,6,8} for 1-8 streams.
+    for count in (1, 2, 4, 6, 8):
+        if count >= spatial_streams:
+            n_ltf = count
+            break
+    return HE_SU_PREAMBLE_BASE_S + n_ltf * HE_LTF_S
+
+
+def he_ppdu_airtime_s(
+    psdu_bytes: int,
+    mcs: HeMcs,
+    *,
+    channel_width_mhz: int = 20,
+    gi_s: float = HE_GI_SHORT_S,
+) -> float:
+    """Airtime of an HE-SU PPDU carrying ``psdu_bytes``."""
+    if psdu_bytes < 0:
+        raise ValueError(f"psdu_bytes must be >= 0, got {psdu_bytes}")
+    bits = 16 + 8 * psdu_bytes + 6
+    dbps = mcs.data_bits_per_symbol(channel_width_mhz)
+    n_symbols = max(1, math.ceil(bits / dbps))
+    return he_preamble_s(mcs.spatial_streams) + n_symbols * he_symbol_duration_s(gi_s)
+
+
+def witag_he_throughput_bps(
+    *,
+    n_subframes: int = 64,
+    n_trigger_subframes: int = 2,
+    tag_clock_hz: float = 50e3,
+    mcs: HeMcs | None = None,
+    channel_width_mhz: int = 20,
+    sifs_s: float = 10e-6,
+    access_s: float = 95.5e-6,
+    block_ack_s: float = 32e-6,
+) -> float:
+    """Tag throughput when queries ride 802.11ax PPDUs.
+
+    Subframes are padded to whole tag-clock periods exactly as with
+    HT/VHT; an HE symbol (13.6 us with 0.8 us GI) is *longer* than the
+    50 kHz clock period, so HE subframes quantise to one symbol each
+    (~14.4 us effective with padding to clock grid handled by rounding
+    up), and throughput stays in the same tens-of-Kbps regime — the tag
+    clock, not the PHY generation, sets the rate.
+    """
+    if mcs is None:
+        mcs = HeMcs(7)
+    symbol_s = he_symbol_duration_s()
+    clock_period = 1.0 / tag_clock_hz
+    # Subframe occupies the smallest whole number of symbols covering at
+    # least one clock period.
+    symbols_per_subframe = max(1, math.ceil(clock_period / symbol_s))
+    subframe_s = symbols_per_subframe * symbol_s
+    data_s = n_subframes * subframe_s
+    ppdu_s = he_preamble_s(mcs.spatial_streams) + data_s
+    cycle_s = access_s + ppdu_s + sifs_s + block_ack_s
+    return (n_subframes - n_trigger_subframes) / cycle_s

@@ -1,0 +1,159 @@
+"""IEEE 802.11n (HT) and 802.11ac (VHT) MCS tables.
+
+WiTAG queries are ordinary A-MPDUs sent at a real MCS; the paper notes
+(§4.1) that query frames should use *"the highest PHY-layer transmission
+rate that achieves a near-zero error rate"* so that natural losses are not
+confused with tag bits.  The experiment harness therefore needs the full
+rate tables to trade airtime against robustness.
+
+An :class:`Mcs` bundles modulation, coding rate and spatial streams and can
+compute its data rate for any channel width / guard interval combination,
+reproducing the familiar published numbers (e.g. HT MCS 7 = 72.2 Mb/s at
+20 MHz short GI; VHT MCS 9, 80 MHz, 3 streams = 1300 Mb/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import (
+    SYMBOL_LONG_GI_S,
+    SYMBOL_SHORT_GI_S,
+    data_subcarriers,
+)
+from .modulation import (
+    CodingRate,
+    Modulation,
+    RATE_1_2,
+    RATE_2_3,
+    RATE_3_4,
+    RATE_5_6,
+)
+
+#: (modulation, coding rate) for base MCS indices 0-9.  HT uses 0-7 per
+#: stream group; VHT extends to 8 (256-QAM 3/4) and 9 (256-QAM 5/6).
+_BASE_MCS: tuple[tuple[Modulation, CodingRate], ...] = (
+    (Modulation.BPSK, RATE_1_2),  # 0
+    (Modulation.QPSK, RATE_1_2),  # 1
+    (Modulation.QPSK, RATE_3_4),  # 2
+    (Modulation.QAM16, RATE_1_2),  # 3
+    (Modulation.QAM16, RATE_3_4),  # 4
+    (Modulation.QAM64, RATE_2_3),  # 5
+    (Modulation.QAM64, RATE_3_4),  # 6
+    (Modulation.QAM64, RATE_5_6),  # 7
+    (Modulation.QAM256, RATE_3_4),  # 8 (VHT only)
+    (Modulation.QAM256, RATE_5_6),  # 9 (VHT only)
+)
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """A modulation-and-coding scheme with a spatial-stream count.
+
+    Attributes:
+        index: the per-stream MCS index (0-7 for HT, 0-9 for VHT).
+        modulation: subcarrier modulation.
+        coding_rate: convolutional coding rate.
+        spatial_streams: number of spatial streams (1-4 modelled).
+    """
+
+    index: int
+    modulation: Modulation
+    coding_rate: CodingRate
+    spatial_streams: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= 9:
+            raise ValueError(f"MCS index must be 0-9, got {self.index}")
+        if not 1 <= self.spatial_streams <= 4:
+            raise ValueError(
+                f"spatial streams must be 1-4, got {self.spatial_streams}"
+            )
+
+    def data_bits_per_symbol(self, channel_width_mhz: int = 20) -> float:
+        """Data bits conveyed per OFDM symbol (N_DBPS)."""
+        n_sd = data_subcarriers(channel_width_mhz)
+        coded = n_sd * self.modulation.bits_per_symbol * self.spatial_streams
+        return coded * self.coding_rate.value
+
+    def data_rate_bps(
+        self, channel_width_mhz: int = 20, short_gi: bool = False
+    ) -> float:
+        """PHY data rate in bits per second."""
+        symbol_s = SYMBOL_SHORT_GI_S if short_gi else SYMBOL_LONG_GI_S
+        return self.data_bits_per_symbol(channel_width_mhz) / symbol_s
+
+    @property
+    def ht_index(self) -> int:
+        """The flattened 802.11n MCS index (streams folded in, 0-31)."""
+        if self.index > 7:
+            raise ValueError("HT MCS indices only cover base MCS 0-7")
+        return (self.spatial_streams - 1) * 8 + self.index
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MCS{self.index} ({self.modulation.value} "
+            f"{self.coding_rate}, {self.spatial_streams}ss)"
+        )
+
+
+def ht_mcs(index: int) -> Mcs:
+    """Build an 802.11n MCS from its flattened index 0-31.
+
+    Index 0-7 are one stream, 8-15 two streams, and so on — the encoding
+    used by HT rate tables and by drivers like ath9k.
+    """
+    if not 0 <= index <= 31:
+        raise ValueError(f"HT MCS index must be 0-31, got {index}")
+    streams, base = divmod(index, 8)
+    modulation, rate = _BASE_MCS[base]
+    return Mcs(base, modulation, rate, spatial_streams=streams + 1)
+
+
+def vht_mcs(index: int, spatial_streams: int = 1) -> Mcs:
+    """Build an 802.11ac MCS (base index 0-9 plus a stream count)."""
+    if not 0 <= index <= 9:
+        raise ValueError(f"VHT MCS index must be 0-9, got {index}")
+    modulation, rate = _BASE_MCS[index]
+    return Mcs(index, modulation, rate, spatial_streams=spatial_streams)
+
+
+#: Minimum receiver sensitivity SNR (dB) commonly required per base MCS for
+#: a 10% PER on 1000-byte frames over AWGN.  Derived from 802.11 receiver
+#: minimum input sensitivity tables; used for rate selection heuristics.
+MCS_MIN_SNR_DB: dict[int, float] = {
+    0: 2.0,
+    1: 5.0,
+    2: 9.0,
+    3: 11.0,
+    4: 15.0,
+    5: 18.0,
+    6: 20.0,
+    7: 25.0,
+    8: 29.0,
+    9: 31.0,
+}
+
+
+def highest_reliable_mcs(
+    snr_db: float,
+    *,
+    margin_db: float = 3.0,
+    spatial_streams: int = 1,
+    allow_vht: bool = False,
+) -> Mcs:
+    """Pick the fastest MCS whose sensitivity threshold clears ``snr_db``.
+
+    This mirrors the rate-selection guidance in WiTAG §4.1: use the highest
+    rate that still achieves near-zero loss, leaving ``margin_db`` of
+    headroom so that environmental fading does not masquerade as tag data.
+
+    Always returns at least MCS 0.
+    """
+    top = 9 if allow_vht else 7
+    best = 0
+    for idx in range(top + 1):
+        if snr_db - margin_db >= MCS_MIN_SNR_DB[idx]:
+            best = idx
+    modulation, rate = _BASE_MCS[best]
+    return Mcs(best, modulation, rate, spatial_streams=spatial_streams)

@@ -1,0 +1,84 @@
+"""Thermal noise and receiver SNR computation.
+
+Standard link-budget machinery: the noise floor of a WiFi receiver is
+``kTB`` (about -101 dBm for 20 MHz at 290 K) raised by the receiver's
+noise figure.  All powers in this library are carried in dBm at API
+boundaries and converted to watts internally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import BOLTZMANN_J_PER_K, REFERENCE_TEMPERATURE_K
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert power in dBm to watts."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert power in watts to dBm.
+
+    Raises:
+        ValueError: for non-positive power.
+    """
+    if watts <= 0:
+        raise ValueError(f"power must be > 0 W, got {watts}")
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def thermal_noise_dbm(
+    bandwidth_hz: float, temperature_k: float = REFERENCE_TEMPERATURE_K
+) -> float:
+    """Thermal noise power kTB in dBm for a given bandwidth."""
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be > 0 Hz, got {bandwidth_hz}")
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be > 0 K, got {temperature_k}")
+    return watts_to_dbm(BOLTZMANN_J_PER_K * temperature_k * bandwidth_hz)
+
+
+@dataclass(frozen=True)
+class ReceiverNoise:
+    """Noise model of a WiFi receiver front end.
+
+    Attributes:
+        bandwidth_hz: occupied channel bandwidth.
+        noise_figure_db: receiver noise figure (typical commodity NICs:
+            5-8 dB).
+        temperature_k: ambient temperature.
+    """
+
+    bandwidth_hz: float = 20e6
+    noise_figure_db: float = 6.0
+    temperature_k: float = REFERENCE_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.noise_figure_db < 0:
+            raise ValueError("noise figure cannot be negative")
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Total noise power referred to the receiver input."""
+        return (
+            thermal_noise_dbm(self.bandwidth_hz, self.temperature_k)
+            + self.noise_figure_db
+        )
+
+    @property
+    def noise_floor_w(self) -> float:
+        """Noise floor in watts."""
+        return dbm_to_watts(self.noise_floor_dbm)
+
+    def snr_db(self, rx_power_dbm: float) -> float:
+        """SNR for a given received signal power."""
+        return rx_power_dbm - self.noise_floor_dbm
+
+    def snr_linear(self, rx_power_dbm: float) -> float:
+        """Linear SNR for a given received signal power."""
+        return 10.0 ** (self.snr_db(rx_power_dbm) / 10.0)

@@ -1,0 +1,68 @@
+"""OFDM subcarrier layout helpers.
+
+WiTAG's tag perturbs the *channel*, and real channels are frequency
+selective: the tag's reflected path is longer than the direct path, so its
+contribution rotates in phase across subcarriers.  The experiment substrate
+models channels per subcarrier; this module provides the subcarrier grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import SUBCARRIER_SPACING_HZ, data_subcarriers
+
+#: Occupied subcarrier index ranges per channel width (HT/VHT layouts),
+#: expressed as (negative edge, positive edge) excluding DC.
+_EDGE_INDEX = {20: 28, 40: 58, 80: 122, 160: 250}
+
+
+def subcarrier_offsets_hz(channel_width_mhz: int = 20) -> np.ndarray:
+    """Frequency offsets of the occupied subcarriers from the carrier.
+
+    Returns a 1-D float array of length ``data_subcarriers(width) + pilots``
+    approximated as a contiguous symmetric grid with the DC null removed.
+    The exact pilot positions are immaterial to channel modelling, so the
+    grid simply spans the occupied band.
+
+    Raises:
+        ValueError: for unsupported widths.
+    """
+    if channel_width_mhz not in _EDGE_INDEX:
+        raise ValueError(
+            f"unsupported channel width {channel_width_mhz} MHz"
+        )
+    edge = _EDGE_INDEX[channel_width_mhz]
+    indices = np.concatenate(
+        [np.arange(-edge, 0), np.arange(1, edge + 1)]
+    )
+    return indices * SUBCARRIER_SPACING_HZ
+
+
+def data_subcarrier_offsets_hz(channel_width_mhz: int = 20) -> np.ndarray:
+    """Offsets of (approximately) the data subcarriers only.
+
+    Drops evenly spaced entries from the occupied grid to match the data
+    subcarrier count, a faithful-enough layout for channel statistics.
+    """
+    grid = subcarrier_offsets_hz(channel_width_mhz)
+    n_data = data_subcarriers(channel_width_mhz)
+    if n_data >= grid.size:
+        return grid
+    pick = np.linspace(0, grid.size - 1, n_data).round().astype(int)
+    return grid[pick]
+
+
+def delay_phase_rotation(
+    offsets_hz: np.ndarray, excess_delay_s: float
+) -> np.ndarray:
+    """Per-subcarrier phase factor for a path with extra propagation delay.
+
+    A reflected path arriving ``excess_delay_s`` after the direct path
+    contributes ``exp(-j * 2 * pi * f_k * tau)`` at subcarrier offset
+    ``f_k``.  This is what makes the tag's channel perturbation frequency
+    selective.
+    """
+    if excess_delay_s < 0:
+        raise ValueError(f"excess delay must be >= 0, got {excess_delay_s}")
+    return np.exp(-2j * np.pi * offsets_hz * excess_delay_s)

@@ -1,0 +1,102 @@
+"""PHY preamble structure and timing for HT (802.11n) and VHT (802.11ac).
+
+The preamble matters enormously to WiTAG: the receiver estimates the channel
+from the training fields at the *start* of the PHY frame and then uses that
+single estimate for every subframe in the A-MPDU (paper §3.2, §5).  A tag
+that keeps its reflection constant through the preamble and flips it during
+subframe *k* therefore invalidates the estimate for subframe *k* only.
+
+This module computes preamble composition and duration, and exposes the
+training-field window so the tag model knows when it must hold its
+reflection state steady.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .constants import (
+    HT_LTF_S,
+    HT_SIG_S,
+    HT_STF_S,
+    LEGACY_PREAMBLE_S,
+    VHT_LTF_S,
+    VHT_SIG_A_S,
+    VHT_SIG_B_S,
+    VHT_STF_S,
+)
+
+
+class PhyFormat(enum.Enum):
+    """PPDU format; WiTAG works with both HT and VHT (and by extension HE)."""
+
+    HT_MIXED = "HT-mixed"
+    VHT = "VHT"
+
+
+#: Number of long training fields required per spatial-stream count.  The
+#: standard maps {1:1, 2:2, 3:4, 4:4} (HT-LTFs come in powers of two above 2).
+_LTF_COUNT = {1: 1, 2: 2, 3: 4, 4: 4}
+
+
+@dataclass(frozen=True)
+class PreambleInfo:
+    """Timing decomposition of a PPDU preamble.
+
+    Attributes:
+        phy_format: HT or VHT.
+        spatial_streams: number of space-time streams.
+        legacy_s: duration of the legacy L-STF+L-LTF+L-SIG portion.
+        signaling_s: HT-SIG or VHT-SIG-A/B duration.
+        training_s: duration of the (HT/VHT)-STF and LTF fields.
+    """
+
+    phy_format: PhyFormat
+    spatial_streams: int
+    legacy_s: float
+    signaling_s: float
+    training_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total preamble duration in seconds."""
+        return self.legacy_s + self.signaling_s + self.training_s
+
+    @property
+    def channel_estimation_end_s(self) -> float:
+        """Offset from PPDU start at which channel estimation completes.
+
+        A WiTAG tag must not change its reflection state before this point,
+        otherwise the corrupted estimate would affect *all* subframes.
+        """
+        return self.total_s
+
+
+def preamble_info(
+    phy_format: PhyFormat, spatial_streams: int = 1
+) -> PreambleInfo:
+    """Compute preamble composition for a format and stream count.
+
+    Raises:
+        ValueError: if ``spatial_streams`` is outside 1-4.
+    """
+    if spatial_streams not in _LTF_COUNT:
+        raise ValueError(
+            f"spatial streams must be in {sorted(_LTF_COUNT)}, "
+            f"got {spatial_streams}"
+        )
+    n_ltf = _LTF_COUNT[spatial_streams]
+    if phy_format is PhyFormat.HT_MIXED:
+        signaling = HT_SIG_S
+        training = HT_STF_S + n_ltf * HT_LTF_S
+    else:
+        signaling = VHT_SIG_A_S + VHT_SIG_B_S
+        training = VHT_STF_S + n_ltf * VHT_LTF_S
+    return PreambleInfo(
+        phy_format=phy_format,
+        spatial_streams=spatial_streams,
+        legacy_s=LEGACY_PREAMBLE_S,
+        signaling_s=signaling,
+        training_s=training,
+    )

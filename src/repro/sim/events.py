@@ -1,0 +1,113 @@
+"""A minimal discrete-event simulation core.
+
+Used by the multi-station / multi-tag scenarios (contending WiFi traffic
+around a WiTAG deployment, round-robin tag polling) and available to
+downstream users building richer deployments.  Deliberately tiny: a
+monotonic clock, a heap of timestamped events, and deterministic FIFO
+ordering for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_s: float
+    tie_breaker: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """A deterministic discrete-event loop.
+
+    Example:
+        >>> loop = EventLoop()
+        >>> fired = []
+        >>> _ = loop.schedule(1.0, lambda: fired.append("a"))
+        >>> _ = loop.schedule(0.5, lambda: fired.append("b"))
+        >>> loop.run_until(2.0)
+        >>> fired
+        ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(
+        self, delay_s: float, action: Callable[[], None]
+    ) -> _ScheduledEvent:
+        """Schedule ``action`` to run ``delay_s`` from now.
+
+        Returns a handle whose ``cancelled`` flag can be set to skip it.
+
+        Raises:
+            ValueError: for negative delays.
+        """
+        if delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        event = _ScheduledEvent(
+            time_s=self._now + delay_s,
+            tie_breaker=next(self._counter),
+            action=action,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next event; returns False if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            event.action()
+            return True
+        return False
+
+    def run_until(self, end_s: float) -> None:
+        """Run all events with time <= ``end_s``; clock ends at ``end_s``."""
+        if end_s < self._now:
+            raise ValueError(
+                f"cannot run backwards: now={self._now}, end={end_s}"
+            )
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time_s > end_s:
+                break
+            self.step()
+        self._now = end_s
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        Raises:
+            RuntimeError: if ``max_events`` is exceeded (runaway loop).
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events"
+                )
+        return executed

@@ -1,0 +1,101 @@
+"""The paper's testbed floor plan (Figure 4) as a geometric model.
+
+Figure 4 shows an 18 m x 7 m lab/office strip on a university campus.  The
+LOS experiment (Figure 5) places AP and client 8 m apart in the lab with
+the tag on the line between them.  The NLOS experiment (Figure 6) keeps
+the tag 1 m from the client and moves the client to location A (~7 m from
+the AP, one room over) and location B (~17 m, far end of the floor), with
+the line of sight "obstructed by metal cabinets, concrete and wooden
+walls, and doors" (§6.2).
+
+Exact wall coordinates are not published; this reconstruction places
+plausible walls so that A's path crosses one wooden wall plus a metal
+cabinet (~22 dB extra loss) and B's path crosses those plus two more
+partitions (~37 dB) — consistent with B's "significantly attenuated"
+description and its higher measured BER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geometry import Material, PathProfile, Point, Wall, path_profile
+
+
+@dataclass(frozen=True)
+class FloorPlan:
+    """A named floor plan: anchor points plus walls.
+
+    Attributes:
+        name: label for reports.
+        width_m / height_m: bounding dimensions.
+        anchors: named positions (e.g. "ap", "client_los", "client_A").
+        walls: wall segments with materials.
+    """
+
+    name: str
+    width_m: float
+    height_m: float
+    anchors: dict[str, Point]
+    walls: tuple[Wall, ...]
+
+    def anchor(self, name: str) -> Point:
+        """Look up a named anchor.
+
+        Raises:
+            KeyError: for unknown anchors, listing the available names.
+        """
+        try:
+            return self.anchors[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown anchor {name!r}; available: {sorted(self.anchors)}"
+            ) from None
+
+    def link(self, a: str, b: str) -> PathProfile:
+        """Propagation profile between two named anchors."""
+        return path_profile(self.anchor(a), self.anchor(b), self.walls)
+
+
+def paper_testbed() -> FloorPlan:
+    """The Figure 4 testbed: 18 m x 7 m with lab and office rooms.
+
+    Anchors:
+        * ``ap`` — the AP's position in the lab (x=1 m).
+        * ``client_los`` — the LOS client, 8 m from the AP.
+        * ``client_A`` — NLOS location A, ~7 m from the AP (next room).
+        * ``client_B`` — NLOS location B, ~17 m (far end of the floor).
+    """
+    ap = Point(1.0, 3.5)
+    return FloorPlan(
+        name="paper-testbed (Fig. 4)",
+        width_m=18.0,
+        height_m=7.0,
+        anchors={
+            "ap": ap,
+            "client_los": Point(9.0, 3.5),
+            "client_A": Point(8.0, 3.2),
+            "client_B": Point(17.9, 6.5),
+        },
+        walls=(
+            # Wooden wall separating the lab from the adjoining office,
+            # with a metal filing cabinet along it near the doorway.
+            Wall(Point(6.0, 0.0), Point(6.0, 7.0), Material.WOOD),
+            Wall(Point(6.05, 2.0), Point(6.05, 4.2), Material.METAL),
+            # Concrete corridor wall mid-floor.
+            Wall(Point(11.0, 0.0), Point(11.0, 7.0), Material.CONCRETE),
+            # Drywall partition near the far offices.
+            Wall(Point(15.0, 0.0), Point(15.0, 7.0), Material.DRYWALL),
+        ),
+    )
+
+
+def los_testbed() -> FloorPlan:
+    """An unobstructed 8 m link (the Figure 5 lab arrangement)."""
+    return FloorPlan(
+        name="LOS lab (Fig. 5)",
+        width_m=10.0,
+        height_m=7.0,
+        anchors={"ap": Point(1.0, 3.5), "client_los": Point(9.0, 3.5)},
+        walls=(),
+    )

@@ -1,0 +1,124 @@
+"""2-D geometry for deployment scenarios: points, walls, obstruction.
+
+Replaces the paper's physical testbed (Figure 4: an 18 m x 7 m lab/office
+area) with a geometric model.  Walls are line segments with per-material
+attenuation; a link's obstruction loss is the summed attenuation of every
+wall the straight-line path crosses.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the floor plane (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Material(enum.Enum):
+    """Wall materials with typical 2.4 GHz penetration losses (dB)."""
+
+    DRYWALL = 3.0
+    WOOD = 4.0
+    GLASS = 2.0
+    BRICK = 8.0
+    CONCRETE = 12.0
+    METAL = 18.0
+
+    @property
+    def attenuation_db(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment with a material.
+
+    Attributes:
+        start / end: segment endpoints.
+        material: determines penetration loss.
+    """
+
+    start: Point
+    end: Point
+    material: Material = Material.DRYWALL
+
+    def intersects(self, a: Point, b: Point) -> bool:
+        """Whether segment a-b crosses this wall (proper intersection).
+
+        Standard orientation-based segment intersection; touching at an
+        endpoint counts as crossing (conservative for attenuation).
+        """
+        return _segments_intersect(self.start, self.end, a, b)
+
+
+def _orientation(p: Point, q: Point, r: Point) -> int:
+    cross = (q.y - p.y) * (r.x - q.x) - (q.x - p.x) * (r.y - q.y)
+    if abs(cross) < 1e-12:
+        return 0
+    return 1 if cross > 0 else 2
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    return (
+        min(p.x, r.x) - 1e-12 <= q.x <= max(p.x, r.x) + 1e-12
+        and min(p.y, r.y) - 1e-12 <= q.y <= max(p.y, r.y) + 1e-12
+    )
+
+
+def _segments_intersect(p1: Point, q1: Point, p2: Point, q2: Point) -> bool:
+    o1 = _orientation(p1, q1, p2)
+    o2 = _orientation(p1, q1, q2)
+    o3 = _orientation(p2, q2, p1)
+    o4 = _orientation(p2, q2, q1)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(p1, p2, q1):
+        return True
+    if o2 == 0 and _on_segment(p1, q2, q1):
+        return True
+    if o3 == 0 and _on_segment(p2, p1, q2):
+        return True
+    if o4 == 0 and _on_segment(p2, q1, q2):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Propagation summary of one straight-line link.
+
+    Attributes:
+        distance_m: endpoint separation.
+        obstruction_db: summed wall attenuation along the path.
+        walls_crossed: how many walls the path penetrates.
+    """
+
+    distance_m: float
+    obstruction_db: float
+    walls_crossed: int
+
+    @property
+    def line_of_sight(self) -> bool:
+        """True when no wall blocks the path."""
+        return self.walls_crossed == 0
+
+
+def path_profile(a: Point, b: Point, walls: tuple[Wall, ...]) -> PathProfile:
+    """Compute the propagation profile of the a-b link through ``walls``."""
+    crossed = [wall for wall in walls if wall.intersects(a, b)]
+    return PathProfile(
+        distance_m=a.distance_to(b),
+        obstruction_db=sum(w.material.attenuation_db for w in crossed),
+        walls_crossed=len(crossed),
+    )

@@ -1,0 +1,106 @@
+"""Multi-station network scheduling around a WiTAG deployment.
+
+Models the environment of the non-interference discussion: a WiTAG client
+sharing the channel with ordinary WiFi stations through standard CSMA, and
+a reader polling several tags round-robin (a tag responds only when its
+query carries its trigger; this module's poller abstracts that as
+time-division polling, the natural multi-tag extension the paper implies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.session import MeasurementSession, SessionStats
+from ..core.system import WiTagSystem
+from .events import EventLoop
+
+
+@dataclass
+class TrafficStation:
+    """A background WiFi station with Poisson frame arrivals.
+
+    Attributes:
+        name: label.
+        offered_load_fps: mean frames per second the station offers.
+        frame_airtime_s: airtime per frame.
+    """
+
+    name: str
+    offered_load_fps: float = 50.0
+    frame_airtime_s: float = 1.5e-3
+
+    def __post_init__(self) -> None:
+        if self.offered_load_fps < 0:
+            raise ValueError("offered load cannot be negative")
+        if self.frame_airtime_s <= 0:
+            raise ValueError("frame airtime must be positive")
+
+    @property
+    def channel_activity(self) -> float:
+        """Fraction of time this station occupies the channel."""
+        return min(1.0, self.offered_load_fps * self.frame_airtime_s)
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """Outcome of one multi-tag polling round."""
+
+    tag_name: str
+    stats: SessionStats
+
+
+@dataclass
+class TagPoller:
+    """Round-robin poller over multiple WiTAG deployments.
+
+    Each tag is its own :class:`WiTagSystem` (its own geometry); the
+    poller divides reader time between them using the event loop, the way
+    a deployment polling many sensors would.
+
+    Attributes:
+        systems: tag name -> system.
+        dwell_s: reader time spent per tag per round.
+    """
+
+    systems: dict[str, WiTagSystem]
+    dwell_s: float = 0.5
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(77)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.systems:
+            raise ValueError("need at least one tag system")
+        if self.dwell_s <= 0:
+            raise ValueError("dwell must be positive")
+        self._sessions = {
+            name: MeasurementSession(system, rng=self.rng)
+            for name, system in self.systems.items()
+        }
+
+    def run_rounds(self, n_rounds: int) -> list[PollResult]:
+        """Poll every tag ``n_rounds`` times; returns per-tag aggregates.
+
+        Uses an :class:`EventLoop` so dwell intervals interleave exactly as
+        they would on a shared reader.
+        """
+        if n_rounds < 1:
+            raise ValueError("need at least one round")
+        loop = EventLoop()
+        order = sorted(self._sessions)
+
+        def poll(name: str) -> None:
+            self._sessions[name].run_for(self.dwell_s)
+
+        for round_index in range(n_rounds):
+            for slot, name in enumerate(order):
+                at = (round_index * len(order) + slot) * self.dwell_s
+                loop.schedule(at, lambda n=name: poll(n))
+        loop.run_all()
+        return [
+            PollResult(tag_name=name, stats=self._sessions[name].stats())
+            for name in order
+        ]

@@ -1,0 +1,88 @@
+"""Experiment trace recording: per-query records to CSV/JSONL.
+
+Lets experiments persist raw per-query observations (bitmap, errors,
+timing) for offline analysis, mirroring how a real deployment would log
+block-ACK captures.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..core.system import QueryResult
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One query cycle flattened for serialization."""
+
+    index: int
+    detected: bool
+    n_bits: int
+    bit_errors: int
+    cycle_s: float
+    bitmap_hex: str
+    ssn: int
+    rx_power_at_tag_dbm: float
+
+    @classmethod
+    def from_result(cls, index: int, result: QueryResult) -> "TraceRecord":
+        return cls(
+            index=index,
+            detected=result.detected,
+            n_bits=result.n_bits,
+            bit_errors=result.bit_errors,
+            cycle_s=result.cycle_s,
+            bitmap_hex=f"{result.block_ack.bitmap:016x}",
+            ssn=result.block_ack.ssn,
+            rx_power_at_tag_dbm=result.rx_power_at_tag_dbm,
+        )
+
+
+class TraceWriter:
+    """Accumulates trace records and writes them to disk."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(self, result: QueryResult) -> TraceRecord:
+        """Append one query result."""
+        rec = TraceRecord.from_result(len(self._records), result)
+        self._records.append(rec)
+        return rec
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def write_csv(self, path: str | Path) -> int:
+        """Write all records as CSV; returns the row count."""
+        path = Path(path)
+        fields = list(TraceRecord.__dataclass_fields__)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for rec in self._records:
+                writer.writerow(asdict(rec))
+        return len(self._records)
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write all records as JSON lines; returns the row count."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for rec in self._records:
+                handle.write(json.dumps(asdict(rec)) + "\n")
+        return len(self._records)
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[TraceRecord]:
+        """Load records back from a JSONL trace."""
+        records = []
+        with Path(path).open() as handle:
+            for line in handle:
+                if line.strip():
+                    records.append(TraceRecord(**json.loads(line)))
+        return records

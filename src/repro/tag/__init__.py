@@ -1,0 +1,68 @@
+"""Backscatter tag hardware models.
+
+Everything the paper's prototype tag is built from — SPDT RF switch,
+antenna reflection modes, oscillator, envelope detector, comparator —
+modelled at the level of detail the system experiments need, plus the
+control FSM, power budgets and an RF harvesting model.
+"""
+
+from .antenna import TagDesign, open_short_design, phase_flip_design, phase_flip_loads
+from .energy import EnergySimulator, StorageCapacitor
+from .envelope_detector import Comparator, EnvelopeDetector, TriggerDetector
+from .harvester import RfHarvester
+from .oscillator import (
+    Oscillator,
+    OscillatorKind,
+    power_vs_frequency_uw,
+    precision_oscillator_20mhz,
+    ring_oscillator_20mhz,
+    witag_crystal_50khz,
+)
+from .power import (
+    PowerBudget,
+    channel_shift_precision_budget,
+    channel_shift_ring_budget,
+    tag_budget,
+    witag_budget,
+)
+from .rf_switch import ReflectionLoad, RfSwitch, quarter_wave_pair, sky13314
+from .state_machine import (
+    QueryObservation,
+    TagPhase,
+    TagStateMachine,
+    TagTransmission,
+)
+from .timing import TimingModel
+
+__all__ = [
+    "Comparator",
+    "EnergySimulator",
+    "EnvelopeDetector",
+    "Oscillator",
+    "OscillatorKind",
+    "PowerBudget",
+    "QueryObservation",
+    "ReflectionLoad",
+    "RfHarvester",
+    "RfSwitch",
+    "StorageCapacitor",
+    "TagDesign",
+    "TagPhase",
+    "TagStateMachine",
+    "TagTransmission",
+    "TimingModel",
+    "TriggerDetector",
+    "channel_shift_precision_budget",
+    "channel_shift_ring_budget",
+    "open_short_design",
+    "phase_flip_design",
+    "phase_flip_loads",
+    "power_vs_frequency_uw",
+    "precision_oscillator_20mhz",
+    "quarter_wave_pair",
+    "ring_oscillator_20mhz",
+    "sky13314",
+    "tag_budget",
+    "witag_budget",
+    "witag_crystal_50khz",
+]

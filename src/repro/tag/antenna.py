@@ -1,0 +1,92 @@
+"""Tag antenna designs: open/short switching vs always-reflect phase flip.
+
+Paper §5 describes two tag designs:
+
+* **Open/short** (§5.1): the antenna toggles between non-reflective (open
+  circuit) and reflective (short circuit).  The channel change between the
+  two states has magnitude ``|Gamma_short - Gamma_open| ~= 1`` times the
+  reflected-path gain.
+* **Phase flip** (§5.2): the antenna *always* reflects, but the reflection
+  phase switches between 0 and 180 degrees via two short-circuited cables
+  differing by a quarter wavelength.  The channel change magnitude becomes
+  ``|Gamma_0 - Gamma_180| = 2`` — twice as large (+6 dB in perturbation
+  power), which is the entire point of Figure 3.
+
+This module expresses both designs in terms of the switch/load models and
+maps their electrical states onto :class:`repro.phy.channel.TagState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..phy.channel import TagState
+from .rf_switch import ReflectionLoad, RfSwitch, quarter_wave_pair, sky13314
+
+
+@dataclass(frozen=True)
+class TagDesign:
+    """A two-state tag antenna design.
+
+    Attributes:
+        name: human-readable design label.
+        state_for_bit_one: tag state while transmitting a `1` (leave the
+            subframe intact) — the state also held through the preamble.
+        state_for_bit_zero: tag state while corrupting a subframe.
+        switch: the RF switch implementing the toggle.
+    """
+
+    name: str
+    state_for_bit_one: TagState
+    state_for_bit_zero: TagState
+    switch: RfSwitch = field(default_factory=sky13314)
+
+    def state_for_bit(self, bit: int) -> TagState:
+        """Map a tag data bit to the antenna state that transmits it."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        return self.state_for_bit_one if bit else self.state_for_bit_zero
+
+    @property
+    def coefficient_delta(self) -> float:
+        """|Gamma(bit0) - Gamma(bit1)|: relative channel-change strength.
+
+        2.0 for the phase-flip design, ~0.9 for open/short (the open state
+        retains a small structural reflection), 0 for a degenerate design.
+        """
+        return abs(
+            self.state_for_bit_zero.reflection_coefficient
+            - self.state_for_bit_one.reflection_coefficient
+        )
+
+
+def open_short_design(switch: RfSwitch | None = None) -> TagDesign:
+    """The basic §5.1 design: absorb for `1`, reflect for `0`."""
+    return TagDesign(
+        name="open/short",
+        state_for_bit_one=TagState.ABSORB,
+        state_for_bit_zero=TagState.REFLECT_0,
+        switch=switch or sky13314(),
+    )
+
+
+def phase_flip_design(switch: RfSwitch | None = None) -> TagDesign:
+    """The improved §5.2 design: always reflect, flip phase to corrupt.
+
+    The preamble (and every `1` bit) is transmitted with the tag in the
+    0-degree reflection state; `0` bits flip to 180 degrees, doubling the
+    channel change relative to open/short.
+    """
+    return TagDesign(
+        name="phase-flip",
+        state_for_bit_one=TagState.REFLECT_0,
+        state_for_bit_zero=TagState.REFLECT_180,
+        switch=switch or sky13314(),
+    )
+
+
+def phase_flip_loads(
+    wavelength_m: float, velocity_factor: float = 0.66
+) -> tuple[ReflectionLoad, ReflectionLoad]:
+    """The two cable loads realising the phase-flip design in hardware."""
+    return quarter_wave_pair(wavelength_m, velocity_factor)

@@ -1,0 +1,152 @@
+"""Tag energy dynamics: harvesting into a storage capacitor, spending on
+operation.
+
+Paper §1's low-power requirement exists so tags "can harvest their energy
+from the environment and operate without requiring a battery".  The power
+budgets (``repro.tag.power``) answer the *average* question; this module
+answers the *dynamic* one: given a storage capacitor, an RF harvester and
+a query schedule, does the tag's energy stay above its operating floor?
+It also yields the minimum query duty cycle that keeps the tag alive for a
+given RF illumination — the knob a deployment actually tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harvester import RfHarvester
+from .power import PowerBudget, witag_budget
+
+
+@dataclass(frozen=True)
+class StorageCapacitor:
+    """The tag's energy reservoir.
+
+    Attributes:
+        capacitance_f: storage capacitance (typical tags: 10-100 uF).
+        max_voltage_v: charged voltage ceiling.
+        min_voltage_v: brown-out floor below which logic stops.
+    """
+
+    capacitance_f: float = 47e-6
+    max_voltage_v: float = 2.4
+    min_voltage_v: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ValueError("capacitance must be positive")
+        if not 0 < self.min_voltage_v < self.max_voltage_v:
+            raise ValueError("need 0 < min_voltage < max_voltage")
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Energy between full and brown-out: C/2 (Vmax^2 - Vmin^2)."""
+        return (
+            0.5
+            * self.capacitance_f
+            * (self.max_voltage_v**2 - self.min_voltage_v**2)
+        )
+
+
+@dataclass
+class EnergySimulator:
+    """Steps a tag's stored energy through alternating query/idle phases.
+
+    During a query burst the harvester sees the full excitation power and
+    the tag spends its active budget; between bursts only sleep current
+    flows and harvesting stops (ambient-only deployments can model a
+    nonzero idle input instead).
+
+    Attributes:
+        budget: active power budget.
+        harvester: RF-to-DC converter.
+        capacitor: energy store.
+        sleep_power_uw: quiescent draw between queries.
+        idle_rf_dbm: RF input between queries (None = no ambient RF).
+    """
+
+    budget: PowerBudget = field(default_factory=witag_budget)
+    harvester: RfHarvester = field(default_factory=RfHarvester)
+    capacitor: StorageCapacitor = field(default_factory=StorageCapacitor)
+    sleep_power_uw: float = 0.3
+    idle_rf_dbm: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sleep_power_uw < 0:
+            raise ValueError("sleep power cannot be negative")
+        self._energy_j = self.capacitor.usable_energy_j
+
+    @property
+    def energy_j(self) -> float:
+        """Usable energy currently stored (0 = brown-out)."""
+        return self._energy_j
+
+    @property
+    def alive(self) -> bool:
+        """Whether the tag is above its brown-out floor."""
+        return self._energy_j > 0.0
+
+    def step(self, dt_s: float, *, active: bool, rf_dbm: float | None) -> float:
+        """Advance ``dt_s`` seconds; returns the energy after the step.
+
+        Args:
+            active: whether the tag is detecting/modulating (full budget)
+                or sleeping.
+            rf_dbm: RF input power during the step (None = none).
+        """
+        if dt_s < 0:
+            raise ValueError("dt must be >= 0")
+        draw_w = (
+            self.budget.total_uw if active else self.sleep_power_uw
+        ) * 1e-6
+        harvest_w = 0.0
+        if rf_dbm is not None:
+            harvest_w = self.harvester.harvested_uw(rf_dbm) * 1e-6
+        delta = (harvest_w - draw_w) * dt_s
+        self._energy_j = min(
+            self.capacitor.usable_energy_j, max(0.0, self._energy_j + delta)
+        )
+        return self._energy_j
+
+    def run_schedule(
+        self,
+        *,
+        query_rf_dbm: float,
+        query_burst_s: float,
+        idle_gap_s: float,
+        n_cycles: int,
+    ) -> bool:
+        """Simulate a periodic query schedule; True if the tag never dies.
+
+        Raises:
+            ValueError: for non-positive schedule parameters.
+        """
+        if query_burst_s <= 0 or idle_gap_s < 0 or n_cycles < 1:
+            raise ValueError("invalid schedule parameters")
+        for _ in range(n_cycles):
+            self.step(query_burst_s, active=True, rf_dbm=query_rf_dbm)
+            if not self.alive:
+                return False
+            self.step(idle_gap_s, active=False, rf_dbm=self.idle_rf_dbm)
+            if not self.alive:
+                return False
+        return True
+
+    def min_sustainable_duty_cycle(self, query_rf_dbm: float) -> float | None:
+        """Smallest query duty cycle with non-negative mean energy flow.
+
+        Harvesting happens *during* queries (the excitation is the power
+        source), so more illumination helps; the constraint is that the
+        harvest surplus accumulated while active must cover the sleep
+        drain between queries: ``d (harvest - active) >= (1 - d) sleep``
+        gives ``d >= sleep / (harvest - active + sleep)``.
+
+        Returns:
+            The minimum duty cycle in (0, 1], or ``None`` when even
+            continuous illumination cannot cover the active budget.
+        """
+        harvest_uw = self.harvester.harvested_uw(query_rf_dbm)
+        surplus = harvest_uw - self.budget.total_uw
+        if surplus <= 0:
+            return None
+        return self.sleep_power_uw / (surplus + self.sleep_power_uw)

@@ -1,0 +1,85 @@
+"""RF energy harvesting model.
+
+WiTAG's low-power requirement (paper §1) exists so tags can "harvest their
+energy from the environment and operate without requiring a battery".
+This module models a rectenna harvester with the standard nonlinear
+efficiency characteristic: nothing below a sensitivity threshold, rising
+efficiency with input power, saturating for strong inputs — enough to
+answer the system question *can the ambient WiFi that queries the tag also
+power it?* (exercised by ``examples/power_budget.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..phy.noise import dbm_to_watts
+from .power import PowerBudget
+
+
+@dataclass(frozen=True)
+class RfHarvester:
+    """A rectenna RF-to-DC harvester.
+
+    Attributes:
+        sensitivity_dbm: minimum input power for any rectified output
+            (CMOS rectennas: around -20 dBm; state of the art ~-30 dBm).
+        peak_efficiency: best-case conversion efficiency.
+        half_efficiency_dbm: input power at which efficiency reaches half
+            of peak (logistic knee).
+    """
+
+    sensitivity_dbm: float = -22.0
+    peak_efficiency: float = 0.35
+    half_efficiency_dbm: float = -10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.peak_efficiency <= 1:
+            raise ValueError("peak efficiency must be in (0, 1]")
+        if self.half_efficiency_dbm <= self.sensitivity_dbm:
+            raise ValueError(
+                "efficiency knee must lie above the sensitivity floor"
+            )
+
+    def efficiency(self, input_dbm: float) -> float:
+        """Conversion efficiency at a given input power."""
+        if input_dbm < self.sensitivity_dbm:
+            return 0.0
+        # Logistic ramp in dB domain, saturating at peak_efficiency.
+        steepness = 0.35
+        x = steepness * (input_dbm - self.half_efficiency_dbm)
+        return self.peak_efficiency / (1.0 + math.exp(-x))
+
+    def harvested_uw(self, input_dbm: float, duty_cycle: float = 1.0) -> float:
+        """Average harvested DC power in microwatts.
+
+        Args:
+            input_dbm: RF input power while the source transmits.
+            duty_cycle: fraction of time RF is present (queries are bursty).
+        """
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in [0, 1]")
+        input_w = dbm_to_watts(input_dbm)
+        return self.efficiency(input_dbm) * input_w * 1e6 * duty_cycle
+
+    def sustains(
+        self, budget: PowerBudget, input_dbm: float, duty_cycle: float = 1.0
+    ) -> bool:
+        """Whether harvesting at these conditions covers a power budget."""
+        return self.harvested_uw(input_dbm, duty_cycle) >= budget.total_uw
+
+    def min_input_dbm(
+        self, budget: PowerBudget, duty_cycle: float = 1.0
+    ) -> float | None:
+        """Smallest input power (dBm) sustaining ``budget``, or None.
+
+        Scans in 0.1 dB steps up to +10 dBm; None means the budget cannot
+        be harvested even at very strong inputs.
+        """
+        level = self.sensitivity_dbm
+        while level <= 10.0:
+            if self.sustains(budget, level, duty_cycle):
+                return round(level, 1)
+            level += 0.1
+        return None

@@ -1,0 +1,147 @@
+"""Oscillator models: power consumption, accuracy and temperature drift.
+
+Paper §7 argues that the dominant power cost in a backscatter tag is clock
+generation, and that WiTAG's key power advantage is needing only a ~50 kHz
+clock (subframe-rate timing) instead of the >= 20 MHz required by systems
+that shift their reflection to an adjacent channel:
+
+* oscillator power grows roughly with the square of frequency;
+* precision MHz-range oscillators burn > 1 mW — incompatible with
+  harvesting — so prior systems fall back to ring oscillators;
+* ring oscillators drift strongly with temperature (the paper's footnote 4:
+  a 5 degC change shifts a 20 MHz ring oscillator by ~600 kHz), breaking
+  channel-shifting tags outside temperature-stable environments;
+* a 50 kHz crystal is accurate, temperature-stable and draws microwatts.
+
+This module provides a parametric oscillator model plus factory functions
+for the specific design points the paper compares, and is the basis of the
+E5 power/drift benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OscillatorKind(enum.Enum):
+    """Technology class of an oscillator."""
+
+    CRYSTAL = "crystal"
+    RING = "ring"
+    PRECISION = "precision-mhz"
+
+
+@dataclass(frozen=True)
+class Oscillator:
+    """A clock source with power and stability characteristics.
+
+    Attributes:
+        kind: technology class.
+        nominal_hz: design frequency at the reference temperature.
+        power_coeff_uw_per_hz2: power model coefficient ``c`` in
+            ``P [uW] = c * f^2`` (paper §7: consumption proportional to the
+            square of the clock frequency).
+        base_power_uw: frequency-independent floor (bias, buffers).
+        temp_drift_ppm_per_c: frequency drift per degree Celsius.
+        reference_temp_c: temperature at which ``nominal_hz`` holds.
+        cycle_jitter_s: RMS cycle-to-cycle edge jitter.
+    """
+
+    kind: OscillatorKind
+    nominal_hz: float
+    power_coeff_uw_per_hz2: float
+    base_power_uw: float = 0.0
+    temp_drift_ppm_per_c: float = 0.0
+    reference_temp_c: float = 25.0
+    cycle_jitter_s: float = 2e-9
+
+    def __post_init__(self) -> None:
+        if self.nominal_hz <= 0:
+            raise ValueError(f"frequency must be > 0, got {self.nominal_hz}")
+        if self.power_coeff_uw_per_hz2 < 0 or self.base_power_uw < 0:
+            raise ValueError("power parameters cannot be negative")
+
+    @property
+    def power_uw(self) -> float:
+        """DC power draw in microwatts at the nominal frequency."""
+        return (
+            self.base_power_uw
+            + self.power_coeff_uw_per_hz2 * self.nominal_hz**2
+        )
+
+    def frequency_at(self, temperature_c: float) -> float:
+        """Actual output frequency at an ambient temperature."""
+        delta_c = temperature_c - self.reference_temp_c
+        drift = self.temp_drift_ppm_per_c * 1e-6 * delta_c
+        return self.nominal_hz * (1.0 + drift)
+
+    def frequency_error_ppm(self, temperature_c: float) -> float:
+        """Relative frequency error (ppm) at a temperature."""
+        return (
+            (self.frequency_at(temperature_c) - self.nominal_hz)
+            / self.nominal_hz
+            * 1e6
+        )
+
+    def timing_drift_s(self, interval_s: float, temperature_c: float) -> float:
+        """Accumulated timing error over ``interval_s`` of free-running.
+
+        This is what limits how many subframes a tag can stay aligned to
+        after synchronising on the trigger pattern.
+        """
+        if interval_s < 0:
+            raise ValueError("interval must be >= 0")
+        return interval_s * self.frequency_error_ppm(temperature_c) * 1e-6
+
+
+def witag_crystal_50khz() -> Oscillator:
+    """WiTAG's clock: 50 kHz tuning-fork crystal (paper §7).
+
+    Highly accurate (+-20 ppm over temperature via ~0.4 ppm/degC around
+    room temperature for a 32-50 kHz tuning fork), drawing ~2 uW.
+    """
+    return Oscillator(
+        kind=OscillatorKind.CRYSTAL,
+        nominal_hz=50e3,
+        power_coeff_uw_per_hz2=6e-10,  # ~1.5 uW at 50 kHz
+        base_power_uw=0.5,
+        temp_drift_ppm_per_c=0.4,
+        cycle_jitter_s=2e-9,
+    )
+
+
+def ring_oscillator_20mhz() -> Oscillator:
+    """The ring oscillator prior systems use to reach 20 MHz cheaply.
+
+    Tens of microwatts, but drifts ~6000 ppm per 5 degC — the paper's
+    footnote 4 figure of 600 kHz per 5 degC at 20 MHz.
+    """
+    return Oscillator(
+        kind=OscillatorKind.RING,
+        nominal_hz=20e6,
+        power_coeff_uw_per_hz2=1e-13,  # ~40 uW at 20 MHz
+        base_power_uw=1.0,
+        temp_drift_ppm_per_c=6000.0,  # 600 kHz drift per 5 degC at 20 MHz
+        cycle_jitter_s=50e-12,
+    )
+
+
+def precision_oscillator_20mhz() -> Oscillator:
+    """A precision 20 MHz oscillator: stable but > 1 mW (paper §7)."""
+    return Oscillator(
+        kind=OscillatorKind.PRECISION,
+        nominal_hz=20e6,
+        power_coeff_uw_per_hz2=3e-12,  # ~1.2 mW at 20 MHz
+        base_power_uw=50.0,
+        temp_drift_ppm_per_c=1.0,
+    )
+
+
+def power_vs_frequency_uw(
+    frequency_hz: float, *, coeff: float = 3e-12, base_uw: float = 0.5
+) -> float:
+    """Generic ``P = base + c f^2`` curve for the E5 frequency sweep."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return base_uw + coeff * frequency_hz**2

@@ -1,0 +1,123 @@
+"""RF switch model (Skyworks SKY13314-374LF, the paper's prototype part).
+
+The prototype tag (paper §6.1) is an omnidirectional antenna, an
+SKY13314-374LF GaAs SPDT switch and a microcontroller.  The switch toggles
+the antenna between two termination loads; in the improved design (§5.2)
+both loads are short-circuited cables whose lengths differ by a quarter
+wavelength, producing reflection phases of 0 and 180 degrees.
+
+Datasheet-derived parameters (SKY13314-374LF, 0.1-6.0 GHz SPDT):
+insertion loss ~0.35 dB at 2.4 GHz, isolation ~25 dB, switching time
+~45 ns, negligible DC draw (GaAs pHEMT control currents ~ uA).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RfSwitch:
+    """An SPDT RF switch with datasheet-level characteristics.
+
+    Attributes:
+        insertion_loss_db: loss through the selected port.
+        isolation_db: leakage suppression to the unselected port.
+        switching_time_s: time to settle after a control-line toggle.
+        control_power_uw: DC power consumed by the control interface.
+    """
+
+    insertion_loss_db: float = 0.35
+    isolation_db: float = 25.0
+    switching_time_s: float = 45e-9
+    control_power_uw: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise ValueError("insertion loss cannot be negative")
+        if self.switching_time_s <= 0:
+            raise ValueError("switching time must be positive")
+
+    @property
+    def through_gain(self) -> float:
+        """Linear field (amplitude) gain of the selected path."""
+        return 10.0 ** (-self.insertion_loss_db / 20.0)
+
+    def settles_within(self, budget_s: float) -> bool:
+        """Whether a state change completes inside ``budget_s``.
+
+        WiTAG needs the switch to settle well within one OFDM symbol
+        (4 us); with ~45 ns switching this holds by two orders of
+        magnitude, which is why the tag can toggle per subframe.
+        """
+        if budget_s <= 0:
+            raise ValueError("budget must be positive")
+        return self.switching_time_s <= budget_s
+
+
+def sky13314() -> RfSwitch:
+    """The exact part used by the paper's prototype."""
+    return RfSwitch()
+
+
+@dataclass(frozen=True)
+class ReflectionLoad:
+    """A termination load attached to one switch port.
+
+    A short circuit reflects with coefficient -1; an open circuit with +1;
+    a matched load absorbs (coefficient 0).  A short-circuited *cable* of
+    physical length L adds a round-trip phase of ``2 * beta * L`` where
+    ``beta = 2 pi / lambda_cable``.
+
+    Attributes:
+        base_coefficient: reflection coefficient at the load itself.
+        cable_length_m: electrical length of cable before the load.
+        velocity_factor: cable propagation velocity relative to c.
+    """
+
+    base_coefficient: complex
+    cable_length_m: float = 0.0
+    velocity_factor: float = 0.66
+
+    def __post_init__(self) -> None:
+        if abs(self.base_coefficient) > 1.0 + 1e-9:
+            raise ValueError("passive load cannot have |Gamma| > 1")
+        if self.cable_length_m < 0:
+            raise ValueError("cable length cannot be negative")
+        if not 0 < self.velocity_factor <= 1:
+            raise ValueError("velocity factor must be in (0, 1]")
+
+    def reflection_coefficient(self, wavelength_m: float) -> complex:
+        """Net reflection coefficient seen at the switch port."""
+        if wavelength_m <= 0:
+            raise ValueError("wavelength must be positive")
+        lambda_cable = wavelength_m * self.velocity_factor
+        round_trip_phase = 4.0 * math.pi * self.cable_length_m / lambda_cable
+        return self.base_coefficient * complex(
+            math.cos(round_trip_phase), -math.sin(round_trip_phase)
+        )
+
+
+def quarter_wave_pair(
+    wavelength_m: float, velocity_factor: float = 0.66
+) -> tuple[ReflectionLoad, ReflectionLoad]:
+    """The paper's phase-flip trick (§5.2 footnote 3).
+
+    Two short-circuited cables whose lengths differ by a quarter of the
+    (cable) wavelength: the quarter-wave of extra cable adds 180 degrees
+    of round-trip phase, so switching between them flips the reflected
+    signal's phase while always reflecting at full strength.
+    """
+    if wavelength_m <= 0:
+        raise ValueError("wavelength must be positive")
+    lambda_cable = wavelength_m * velocity_factor
+    short = ReflectionLoad(
+        complex(-1.0, 0.0), cable_length_m=0.0, velocity_factor=velocity_factor
+    )
+    longer = ReflectionLoad(
+        complex(-1.0, 0.0),
+        cable_length_m=lambda_cable / 4.0,
+        velocity_factor=velocity_factor,
+    )
+    return short, longer

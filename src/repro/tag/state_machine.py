@@ -1,0 +1,173 @@
+"""The tag's control finite-state machine.
+
+Ties together the front end (envelope detector + comparator), the timing
+model (oscillator drift) and the antenna design (reflection states) into
+the behavioural loop of a WiTAG tag:
+
+    IDLE -> (energy above sensitivity) -> DETECTING
+    DETECTING -> (trigger pattern matched) -> SYNCED
+    SYNCED: toggle the antenna per scheduled bit at each subframe boundary
+    SYNCED -> (A-MPDU ends) -> IDLE
+
+The FSM's product for each observed query is a :class:`TagTransmission`:
+the reflection state the antenna actually held during each subframe,
+including the consequences of missed triggers and timing slips.  The
+end-to-end system feeds these states into the PHY error model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..phy.channel import TagState
+from .antenna import TagDesign, phase_flip_design
+from .envelope_detector import TriggerDetector
+from .oscillator import Oscillator, witag_crystal_50khz
+from .timing import TimingModel
+
+
+class TagPhase(enum.Enum):
+    """FSM phases."""
+
+    IDLE = "idle"
+    DETECTING = "detecting"
+    SYNCED = "synced"
+
+
+@dataclass(frozen=True)
+class QueryObservation:
+    """What the tag can observe about an on-air query A-MPDU.
+
+    Attributes:
+        n_subframes: total subframes (trigger + payload).
+        n_trigger_subframes: leading subframes carrying the trigger pattern.
+        subframe_s: true on-air duration of one subframe.
+        rx_power_dbm: signal power at the tag's antenna.
+        temperature_c: ambient temperature during the query.
+    """
+
+    n_subframes: int
+    n_trigger_subframes: int
+    subframe_s: float
+    rx_power_dbm: float
+    temperature_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.n_subframes < 1:
+            raise ValueError("a query needs at least one subframe")
+        if not 0 <= self.n_trigger_subframes < self.n_subframes:
+            raise ValueError(
+                "trigger subframes must leave room for payload subframes"
+            )
+        if self.subframe_s <= 0:
+            raise ValueError("subframe duration must be positive")
+
+    @property
+    def n_payload_subframes(self) -> int:
+        """Subframes available for tag bits."""
+        return self.n_subframes - self.n_trigger_subframes
+
+
+@dataclass(frozen=True)
+class TagTransmission:
+    """The tag's actual behaviour during one query.
+
+    Attributes:
+        detected: whether the trigger was recognised at all.
+        states: antenna state held during each subframe (length
+            ``n_subframes``); all-idle if the trigger was missed.
+        toggles_aligned: per payload subframe, whether the state toggle
+            landed inside its guard window.
+        bits_loaded: the data bits the FSM intended to transmit.
+    """
+
+    detected: bool
+    states: tuple[TagState, ...]
+    toggles_aligned: tuple[bool, ...]
+    bits_loaded: tuple[int, ...]
+
+
+@dataclass
+class TagStateMachine:
+    """Behavioural model of a complete WiTAG tag.
+
+    Attributes:
+        design: antenna design (phase-flip by default, per paper §5.2).
+        detector: trigger detection front end.
+        oscillator: local clock.
+        data_queue: bits waiting to be transmitted, consumed FIFO.
+        rng: randomness for detection/timing draws.
+    """
+
+    design: TagDesign = field(default_factory=phase_flip_design)
+    detector: TriggerDetector = field(default_factory=TriggerDetector)
+    oscillator: Oscillator = field(default_factory=witag_crystal_50khz)
+    data_queue: list[int] = field(default_factory=list)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(11)
+    )
+    phase: TagPhase = TagPhase.IDLE
+
+    def load_bits(self, bits: list[int]) -> None:
+        """Queue data bits for transmission (e.g. a framed sensor reading)."""
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"bits must be 0/1, got {bit}")
+        self.data_queue.extend(bits)
+
+    @property
+    def pending_bits(self) -> int:
+        """Number of bits still queued."""
+        return len(self.data_queue)
+
+    def process_query(self, query: QueryObservation) -> TagTransmission:
+        """Run the FSM over one query A-MPDU.
+
+        Consumes up to ``query.n_payload_subframes`` queued bits.  If the
+        trigger is missed, no bits are consumed and the tag idles through
+        the frame (all subframes decode; the reader sees all-ones where it
+        expected data and the session layer detects the bad frame).
+        """
+        idle_state = self.design.state_for_bit_one
+        self.phase = TagPhase.DETECTING
+        if not self.detector.detect(query.rx_power_dbm, self.rng):
+            self.phase = TagPhase.IDLE
+            return TagTransmission(
+                detected=False,
+                states=(idle_state,) * query.n_subframes,
+                toggles_aligned=(),
+                bits_loaded=(),
+            )
+        self.phase = TagPhase.SYNCED
+        period_estimate = self.detector.subframe_period_estimate_s(
+            query.subframe_s, query.rx_power_dbm, self.rng
+        )
+        timing = TimingModel(
+            oscillator=self.oscillator,
+            subframe_s=query.subframe_s,
+            period_estimate_s=period_estimate,
+            temperature_c=query.temperature_c,
+        )
+        n_bits = min(query.n_payload_subframes, len(self.data_queue))
+        bits = tuple(self.data_queue[:n_bits])
+        del self.data_queue[:n_bits]
+
+        states: list[TagState] = [idle_state] * query.n_trigger_subframes
+        aligned: list[bool] = []
+        for k, bit in enumerate(bits):
+            ok = timing.aligned(k, self.rng)
+            aligned.append(ok)
+            states.append(self.design.state_for_bit(bit))
+        # Unused payload slots: the tag idles (reads as 1s).
+        remaining = query.n_subframes - len(states)
+        states.extend([idle_state] * remaining)
+        self.phase = TagPhase.IDLE
+        return TagTransmission(
+            detected=True,
+            states=tuple(states),
+            toggles_aligned=tuple(aligned),
+            bits_loaded=bits,
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for configuration and query A-MPDU construction."""
+
+import pytest
+
+from repro.core.config import EncryptionMode, WiTagConfig
+from repro.core.errors import ConfigurationError
+from repro.core.query import QueryBuilder, TRIGGER_PATTERN
+from repro.core.system import DEFAULT_AP, DEFAULT_CLIENT
+from repro.mac.ampdu import deaggregate
+from repro.mac.frames import QosDataFrame
+from repro.mac.security.ccmp import CcmpContext
+from repro.phy.mcs import ht_mcs
+
+
+def make_builder(**config_kwargs):
+    config = WiTagConfig(**config_kwargs)
+    return QueryBuilder(config, client=DEFAULT_CLIENT, ap=DEFAULT_AP)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = WiTagConfig()
+        assert config.n_subframes == 64
+        assert config.bits_per_query == 62
+        assert config.tag_clock_period_s == pytest.approx(20e-6)
+
+    def test_subframe_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WiTagConfig(n_subframes=0)
+        with pytest.raises(ConfigurationError):
+            WiTagConfig(n_subframes=65)
+
+    def test_trigger_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WiTagConfig(n_subframes=4, n_trigger_subframes=4)
+
+    def test_wep_key_length(self):
+        with pytest.raises(ConfigurationError):
+            WiTagConfig(encryption=EncryptionMode.WEP, encryption_key=b"xx")
+        WiTagConfig(encryption=EncryptionMode.WEP, encryption_key=b"12345")
+
+    def test_ccmp_key_length(self):
+        with pytest.raises(ConfigurationError):
+            WiTagConfig(
+                encryption=EncryptionMode.WPA2_CCMP, encryption_key=b"short"
+            )
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            WiTagConfig(channel_width_mhz=30)
+
+
+class TestQueryBuilder:
+    def test_builds_configured_subframes(self):
+        query = make_builder().build()
+        assert query.n_subframes == 64
+        assert query.n_payload_subframes == 62
+
+    def test_all_mpdus_valid(self):
+        query = make_builder().build()
+        subframes = deaggregate(query.psdu)
+        assert len(subframes) == 64
+        assert all(s.fcs_ok for s in subframes)
+
+    def test_sequence_numbers_consecutive(self):
+        query = make_builder().build()
+        sequences = [
+            QosDataFrame.parse(m).seq.sequence for m in query.mpdus
+        ]
+        assert sequences == list(range(query.ssn, query.ssn + 64))
+
+    def test_successive_queries_advance_ssn(self):
+        builder = make_builder()
+        first = builder.build()
+        second = builder.build()
+        assert second.ssn == (first.ssn + 64) % 4096
+
+    def test_trigger_subframes_carry_pattern(self):
+        query = make_builder().build()
+        trigger_payload = QosDataFrame.parse(query.mpdus[0]).payload
+        assert trigger_payload[: len(TRIGGER_PATTERN)] == TRIGGER_PATTERN
+
+    def test_payload_subframes_zero_filled(self):
+        query = make_builder().build()
+        payload = QosDataFrame.parse(query.mpdus[5]).payload
+        assert set(payload) <= {0}
+
+    def test_boundaries_track_clock_grid(self):
+        """Cumulative boundary error must stay within a fraction of a symbol."""
+        query = make_builder().build()
+        starts = [w[0] for w in query.schedule.windows]
+        period = query.mean_subframe_s
+        for k, start in enumerate(starts):
+            deviation = abs(start - (starts[0] + k * period))
+            assert deviation < 4e-6, f"subframe {k} off grid by {deviation}"
+
+    def test_mean_subframe_matches_clock(self):
+        query = make_builder().build()
+        assert query.mean_subframe_s == pytest.approx(20e-6, rel=0.01)
+
+    def test_airtime_plausible(self):
+        # 64 x ~20 us subframes + 36 us preamble ~= 1.3 ms.
+        query = make_builder().build()
+        assert query.airtime_s == pytest.approx(1.32e-3, rel=0.03)
+
+    def test_clock_too_fast_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_builder(mcs=ht_mcs(0), tag_clock_hz=500e3).build()
+
+
+class TestEncryptedQueries:
+    def test_ccmp_queries_decryptable(self):
+        key = b"0123456789abcdef"
+        builder = make_builder(
+            encryption=EncryptionMode.WPA2_CCMP, encryption_key=key
+        )
+        query = builder.build()
+        receiver_ctx = CcmpContext(key)
+        frame = QosDataFrame.parse(query.mpdus[0])
+        plaintext = receiver_ctx.decrypt(
+            frame.payload, bytes(DEFAULT_CLIENT)
+        )
+        assert plaintext[: len(TRIGGER_PATTERN)] == TRIGGER_PATTERN
+
+    def test_ccmp_payload_is_ciphertext(self):
+        builder = make_builder(
+            encryption=EncryptionMode.WPA2_CCMP,
+            encryption_key=b"0123456789abcdef",
+        )
+        query = builder.build()
+        frame = QosDataFrame.parse(query.mpdus[0])
+        assert TRIGGER_PATTERN not in frame.payload
+
+    def test_wep_queries_build(self):
+        builder = make_builder(
+            encryption=EncryptionMode.WEP, encryption_key=b"12345"
+        )
+        query = builder.build()
+        assert len(deaggregate(query.psdu)) == 64
+
+    def test_encrypted_airtime_unchanged(self):
+        """Encryption must not change the on-air shape of queries."""
+        open_q = make_builder().build()
+        enc_q = make_builder(
+            encryption=EncryptionMode.WPA2_CCMP,
+            encryption_key=b"0123456789abcdef",
+        ).build()
+        assert enc_q.airtime_s == pytest.approx(open_q.airtime_s, rel=1e-6)
+        assert enc_q.mean_subframe_s == pytest.approx(
+            open_q.mean_subframe_s, rel=1e-6
+        )

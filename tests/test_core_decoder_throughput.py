@@ -1,0 +1,143 @@
+"""Unit tests for block-ACK decoding and the throughput model."""
+
+import pytest
+
+from repro.core.config import WiTagConfig
+from repro.core.decoder import TagReader, bit_errors, raw_bits_from_block_ack
+from repro.core.encoder import TagEncoder
+from repro.core.errors import DecodeError
+from repro.core.framing import TagMessage
+from repro.core.query import QueryBuilder
+from repro.core.system import DEFAULT_AP, DEFAULT_CLIENT
+from repro.core.throughput import (
+    analytic_throughput_bps,
+    block_ack_airtime_s,
+    query_cycle,
+    subframe_airtime_s,
+)
+from repro.mac.block_ack import BlockAck
+from repro.phy.mcs import ht_mcs
+
+
+def make_query():
+    return QueryBuilder(
+        WiTagConfig(), client=DEFAULT_CLIENT, ap=DEFAULT_AP
+    ).build()
+
+
+def block_ack_for(query, payload_bits):
+    """Build the block ACK an AP would send for given payload-bit fates."""
+    bitmap = 0
+    for i in range(query.n_trigger_subframes):
+        bitmap |= 1 << i  # trigger subframes always decode
+    for j, bit in enumerate(payload_bits):
+        if bit:
+            bitmap |= 1 << (query.n_trigger_subframes + j)
+    return BlockAck(
+        receiver=DEFAULT_CLIENT,
+        transmitter=DEFAULT_AP,
+        ssn=query.ssn,
+        bitmap=bitmap,
+    )
+
+
+class TestRawBits:
+    def test_extracts_payload_positions(self):
+        query = make_query()
+        bits = [1, 0] * 31
+        ba = block_ack_for(query, bits)
+        assert raw_bits_from_block_ack(ba, query) == bits
+
+    def test_window_mismatch_rejected(self):
+        query = make_query()
+        ba = BlockAck(
+            receiver=DEFAULT_CLIENT,
+            transmitter=DEFAULT_AP,
+            ssn=(query.ssn - 10) % 4096,
+            bitmap=0,
+        )
+        with pytest.raises(DecodeError):
+            raw_bits_from_block_ack(ba, query)
+
+
+class TestTagReader:
+    def test_recovers_framed_message(self):
+        query = make_query()
+        message = TagMessage(payload=b"hi")
+        bits = message.to_bits()
+        padded = bits + [1] * (62 - len(bits) % 62 if len(bits) % 62 else 0)
+        reader = TagReader()
+        for i in range(0, len(padded), 62):
+            chunk = padded[i : i + 62]
+            chunk = chunk + [1] * (62 - len(chunk))
+            builder_query = make_query()
+            reader.ingest(block_ack_for(builder_query, chunk), builder_query)
+        messages = reader.messages()
+        assert [m.payload for m in messages] == [b"hi"]
+
+    def test_trim_bounds_buffer(self):
+        reader = TagReader()
+        query = make_query()
+        for _ in range(5):
+            reader.ingest(block_ack_for(query, [1] * 62), query)
+        reader.trim(keep_bits=100)
+        assert reader.stream_bits == 100
+
+    def test_trim_validation(self):
+        with pytest.raises(ValueError):
+            TagReader().trim(-1)
+
+
+class TestBitErrors:
+    def test_count(self):
+        assert bit_errors([1, 0, 1], [1, 1, 1]) == 1
+
+    def test_mismatched_length(self):
+        with pytest.raises(ValueError):
+            bit_errors([1], [1, 0])
+
+
+class TestThroughputModel:
+    def test_block_ack_airtime(self):
+        # 20 us preamble + 3 symbols at 24 Mb/s for 32 bytes = 32 us.
+        assert block_ack_airtime_s() == pytest.approx(32e-6)
+
+    def test_subframe_airtime_matches_clock(self):
+        assert subframe_airtime_s(WiTagConfig()) == pytest.approx(20e-6)
+
+    def test_headline_operating_point(self):
+        """Paper Section 6.2: ~40 Kbps with 64-subframe queries."""
+        rate = analytic_throughput_bps(WiTagConfig())
+        assert 38e3 < rate < 45e3
+
+    def test_cycle_breakdown_sums(self):
+        cycle = query_cycle(WiTagConfig())
+        assert cycle.total_s == pytest.approx(
+            cycle.access_s + cycle.query_s + cycle.sifs_s + cycle.block_ack_s
+        )
+        assert cycle.payload_bits == 62
+
+    def test_more_subframes_higher_rate(self):
+        small = analytic_throughput_bps(WiTagConfig(n_subframes=16))
+        large = analytic_throughput_bps(WiTagConfig(n_subframes=64))
+        assert large > small
+
+    def test_rate_insensitive_to_mcs_at_fixed_clock(self):
+        """With subframes pinned to the tag clock, MCS mostly cancels out."""
+        slow = analytic_throughput_bps(WiTagConfig(mcs=ht_mcs(3)))
+        fast = analytic_throughput_bps(WiTagConfig(mcs=ht_mcs(7)))
+        assert slow == pytest.approx(fast, rel=0.05)
+
+    def test_slower_tag_clock_lower_rate(self):
+        fast = analytic_throughput_bps(WiTagConfig(tag_clock_hz=50e3))
+        slow = analytic_throughput_bps(WiTagConfig(tag_clock_hz=25e3))
+        assert fast > 1.5 * slow
+
+    def test_custom_access_time(self):
+        contended = query_cycle(WiTagConfig(), access_s=2e-3)
+        idle = query_cycle(WiTagConfig())
+        assert contended.throughput_bps < idle.throughput_bps
+
+    def test_block_ack_validation(self):
+        with pytest.raises(ValueError):
+            block_ack_airtime_s(0)

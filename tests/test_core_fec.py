@@ -1,0 +1,157 @@
+"""Unit tests for forward error correction codes."""
+
+import pytest
+
+from repro.core.errors import FecError
+from repro.core.fec import (
+    BlockInterleaver,
+    HammingCode,
+    InterleavedCode,
+    NoCode,
+    RepetitionCode,
+)
+
+
+class TestNoCode:
+    def test_identity(self):
+        bits = [1, 0, 1, 1]
+        code = NoCode()
+        assert code.encode(bits) == bits
+        assert code.decode(bits) == bits
+
+    def test_rate(self):
+        assert NoCode().rate == 1.0
+
+    def test_bad_bits(self):
+        with pytest.raises(FecError):
+            NoCode().encode([2])
+
+
+class TestRepetition:
+    def test_encode(self):
+        assert RepetitionCode(3).encode([1, 0]) == [1, 1, 1, 0, 0, 0]
+
+    def test_decode_clean(self):
+        code = RepetitionCode(3)
+        assert code.decode(code.encode([1, 0, 1])) == [1, 0, 1]
+
+    def test_corrects_single_error_per_group(self):
+        code = RepetitionCode(3)
+        coded = code.encode([1, 0])
+        coded[1] ^= 1  # damage one copy of the first bit
+        coded[5] ^= 1  # and one copy of the second
+        assert code.decode(coded) == [1, 0]
+
+    def test_two_errors_in_group_fail(self):
+        code = RepetitionCode(3)
+        coded = code.encode([1])
+        coded[0] ^= 1
+        coded[1] ^= 1
+        assert code.decode(coded) == [0]
+
+    def test_rate(self):
+        assert RepetitionCode(5).rate == pytest.approx(0.2)
+
+    def test_even_factor_rejected(self):
+        with pytest.raises(FecError):
+            RepetitionCode(2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(FecError):
+            RepetitionCode(3).decode([1, 0])
+
+
+class TestHamming:
+    def test_encode_length(self):
+        assert len(HammingCode().encode([1, 0, 1, 1])) == 7
+
+    def test_roundtrip_all_nibbles(self):
+        code = HammingCode()
+        for value in range(16):
+            data = [(value >> i) & 1 for i in range(4)]
+            assert code.decode(code.encode(data)) == data
+
+    def test_corrects_any_single_error(self):
+        code = HammingCode()
+        data = [1, 0, 1, 1]
+        for position in range(7):
+            coded = code.encode(data)
+            coded[position] ^= 1
+            assert code.decode(coded) == data, f"position {position}"
+
+    def test_multiple_codewords(self):
+        code = HammingCode()
+        data = [1, 0, 0, 1, 0, 1, 1, 0]
+        coded = code.encode(data)
+        assert len(coded) == 14
+        coded[2] ^= 1
+        coded[9] ^= 1  # one error in each codeword
+        assert code.decode(coded) == data
+
+    def test_length_validation(self):
+        with pytest.raises(FecError):
+            HammingCode().encode([1, 0, 1])
+        with pytest.raises(FecError):
+            HammingCode().decode([1] * 6)
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        interleaver = BlockInterleaver(depth=4)
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert interleaver.deinterleave(interleaver.interleave(bits)) == bits
+
+    def test_spreads_bursts(self):
+        """A burst of depth consecutive errors lands in distinct rows."""
+        depth = 4
+        interleaver = BlockInterleaver(depth=depth)
+        bits = [0] * 16
+        coded = interleaver.interleave(bits)
+        # Burst of 4 errors on the wire.
+        for i in range(4, 8):
+            coded[i] ^= 1
+        received = interleaver.deinterleave(coded)
+        # After deinterleaving the errors occupy different 4-bit rows.
+        rows_hit = {i // depth for i, b in enumerate(received) if b}
+        assert len(rows_hit) == 4
+
+    def test_length_validation(self):
+        with pytest.raises(FecError):
+            BlockInterleaver(depth=4).interleave([1, 0, 1])
+
+    def test_depth_validation(self):
+        with pytest.raises(FecError):
+            BlockInterleaver(depth=0)
+
+
+class TestInterleavedCode:
+    def test_roundtrip_with_hamming(self):
+        code = InterleavedCode(HammingCode(), BlockInterleaver(depth=7))
+        data = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0]
+        assert code.decode(code.encode(data)) == data
+
+    def test_burst_tolerance_beats_plain_hamming(self):
+        """Interleaving turns a burst into single errors Hamming can fix."""
+        plain = HammingCode()
+        fancy = InterleavedCode(HammingCode(), BlockInterleaver(depth=7))
+        data = [1, 0, 1, 1] * 7  # 28 bits -> 49 coded bits
+        burst = range(3, 3 + 5)
+
+        coded_plain = plain.encode(data)
+        for i in burst:
+            coded_plain[i] ^= 1
+        plain_errors = sum(
+            a != b for a, b in zip(plain.decode(coded_plain), data)
+        )
+
+        coded_fancy = fancy.encode(data)
+        for i in burst:
+            coded_fancy[i] ^= 1
+        fancy_errors = sum(
+            a != b for a, b in zip(fancy.decode(coded_fancy)[: len(data)], data)
+        )
+        assert fancy_errors < plain_errors
+
+    def test_rate_passthrough(self):
+        code = InterleavedCode(RepetitionCode(3), BlockInterleaver(depth=3))
+        assert code.rate == pytest.approx(1 / 3)

@@ -1,0 +1,157 @@
+"""Unit tests for tag-message framing and the encoder layer."""
+
+import pytest
+
+from repro.core.encoder import LineCode, TagEncoder
+from repro.core.errors import DecodeError, FramingError
+from repro.core.fec import HammingCode, RepetitionCode
+from repro.core.framing import (
+    PREAMBLE_BYTE,
+    TagMessage,
+    bits_to_bytes,
+    bytes_to_bits,
+    deframe,
+    scan_for_frames,
+)
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        assert bytes_to_bits(b"\x80") == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits_to_bytes([0, 0, 0, 0, 0, 0, 0, 1]) == b"\x01"
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(FramingError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_bad_bit_values(self):
+        with pytest.raises(FramingError):
+            bits_to_bytes([2] * 8)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = TagMessage(payload=b"sensor:23.5C")
+        assert deframe(message.to_bits()).payload == b"sensor:23.5C"
+
+    def test_empty_payload(self):
+        message = TagMessage(payload=b"")
+        assert deframe(message.to_bits()).payload == b""
+
+    def test_framed_bits_accounting(self):
+        message = TagMessage(payload=b"abc")
+        assert len(message.to_bits()) == message.framed_bits == 8 * 7
+
+    def test_preamble_present(self):
+        bits = TagMessage(payload=b"x").to_bits()
+        assert bits_to_bytes(bits[:8])[0] == PREAMBLE_BYTE
+
+    def test_crc_detects_corruption(self):
+        bits = TagMessage(payload=b"hello").to_bits()
+        bits[20] ^= 1
+        with pytest.raises(FramingError):
+            deframe(bits)
+
+    def test_bad_preamble(self):
+        bits = TagMessage(payload=b"x").to_bits()
+        bits[0] ^= 1
+        with pytest.raises(FramingError, match="preamble"):
+            deframe(bits)
+
+    def test_truncated(self):
+        bits = TagMessage(payload=b"hello world").to_bits()
+        with pytest.raises(FramingError):
+            deframe(bits[:40])
+
+    def test_oversize_payload(self):
+        with pytest.raises(FramingError):
+            TagMessage(payload=bytes(256))
+
+
+class TestScanForFrames:
+    def test_finds_frame_after_idle(self):
+        idle = [1] * 37  # idle tag reads as ones
+        bits = idle + TagMessage(payload=b"A").to_bits() + [1] * 10
+        messages = scan_for_frames(bits)
+        assert [m.payload for m in messages] == [b"A"]
+
+    def test_finds_multiple_frames(self):
+        bits = (
+            TagMessage(payload=b"one").to_bits()
+            + [1, 1, 1]
+            + TagMessage(payload=b"two").to_bits()
+        )
+        assert [m.payload for m in scan_for_frames(bits)] == [b"one", b"two"]
+
+    def test_corrupted_frame_skipped_next_found(self):
+        first = TagMessage(payload=b"bad").to_bits()
+        first[30] ^= 1  # corrupt the first frame
+        bits = first + TagMessage(payload=b"good").to_bits()
+        assert [m.payload for m in scan_for_frames(bits)] == [b"good"]
+
+    def test_empty_stream(self):
+        assert scan_for_frames([]) == []
+
+
+class TestTagEncoder:
+    def test_ook_passthrough(self):
+        encoder = TagEncoder()
+        bits = [1, 0, 1, 1]
+        assert encoder.encode(bits) == bits
+        assert encoder.decode(bits) == bits
+
+    def test_manchester_encoding(self):
+        encoder = TagEncoder(line_code=LineCode.MANCHESTER)
+        assert encoder.encode([1, 0]) == [1, 0, 0, 1]
+
+    def test_manchester_roundtrip(self):
+        encoder = TagEncoder(line_code=LineCode.MANCHESTER)
+        bits = [1, 0, 0, 1, 1, 1, 0]
+        assert encoder.decode(encoder.encode(bits)) == bits
+
+    def test_manchester_rejects_idle_stream(self):
+        """An absent tag (all subframes decode -> all ones) is detected."""
+        encoder = TagEncoder(line_code=LineCode.MANCHESTER)
+        with pytest.raises(DecodeError):
+            encoder.decode([1, 1, 1, 1])
+
+    def test_manchester_rejects_odd_length(self):
+        encoder = TagEncoder(line_code=LineCode.MANCHESTER)
+        with pytest.raises(DecodeError):
+            encoder.decode([1, 0, 1])
+
+    def test_fec_composition(self):
+        encoder = TagEncoder(fec=RepetitionCode(3))
+        bits = [1, 0]
+        coded = encoder.encode(bits)
+        assert len(coded) == 6
+        coded[0] ^= 1
+        assert encoder.decode(coded) == bits
+
+    def test_fec_plus_manchester(self):
+        encoder = TagEncoder(
+            fec=HammingCode(), line_code=LineCode.MANCHESTER
+        )
+        bits = [1, 0, 1, 1]
+        assert encoder.decode(encoder.encode(bits)) == bits
+
+    def test_subframes_needed(self):
+        assert TagEncoder().subframes_needed(62) == 62
+        assert TagEncoder(
+            line_code=LineCode.MANCHESTER
+        ).subframes_needed(31) == 62
+        assert TagEncoder(fec=RepetitionCode(3)).subframes_needed(10) == 30
+
+    def test_efficiency(self):
+        assert TagEncoder().efficiency == 1.0
+        assert TagEncoder(
+            fec=RepetitionCode(3), line_code=LineCode.MANCHESTER
+        ).efficiency == pytest.approx(1 / 6)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TagEncoder().subframes_needed(-1)

@@ -1,0 +1,132 @@
+"""Integration tests: full tag-to-reader message transfer.
+
+These exercise the complete paper pipeline — framing, FEC, tag FSM, query
+frames, channel corruption, block ACKs, reader — rather than any single
+module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import TagReader
+from repro.core.encoder import LineCode, TagEncoder
+from repro.core.fec import HammingCode, RepetitionCode
+from repro.core.framing import TagMessage
+from repro.core.session import MeasurementSession
+from repro.sim.scenario import los_scenario, nlos_scenario
+
+
+def transfer_message(payload: bytes, *, encoder=None, d=1.5, seed=33,
+                     max_queries=40):
+    """Send one framed message through the full system; return messages."""
+    encoder = encoder or TagEncoder()
+    system, _ = los_scenario(d, seed=seed)
+    message_bits = TagMessage(payload=payload).to_bits()
+    system.load_tag_bits(encoder.encode(message_bits))
+    reader = TagReader(encoder=encoder)
+    for _ in range(max_queries):
+        result = system.run_query()
+        reader.ingest(result.block_ack, result.query)
+        if reader.messages():
+            break
+    return reader.messages()
+
+
+class TestMessageTransfer:
+    def test_short_message(self):
+        messages = transfer_message(b"23.5C")
+        assert [m.payload for m in messages] == [b"23.5C"]
+
+    def test_multi_query_message(self):
+        """A message longer than one A-MPDU spans several queries."""
+        payload = b"soil-moisture=0.41;battery=harvesting;node=7"
+        messages = transfer_message(payload)
+        assert messages and messages[0].payload == payload
+
+    def test_with_hamming_fec(self):
+        messages = transfer_message(
+            b"fec!", encoder=TagEncoder(fec=HammingCode())
+        )
+        assert messages and messages[0].payload == b"fec!"
+
+    def test_with_repetition_at_midspan(self):
+        """Repetition-3 pushes a message through the worst tag position."""
+        messages = transfer_message(
+            b"mid", encoder=TagEncoder(fec=RepetitionCode(3)), d=4.0,
+            max_queries=60,
+        )
+        assert messages and messages[0].payload == b"mid"
+
+    def test_manchester_line_code(self):
+        messages = transfer_message(
+            b"mc", encoder=TagEncoder(line_code=LineCode.MANCHESTER)
+        )
+        assert messages and messages[0].payload == b"mc"
+
+    def test_back_to_back_messages(self):
+        encoder = TagEncoder()
+        system, _ = los_scenario(1.5, seed=34)
+        for payload in (b"first", b"second"):
+            bits = TagMessage(payload=payload).to_bits()
+            system.load_tag_bits(encoder.encode(bits))
+        reader = TagReader(encoder=encoder)
+        for _ in range(10):
+            result = system.run_query()
+            reader.ingest(result.block_ack, result.query)
+        payloads = [m.payload for m in reader.messages()]
+        assert payloads == [b"first", b"second"]
+
+
+class TestPaperClaims:
+    """End-to-end assertions of the paper's headline numbers (shapes)."""
+
+    def test_fig5_u_shape(self):
+        """BER low at endpoints, higher mid-span (Figure 5)."""
+        bers = {}
+        for d in (1.0, 4.0, 7.0):
+            system, _ = los_scenario(d, seed=50)
+            stats = MeasurementSession(
+                system, rng=np.random.default_rng(1)
+            ).run_for(1.5)
+            bers[d] = stats.ber
+        assert bers[4.0] > bers[1.0]
+        assert bers[4.0] > bers[7.0]
+        assert bers[1.0] < 0.02
+        assert bers[4.0] < 0.15
+
+    def test_fig5_throughput_stable_around_40kbps(self):
+        """Throughput ~40 Kbps with only a slight mid-span dip (Figure 5)."""
+        rates = {}
+        for d in (1.0, 4.0):
+            system, _ = los_scenario(d, seed=51)
+            stats = MeasurementSession(
+                system, rng=np.random.default_rng(2)
+            ).run_for(1.0)
+            rates[d] = stats.throughput_bps
+        assert 38e3 < rates[1.0] < 45e3
+        assert rates[4.0] > 0.9 * rates[1.0]
+
+    def test_fig6_nlos_works_and_orders(self):
+        """Low BER in NLOS; location B worse than A (Figure 6)."""
+        bers = {}
+        for location in ("A", "B"):
+            system, _ = nlos_scenario(location, seed=52)
+            stats = MeasurementSession(
+                system, rng=np.random.default_rng(3)
+            ).run_for(1.5)
+            bers[location] = stats.ber
+        assert bers["A"] < 0.02
+        assert bers["B"] < 0.05
+        assert bers["B"] > bers["A"]
+
+    def test_ap_has_no_witag_logic(self):
+        """The AP is a standard block-ACK recipient, oblivious to the tag.
+
+        Structural assertion: the scoreboard type used as the 'AP' comes
+        from the generic MAC package and contains no tag-related
+        attributes.
+        """
+        from repro.mac.block_ack import BlockAckScoreboard
+
+        attrs = {a for a in dir(BlockAckScoreboard) if not a.startswith("_")}
+        assert attrs == {"record", "bitmap", "reset", "ssn"}

@@ -1,0 +1,143 @@
+"""Unit tests for A-MPDU aggregation — the heart of WiTAG's mechanism."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.ampdu import (
+    DELIMITER_BYTES,
+    MAX_DELIMITED_MPDU_BYTES,
+    aggregate,
+    corrupt_range,
+    deaggregate,
+    decode_delimiter,
+    encode_delimiter,
+    subframe_lengths,
+)
+from repro.mac.frames import null_qos_mpdu
+
+A1 = MacAddress.parse("02:00:00:00:00:01")
+A2 = MacAddress.parse("02:00:00:00:00:02")
+
+
+def make_mpdus(count, payload=b""):
+    return [
+        null_qos_mpdu(A1, A2, seq, payload=payload).serialize()
+        for seq in range(count)
+    ]
+
+
+class TestDelimiter:
+    def test_roundtrip(self):
+        for length in (0, 1, 30, 1500, MAX_DELIMITED_MPDU_BYTES):
+            assert decode_delimiter(encode_delimiter(length)) == length
+
+    def test_signature_checked(self):
+        delim = bytearray(encode_delimiter(100))
+        delim[3] = 0x00
+        assert decode_delimiter(bytes(delim)) is None
+
+    def test_crc_checked(self):
+        delim = bytearray(encode_delimiter(100))
+        delim[0] ^= 0x01
+        assert decode_delimiter(bytes(delim)) is None
+
+    def test_short_input(self):
+        assert decode_delimiter(b"\x00\x00") is None
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            encode_delimiter(MAX_DELIMITED_MPDU_BYTES + 1)
+
+
+class TestAggregation:
+    def test_roundtrip_clean(self):
+        mpdus = make_mpdus(8)
+        subframes = deaggregate(aggregate(mpdus))
+        assert len(subframes) == 8
+        assert all(s.fcs_ok for s in subframes)
+        assert [s.mpdu for s in subframes] == mpdus
+
+    def test_subframes_four_byte_aligned(self):
+        mpdus = make_mpdus(4, payload=b"xyz")  # 33-byte MPDUs
+        for size in subframe_lengths(mpdus):
+            assert size % 4 == 0
+            assert size >= DELIMITER_BYTES + 33
+
+    def test_single_mpdu(self):
+        mpdus = make_mpdus(1)
+        assert len(deaggregate(aggregate(mpdus))) == 1
+
+    def test_max_window_of_64(self):
+        mpdus = make_mpdus(64)
+        assert len(deaggregate(aggregate(mpdus))) == 64
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_psdu_size_matches_plan(self):
+        mpdus = make_mpdus(5, payload=b"q" * 10)
+        assert len(aggregate(mpdus)) == sum(subframe_lengths(mpdus))
+
+
+class TestCorruption:
+    """The WiTAG-critical behaviour: one bad subframe must not sink the rest."""
+
+    def corrupt_subframe(self, mpdus, index):
+        psdu = aggregate(mpdus)
+        sizes = subframe_lengths(mpdus)
+        start = sum(sizes[:index]) + DELIMITER_BYTES + 2
+        return corrupt_range(psdu, start, start + 8)
+
+    def test_single_corruption_isolated(self):
+        mpdus = make_mpdus(8)
+        subframes = deaggregate(self.corrupt_subframe(mpdus, 3))
+        assert [s.fcs_ok for s in subframes] == [
+            True, True, True, False, True, True, True, True,
+        ]
+
+    def test_first_subframe_corruption(self):
+        mpdus = make_mpdus(4)
+        subframes = deaggregate(self.corrupt_subframe(mpdus, 0))
+        assert [s.fcs_ok for s in subframes] == [False, True, True, True]
+
+    def test_last_subframe_corruption(self):
+        mpdus = make_mpdus(4)
+        subframes = deaggregate(self.corrupt_subframe(mpdus, 3))
+        assert [s.fcs_ok for s in subframes] == [True, True, True, False]
+
+    def test_multiple_corruptions(self):
+        """A full tag pattern: alternating good/corrupt subframes."""
+        mpdus = make_mpdus(8)
+        psdu = aggregate(mpdus)
+        sizes = subframe_lengths(mpdus)
+        for index in (1, 3, 5, 7):
+            start = sum(sizes[:index]) + DELIMITER_BYTES + 2
+            psdu = corrupt_range(psdu, start, start + 4)
+        fates = [s.fcs_ok for s in deaggregate(psdu)]
+        assert fates == [True, False] * 4
+
+    def test_corrupted_delimiter_resync(self):
+        """Destroying a delimiter loses that subframe but not later ones."""
+        mpdus = make_mpdus(6)
+        sizes = subframe_lengths(mpdus)
+        psdu = aggregate(mpdus)
+        start = sum(sizes[:2])  # subframe 2's delimiter itself
+        damaged = corrupt_range(psdu, start, start + 2)
+        subframes = deaggregate(damaged)
+        # Subframe 2 vanishes entirely; 0,1 and 3,4,5 survive intact.
+        good = [s for s in subframes if s.fcs_ok]
+        assert len(good) >= 5
+
+    def test_corrupt_range_validation(self):
+        psdu = aggregate(make_mpdus(2))
+        with pytest.raises(ValueError):
+            corrupt_range(psdu, 10, 5)
+        with pytest.raises(ValueError):
+            corrupt_range(psdu, 0, len(psdu) + 1)
+
+    def test_corruption_is_pure(self):
+        psdu = aggregate(make_mpdus(2))
+        before = bytes(psdu)
+        corrupt_range(psdu, 0, 4)
+        assert psdu == before

@@ -1,0 +1,141 @@
+"""Unit tests for block ACK bitmap, scoreboard and frames."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.block_ack import (
+    BLOCK_ACK_WINDOW,
+    BlockAck,
+    BlockAckRequest,
+    BlockAckScoreboard,
+    build_block_ack,
+    seq_offset,
+)
+
+RA = MacAddress.parse("02:00:00:00:00:01")
+TA = MacAddress.parse("02:00:00:00:00:02")
+
+
+class TestSeqOffset:
+    def test_simple(self):
+        assert seq_offset(100, 105) == 5
+
+    def test_wraparound(self):
+        assert seq_offset(4090, 2) == 8
+
+    def test_identity(self):
+        assert seq_offset(7, 7) == 0
+
+
+class TestScoreboard:
+    def test_records_in_window(self):
+        sb = BlockAckScoreboard(ssn=10)
+        sb.record(10)
+        sb.record(73)  # last slot of the window
+        assert sb.bitmap() == (1 << 0) | (1 << 63)
+
+    def test_ignores_out_of_window(self):
+        sb = BlockAckScoreboard(ssn=10)
+        sb.record(74)  # one past the window
+        sb.record(9)  # stale
+        assert sb.bitmap() == 0
+
+    def test_wraparound_window(self):
+        sb = BlockAckScoreboard(ssn=4090)
+        sb.record(4095)
+        sb.record(0)
+        assert sb.bitmap() == (1 << 5) | (1 << 6)
+
+    def test_reset(self):
+        sb = BlockAckScoreboard(ssn=0)
+        sb.record(5)
+        sb.reset(100)
+        assert sb.bitmap() == 0
+        assert sb.ssn == 100
+
+    def test_duplicate_records_idempotent(self):
+        sb = BlockAckScoreboard()
+        sb.record(3)
+        sb.record(3)
+        assert sb.bitmap() == 1 << 3
+
+    def test_invalid_sequence(self):
+        sb = BlockAckScoreboard()
+        with pytest.raises(ValueError):
+            sb.record(4096)
+        with pytest.raises(ValueError):
+            sb.reset(-1)
+        with pytest.raises(ValueError):
+            BlockAckScoreboard(ssn=4096)
+
+
+class TestBlockAckFrame:
+    def test_serialize_parse_roundtrip(self):
+        ba = BlockAck(
+            receiver=RA, transmitter=TA, ssn=777, bitmap=0xDEADBEEF12345678,
+            tid=5,
+        )
+        parsed = BlockAck.parse(ba.serialize())
+        assert parsed == ba
+
+    def test_frame_size(self):
+        ba = BlockAck(receiver=RA, transmitter=TA, ssn=0, bitmap=0)
+        assert len(ba.serialize()) == BlockAck.FRAME_BYTES == 32
+
+    def test_bits_extraction(self):
+        ba = BlockAck(receiver=RA, transmitter=TA, ssn=0, bitmap=0b1011)
+        assert ba.bits(4) == [True, True, False, True]
+
+    def test_bit_bounds(self):
+        ba = BlockAck(receiver=RA, transmitter=TA, ssn=0, bitmap=0)
+        with pytest.raises(ValueError):
+            ba.bit(64)
+        with pytest.raises(ValueError):
+            ba.bits(65)
+
+    def test_corrupted_rejected(self):
+        data = bytearray(
+            BlockAck(receiver=RA, transmitter=TA, ssn=0, bitmap=1).serialize()
+        )
+        data[8] ^= 0x01
+        with pytest.raises(ValueError, match="FCS"):
+            BlockAck.parse(bytes(data))
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            BlockAck.parse(b"\x00" * 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockAck(receiver=RA, transmitter=TA, ssn=4096, bitmap=0)
+        with pytest.raises(ValueError):
+            BlockAck(receiver=RA, transmitter=TA, ssn=0, bitmap=1 << 64)
+        with pytest.raises(ValueError):
+            BlockAck(receiver=RA, transmitter=TA, ssn=0, bitmap=0, tid=16)
+
+
+class TestBuildBlockAck:
+    def test_mirrors_scoreboard(self):
+        sb = BlockAckScoreboard(ssn=200)
+        for seq in (200, 202, 204):
+            sb.record(seq)
+        ba = build_block_ack(sb, RA, TA, tid=1)
+        assert ba.ssn == 200
+        assert ba.bits(6) == [True, False, True, False, True, False]
+        assert ba.tid == 1
+
+    def test_full_window(self):
+        sb = BlockAckScoreboard(ssn=0)
+        for seq in range(BLOCK_ACK_WINDOW):
+            sb.record(seq)
+        assert build_block_ack(sb, RA, TA).bitmap == (1 << 64) - 1
+
+
+class TestBlockAckRequest:
+    def test_serialize_size(self):
+        bar = BlockAckRequest(receiver=RA, transmitter=TA, ssn=100)
+        assert len(bar.serialize()) == BlockAckRequest.FRAME_BYTES == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockAckRequest(receiver=RA, transmitter=TA, ssn=5000)

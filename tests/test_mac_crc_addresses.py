@@ -1,0 +1,103 @@
+"""Unit tests for CRC implementations and MAC addresses."""
+
+import zlib
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.crc import crc8, crc16_ccitt, crc32, fcs_bytes, verify_fcs
+
+
+class TestCrc32:
+    def test_matches_zlib(self):
+        for data in (b"", b"a", b"123456789", bytes(range(256)) * 3):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_check_value(self):
+        # The canonical CRC-32 check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_fcs_roundtrip(self):
+        frame = b"header-and-payload"
+        assert verify_fcs(frame + fcs_bytes(frame))
+
+    def test_detects_single_bit_flip(self):
+        frame = bytearray(b"header-and-payload" + fcs_bytes(b"header-and-payload"))
+        for bit in (0, 37, len(frame) * 8 - 1):
+            flipped = bytearray(frame)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            assert not verify_fcs(bytes(flipped))
+
+    def test_short_frame_fails(self):
+        assert not verify_fcs(b"abc")
+
+    def test_fcs_is_little_endian(self):
+        frame = b"x"
+        assert fcs_bytes(frame) == crc32(frame).to_bytes(4, "little")
+
+
+class TestCrc8:
+    def test_deterministic(self):
+        assert crc8(b"\x22\x00") == crc8(b"\x22\x00")
+
+    def test_distinguishes_inputs(self):
+        values = {crc8(bytes([i, 0])) for i in range(256)}
+        assert len(values) > 200  # good dispersion over length field
+
+    def test_empty(self):
+        # init 0xFF, final inversion: crc8(b"") = 0x00.
+        assert crc8(b"") == 0x00
+
+
+class TestCrc16:
+    def test_ccitt_check_value(self):
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty_is_initial(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_detects_swap(self):
+        assert crc16_ccitt(b"ab") != crc16_ccitt(b"ba")
+
+
+class TestMacAddress:
+    def test_parse_and_format(self):
+        addr = MacAddress.parse("02:AB:cd:00:11:ff")
+        assert str(addr) == "02:ab:cd:00:11:ff"
+
+    def test_parse_dashes(self):
+        assert MacAddress.parse("02-00-00-00-00-01") == MacAddress.parse(
+            "02:00:00:00:00:01"
+        )
+
+    def test_bytes_roundtrip(self):
+        addr = MacAddress(bytes(range(6)))
+        assert MacAddress(bytes(addr)) == addr
+
+    def test_broadcast(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert MacAddress.broadcast().is_multicast
+
+    def test_multicast_bit(self):
+        assert MacAddress.parse("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress.parse("02:00:00:00:00:01").is_multicast
+
+    def test_locally_administered(self):
+        assert MacAddress.parse("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress.parse("00:1b:2c:00:00:01").is_locally_administered
+
+    def test_ordering(self):
+        a = MacAddress.parse("02:00:00:00:00:01")
+        b = MacAddress.parse("02:00:00:00:00:02")
+        assert a < b
+
+    @pytest.mark.parametrize(
+        "bad", ["", "02:00", "02:00:00:00:00:zz", "02:00:00:00:00:01:02"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MacAddress.parse(bad)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x00" * 5)

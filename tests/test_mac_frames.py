@@ -1,0 +1,116 @@
+"""Unit tests for 802.11 frame structures and serialization."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.frames import (
+    FrameControl,
+    FrameSubtype,
+    FrameType,
+    QosDataFrame,
+    SequenceControl,
+    null_qos_mpdu,
+)
+
+A1 = MacAddress.parse("02:00:00:00:00:01")
+A2 = MacAddress.parse("02:00:00:00:00:02")
+
+
+class TestFrameControl:
+    def test_roundtrip(self):
+        fc = FrameControl(
+            FrameType.DATA, 8, to_ds=True, retry=True, protected=True
+        )
+        assert FrameControl.from_int(fc.to_int()) == fc
+
+    def test_qos_data_wire_value(self):
+        fc = FrameControl(FrameType.DATA, int(FrameSubtype.QOS_DATA))
+        # type=2 -> bits 2-3 = 10; subtype=8 -> bits 4-7.
+        assert fc.to_int() == (2 << 2) | (8 << 4)
+
+    def test_bad_subtype(self):
+        with pytest.raises(ValueError):
+            FrameControl(FrameType.DATA, 16)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            FrameControl.from_int(0x0003)
+
+
+class TestSequenceControl:
+    def test_roundtrip(self):
+        sc = SequenceControl(sequence=4095, fragment=15)
+        assert SequenceControl.from_int(sc.to_int()) == sc
+
+    def test_wire_layout(self):
+        assert SequenceControl(1, 0).to_int() == 1 << 4
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            SequenceControl(4096)
+        with pytest.raises(ValueError):
+            SequenceControl(0, 16)
+
+
+class TestQosDataFrame:
+    def test_serialize_parse_roundtrip(self):
+        frame = QosDataFrame(
+            receiver=A1,
+            transmitter=A2,
+            destination=A1,
+            seq=SequenceControl(123),
+            tid=3,
+            payload=b"hello witag",
+        )
+        parsed = QosDataFrame.parse(frame.serialize())
+        assert parsed.receiver == A1
+        assert parsed.transmitter == A2
+        assert parsed.seq.sequence == 123
+        assert parsed.tid == 3
+        assert parsed.payload == b"hello witag"
+
+    def test_null_frame_size(self):
+        frame = null_qos_mpdu(A1, A2, 0)
+        # Header 26 + FCS 4 = 30 bytes, no payload.
+        assert len(frame.serialize()) == 30
+        assert frame.mpdu_bytes == 30
+
+    def test_null_subtype_selected(self):
+        assert (
+            null_qos_mpdu(A1, A2, 0).effective_frame_control().subtype
+            == FrameSubtype.QOS_NULL
+        )
+        assert (
+            null_qos_mpdu(A1, A2, 0, payload=b"x").effective_frame_control().subtype
+            == FrameSubtype.QOS_DATA
+        )
+
+    def test_corrupted_frame_rejected(self):
+        data = bytearray(null_qos_mpdu(A1, A2, 7).serialize())
+        data[5] ^= 0xFF
+        with pytest.raises(ValueError, match="FCS"):
+            QosDataFrame.parse(bytes(data))
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ValueError, match="short"):
+            QosDataFrame.parse(b"\x00" * 10)
+
+    def test_duration_bounds(self):
+        frame = null_qos_mpdu(A1, A2, 0)
+        with pytest.raises(ValueError):
+            frame.serialize(duration_us=0x8000)
+
+    def test_bad_tid(self):
+        with pytest.raises(ValueError):
+            QosDataFrame(
+                receiver=A1,
+                transmitter=A2,
+                destination=A1,
+                seq=SequenceControl(0),
+                tid=16,
+            )
+
+    def test_sequence_survives_serialization(self):
+        for seq in (0, 1, 2047, 4095):
+            frame = null_qos_mpdu(A1, A2, seq)
+            assert QosDataFrame.parse(frame.serialize()).seq.sequence == seq

@@ -1,0 +1,133 @@
+"""Unit tests for management frames (beacons, association)."""
+
+import pytest
+
+from repro.mac.addresses import MacAddress
+from repro.mac.management import (
+    AssociationRequest,
+    AssociationResponse,
+    Beacon,
+    ElementId,
+    InformationElement,
+    associate,
+    ht_capabilities_element,
+    ssid_element,
+    supported_rates_element,
+)
+
+AP = MacAddress.parse("02:41:50:00:00:01")
+CLIENT = MacAddress.parse("02:57:49:54:41:47")
+
+
+class TestInformationElements:
+    def test_roundtrip(self):
+        elements = [
+            ssid_element("witag-lab"),
+            supported_rates_element(),
+            ht_capabilities_element(),
+        ]
+        blob = b"".join(e.serialize() for e in elements)
+        parsed = InformationElement.parse_all(blob)
+        assert [e.element_id for e in parsed] == [
+            ElementId.SSID,
+            ElementId.SUPPORTED_RATES,
+            ElementId.HT_CAPABILITIES,
+        ]
+        assert parsed[0].body == b"witag-lab"
+
+    def test_truncation_detected(self):
+        blob = ssid_element("net").serialize()
+        with pytest.raises(ValueError):
+            InformationElement.parse_all(blob[:-1])
+
+    def test_ssid_length_limit(self):
+        with pytest.raises(ValueError):
+            ssid_element("x" * 33)
+
+    def test_element_validation(self):
+        with pytest.raises(ValueError):
+            InformationElement(300, b"")
+        with pytest.raises(ValueError):
+            InformationElement(0, bytes(256))
+
+
+class TestBeacon:
+    def test_serialize_parse_roundtrip(self):
+        beacon = Beacon(
+            bssid=AP,
+            ssid="witag-lab",
+            beacon_interval_tu=100,
+            capabilities=0x0011,  # ESS + privacy
+            sequence=42,
+            timestamp_us=123456789,
+        )
+        parsed = Beacon.parse(beacon.serialize())
+        assert parsed.bssid == AP
+        assert parsed.ssid == "witag-lab"
+        assert parsed.beacon_interval_tu == 100
+        assert parsed.privacy
+        assert parsed.sequence == 42
+        assert parsed.timestamp_us == 123456789
+
+    def test_open_network_no_privacy(self):
+        beacon = Beacon(bssid=AP, ssid="open-net")
+        assert not beacon.privacy
+
+    def test_advertises_ampdu(self):
+        """WiTAG's one requirement on the network: HT frame aggregation."""
+        beacon = Beacon(bssid=AP, ssid="lab")
+        data = beacon.serialize()
+        # The HT Capabilities element must appear on the air.
+        assert bytes([int(ElementId.HT_CAPABILITIES)]) in data
+        assert Beacon.parse(data).supports_ampdu
+
+    def test_corrupted_rejected(self):
+        data = bytearray(Beacon(bssid=AP, ssid="x").serialize())
+        data[30] ^= 0xFF
+        with pytest.raises(ValueError, match="FCS"):
+            Beacon.parse(bytes(data))
+
+    def test_not_a_beacon_rejected(self):
+        request = AssociationRequest(client=CLIENT, bssid=AP, ssid="x")
+        with pytest.raises(ValueError):
+            Beacon.parse(request.serialize())
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Beacon.parse(b"\x80\x00" + bytes(10))
+
+
+class TestAssociation:
+    def test_request_serializes_with_fcs(self):
+        from repro.mac.crc import verify_fcs
+
+        request = AssociationRequest(client=CLIENT, bssid=AP, ssid="lab")
+        assert verify_fcs(request.serialize())
+
+    def test_response_success(self):
+        response = AssociationResponse(bssid=AP, client=CLIENT)
+        assert response.success
+        assert not AssociationResponse(
+            bssid=AP, client=CLIENT, status=17
+        ).success
+
+    def test_handshake(self):
+        beacon = Beacon(bssid=AP, ssid="witag-lab")
+        request, response = associate(CLIENT, beacon)
+        assert request.bssid == AP
+        assert request.ssid == "witag-lab"
+        assert response.client == CLIENT
+        assert response.success
+
+    def test_witag_needs_nothing_special(self):
+        """End-to-end: discover, associate, then run WiTAG unchanged."""
+        from repro.sim.scenario import los_scenario
+
+        beacon = Beacon(bssid=AP, ssid="existing-network")
+        _request, response = associate(CLIENT, beacon)
+        assert response.success
+        system, _ = los_scenario(2.0, seed=91)
+        system.load_tag_bits([1, 0] * 31)
+        result = system.run_query()
+        assert result.detected
+        assert result.bit_errors <= 5

@@ -1,0 +1,124 @@
+"""Unit tests for sequence management and the DCF contention model."""
+
+import numpy as np
+import pytest
+
+from repro.mac.csma import ContentionModel, DcfParameters, DcfStation
+from repro.mac.sequence import SequenceCounter, TransmitWindow
+
+
+class TestSequenceCounter:
+    def test_monotone_allocation(self):
+        counter = SequenceCounter()
+        assert [counter.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_wraparound(self):
+        counter = SequenceCounter(_next=4094)
+        assert counter.allocate_block(4) == [4094, 4095, 0, 1]
+
+    def test_next_value_peek(self):
+        counter = SequenceCounter()
+        assert counter.next_value == 0
+        counter.allocate()
+        assert counter.next_value == 1
+
+    def test_block_bounds(self):
+        counter = SequenceCounter()
+        with pytest.raises(ValueError):
+            counter.allocate_block(0)
+        with pytest.raises(ValueError):
+            counter.allocate_block(65)
+
+    def test_block_of_64_allowed(self):
+        assert len(SequenceCounter().allocate_block(64)) == 64
+
+
+class TestTransmitWindow:
+    def test_apply_bitmap(self):
+        window = TransmitWindow(ssn=0)
+        newly = window.apply_bitmap(0, 0b1011)
+        assert newly == [0, 1, 3]
+
+    def test_reapply_is_incremental(self):
+        window = TransmitWindow(ssn=0)
+        window.apply_bitmap(0, 0b0001)
+        newly = window.apply_bitmap(0, 0b0011)
+        assert newly == [1]
+
+    def test_advance_drops_stale(self):
+        window = TransmitWindow(ssn=0)
+        window.apply_bitmap(0, 0b1)
+        window.advance_to(2000)
+        assert window.acked == set()
+
+    def test_advance_keeps_in_window(self):
+        window = TransmitWindow(ssn=0)
+        window.apply_bitmap(0, 0b11)
+        window.advance_to(1)
+        assert window.acked == {1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransmitWindow().advance_to(4096)
+
+
+class TestDcfStation:
+    def test_window_doubling(self):
+        station = DcfStation()
+        assert station.contention_window() == 15
+        station.on_failure()
+        assert station.contention_window() == 31
+        station.on_failure()
+        assert station.contention_window() == 63
+
+    def test_window_cap(self):
+        station = DcfStation()
+        for _ in range(12):
+            station.on_failure()
+        assert station.contention_window() == 1023
+
+    def test_reset_on_success(self):
+        station = DcfStation()
+        station.on_failure()
+        station.on_success()
+        assert station.contention_window() == 15
+
+    def test_backoff_in_range(self):
+        station = DcfStation()
+        rng = np.random.default_rng(0)
+        draws = [station.draw_backoff_slots(rng) for _ in range(200)]
+        assert min(draws) >= 0
+        assert max(draws) <= 15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DcfParameters(cw_min=0)
+        with pytest.raises(ValueError):
+            DcfParameters(cw_min=31, cw_max=15)
+
+
+class TestContentionModel:
+    def test_idle_channel_mean(self):
+        model = ContentionModel()
+        # DIFS (34 us) + 7.5 slots * 9 us = ~101.5 us.
+        assert model.mean_access_delay_s() == pytest.approx(101.5e-6, rel=0.01)
+
+    def test_contenders_increase_delay(self):
+        idle = ContentionModel(n_contenders=0)
+        busy = ContentionModel(n_contenders=10, contender_activity=0.3)
+        assert busy.mean_access_delay_s() > idle.mean_access_delay_s()
+
+    def test_samples_positive_and_plausible(self):
+        model = ContentionModel(
+            n_contenders=3, rng=np.random.default_rng(1)
+        )
+        samples = [model.sample_access_delay_s() for _ in range(300)]
+        assert all(s >= model.params.difs_s for s in samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.mean_access_delay_s(), rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionModel(n_contenders=-1)
+        with pytest.raises(ValueError):
+            ContentionModel(contender_activity=1.5)

@@ -1,0 +1,293 @@
+"""Unit tests for NAV/duration, rate control, pcap export and energy sim."""
+
+import numpy as np
+import pytest
+
+from repro.core.rate_control import QueryRateController
+from repro.mac.duration import (
+    MAX_DURATION_US,
+    Nav,
+    duration_field_us,
+    query_duration_us,
+)
+from repro.sim.pcap import LINKTYPE_IEEE802_11, PcapWriter, read_pcap
+from repro.sim.scenario import los_scenario
+from repro.tag.energy import EnergySimulator, StorageCapacitor
+from repro.tag.power import channel_shift_precision_budget
+
+
+class TestDurationNav:
+    def test_duration_rounds_up(self):
+        assert duration_field_us(48.2e-6) == 49
+
+    def test_duration_clipped(self):
+        assert duration_field_us(1.0) == MAX_DURATION_US
+
+    def test_query_duration_covers_response(self):
+        # SIFS 10 us + 32 us block ACK -> 42 us.
+        assert query_duration_us(10e-6, 32e-6) == 42
+
+    def test_nav_tracks_longest(self):
+        nav = Nav()
+        nav.observe(0.0, 100)
+        nav.observe(10e-6, 20)  # shorter: must not shrink the NAV
+        assert nav.busy_until_s == pytest.approx(100e-6)
+
+    def test_nav_idle_transitions(self):
+        nav = Nav()
+        nav.observe(0.0, 50)
+        assert not nav.idle_at(10e-6)
+        assert nav.idle_at(51e-6)
+        assert nav.remaining_s(20e-6) == pytest.approx(30e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duration_field_us(-1.0)
+        with pytest.raises(ValueError):
+            Nav().observe(0.0, MAX_DURATION_US + 1)
+
+
+class TestRateController:
+    def test_downgrades_on_loss(self):
+        controller = QueryRateController()
+        assert controller.observe_benign_loss(100, 1000) == 6
+        assert controller.downgrades == 1
+
+    def test_holds_on_clean(self):
+        controller = QueryRateController()
+        for _ in range(10):
+            controller.observe_benign_loss(0, 1000)
+        assert controller.mcs_index == 7
+
+    def test_probes_up_after_clean_streak(self):
+        controller = QueryRateController(
+            mcs_index=5, probe_after_clean=3
+        )
+        for _ in range(3):
+            controller.observe_benign_loss(0, 1000)
+        assert controller.mcs_index == 6
+
+    def test_never_below_zero(self):
+        controller = QueryRateController(mcs_index=0)
+        controller.observe_benign_loss(500, 1000)
+        assert controller.mcs_index == 0
+
+    def test_never_above_max(self):
+        controller = QueryRateController(
+            mcs_index=7, probe_after_clean=1
+        )
+        controller.observe_benign_loss(0, 1000)
+        assert controller.mcs_index == 7
+
+    def test_settles_at_channel_capability(self):
+        """Settles to the highest MCS the 'channel' sustains (here: 4)."""
+        controller = QueryRateController()
+
+        def oracle(index: int) -> float:
+            return 0.0 if index <= 4 else 0.5
+
+        assert controller.settle(oracle) == 4
+
+    def test_zero_total_is_noop(self):
+        controller = QueryRateController()
+        assert controller.observe_benign_loss(0, 0) == 7
+        assert controller.observations == 0
+
+    def test_mcs_object(self):
+        assert QueryRateController(mcs_index=3).mcs.index == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryRateController(mcs_index=9)
+        with pytest.raises(ValueError):
+            QueryRateController(downgrade_threshold=0.0)
+        with pytest.raises(ValueError):
+            QueryRateController().observe_benign_loss(5, 3)
+
+
+class TestPcap:
+    def test_roundtrip(self, tmp_path):
+        writer = PcapWriter()
+        writer.add_frame(1.5, b"\x88\x00" + bytes(30))
+        writer.add_frame(1.0, b"\x94\x00" + bytes(30))
+        path = tmp_path / "trace.pcap"
+        size = writer.write(path)
+        assert size == 24 + 2 * (16 + 32)
+        records = read_pcap(path)
+        # Sorted by timestamp on write.
+        assert [round(t, 6) for t, _ in records] == [1.0, 1.5]
+
+    def test_header_linktype(self, tmp_path):
+        writer = PcapWriter()
+        writer.add_frame(0.0, b"x")
+        path = tmp_path / "t.pcap"
+        writer.write(path)
+        raw = path.read_bytes()
+        assert int.from_bytes(raw[20:24], "little") == LINKTYPE_IEEE802_11
+
+    def test_query_exchange_recorded(self, tmp_path):
+        system, _ = los_scenario(1.0, seed=44)
+        system.load_tag_bits([1, 0] * 31)
+        result = system.run_query()
+        writer = PcapWriter()
+        end = writer.add_query_result(0.0, result)
+        assert end == pytest.approx(result.cycle_s)
+        assert writer.n_frames == 65  # 64 MPDUs + 1 block ACK
+        path = tmp_path / "witag.pcap"
+        writer.write(path)
+        records = read_pcap(path)
+        assert len(records) == 65
+        # The last frame is the 32-byte block ACK.
+        assert len(records[-1][1]) == 32
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(ValueError, match="magic"):
+            read_pcap(path)
+
+    def test_validation(self):
+        writer = PcapWriter()
+        with pytest.raises(ValueError):
+            writer.add_frame(0.0, b"")
+        with pytest.raises(ValueError):
+            writer.add_frame(-1.0, b"x")
+
+
+class TestEnergy:
+    def test_capacitor_energy(self):
+        cap = StorageCapacitor(
+            capacitance_f=100e-6, max_voltage_v=2.0, min_voltage_v=1.0
+        )
+        assert cap.usable_energy_j == pytest.approx(150e-6)
+
+    def test_harvest_surplus_charges(self):
+        sim = EnergySimulator()
+        sim.step(10.0, active=True, rf_dbm=None)  # drain some
+        low = sim.energy_j
+        sim.step(1.0, active=True, rf_dbm=0.0)  # strong illumination
+        assert sim.energy_j > low
+
+    def test_no_rf_eventually_dies(self):
+        sim = EnergySimulator()
+        alive = sim.run_schedule(
+            query_rf_dbm=-40.0,  # below harvester sensitivity
+            query_burst_s=1.0,
+            idle_gap_s=1.0,
+            n_cycles=20000,
+        )
+        assert not alive
+
+    def test_sustained_at_strong_rf(self):
+        sim = EnergySimulator()
+        alive = sim.run_schedule(
+            query_rf_dbm=-10.0,
+            query_burst_s=0.5,
+            idle_gap_s=0.5,
+            n_cycles=200,
+        )
+        assert alive
+
+    def test_min_duty_cycle(self):
+        sim = EnergySimulator()
+        duty = sim.min_sustainable_duty_cycle(-10.0)
+        assert duty is not None
+        assert 0.0 < duty < 0.2
+
+    def test_min_duty_none_when_unharvestable(self):
+        sim = EnergySimulator(budget=channel_shift_precision_budget())
+        assert sim.min_sustainable_duty_cycle(-10.0) is None
+
+    def test_schedule_at_min_duty_survives(self):
+        sim = EnergySimulator()
+        duty = sim.min_sustainable_duty_cycle(-10.0)
+        burst = 0.1
+        gap = burst * (1.0 - duty * 1.2) / (duty * 1.2)  # 20% margin
+        assert sim.run_schedule(
+            query_rf_dbm=-10.0,
+            query_burst_s=burst,
+            idle_gap_s=gap,
+            n_cycles=500,
+        )
+
+    def test_energy_clamped_to_capacity(self):
+        sim = EnergySimulator()
+        sim.step(100.0, active=False, rf_dbm=0.0)
+        assert sim.energy_j == sim.capacitor.usable_energy_j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageCapacitor(capacitance_f=0.0)
+        with pytest.raises(ValueError):
+            StorageCapacitor(min_voltage_v=3.0, max_voltage_v=2.0)
+        with pytest.raises(ValueError):
+            EnergySimulator(sleep_power_uw=-1.0)
+        sim = EnergySimulator()
+        with pytest.raises(ValueError):
+            sim.step(-1.0, active=True, rf_dbm=None)
+        with pytest.raises(ValueError):
+            sim.run_schedule(
+                query_rf_dbm=0.0, query_burst_s=0.0, idle_gap_s=1.0,
+                n_cycles=1,
+            )
+
+
+class TestAdaptiveSession:
+    def test_downshifts_on_weak_link(self):
+        from repro.core.rate_control import AdaptiveSession
+        from repro.phy.channel import ChannelGeometry
+        from repro.phy.mcs import ht_mcs
+        from repro.sim.scenario import build_system
+
+        system, info = build_system(
+            ChannelGeometry.on_line(8.0, 2.0),
+            direct_obstruction_db=30.0,  # SNR ~22 dB: too weak for MCS7
+            mcs=ht_mcs(7),
+            seed=3,
+        )
+        session = AdaptiveSession(
+            system, QueryRateController(probe_after_clean=500)
+        )
+        session.run_queries(60)
+        assert session.controller.mcs_index < 7
+        assert session.rate_changes
+        # And the link is clean at the settled rate: the last queries show
+        # no trigger losses.
+        tail = session.run_queries(20)
+        lost = sum(
+            1
+            for r in tail
+            for ok in r.block_ack.bits(r.query.n_trigger_subframes)
+            if not ok
+        )
+        assert lost <= 2
+
+    def test_holds_on_strong_link(self):
+        from repro.core.rate_control import AdaptiveSession
+        from repro.sim.scenario import los_scenario
+
+        system, _ = los_scenario(2.0, seed=4)
+        session = AdaptiveSession(system)
+        session.run_queries(30)
+        assert session.controller.mcs_index == 7
+        assert session.rate_changes == []
+
+    def test_deep_downshift_slows_tag_clock(self):
+        from repro.core.rate_control import AdaptiveSession
+        from repro.sim.scenario import los_scenario
+
+        system, _ = los_scenario(2.0, seed=5)
+        session = AdaptiveSession(system)
+        session._apply_mcs(0)  # MCS0 cannot fit a subframe at 50 kHz
+        assert system.config.tag_clock_hz < 50e3
+        # System still runs after the reconfiguration.
+        result = system.run_query()
+        assert result.block_ack is not None
+
+    def test_count_validated(self):
+        from repro.core.rate_control import AdaptiveSession
+        from repro.sim.scenario import los_scenario
+
+        system, _ = los_scenario(2.0, seed=6)
+        with pytest.raises(ValueError):
+            AdaptiveSession(system).run_queries(0)

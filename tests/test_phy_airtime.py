@@ -1,0 +1,101 @@
+"""Unit tests for PPDU airtime and subframe scheduling."""
+
+import pytest
+
+from repro.phy.airtime import ppdu_airtime, subframe_schedule
+from repro.phy.constants import SYMBOL_LONG_GI_S, SYMBOL_SHORT_GI_S
+from repro.phy.mcs import ht_mcs
+from repro.phy.preamble import PhyFormat
+
+
+class TestPpduAirtime:
+    def test_minimal_psdu_one_symbol_floor(self):
+        timing = ppdu_airtime(0, ht_mcs(7))
+        assert timing.n_symbols == 1
+
+    def test_symbol_count_mcs0(self):
+        # 100 bytes at MCS0 (26 bits/symbol... actually 26 dbps = 6.5Mb/s
+        # * 4us): bits = 16 + 800 + 6 = 822; 822 / 26 -> 32 symbols.
+        timing = ppdu_airtime(100, ht_mcs(0))
+        assert timing.n_symbols == 32
+
+    def test_preamble_included(self):
+        timing = ppdu_airtime(100, ht_mcs(7))
+        assert timing.total_s == pytest.approx(
+            timing.preamble.total_s + timing.n_symbols * SYMBOL_LONG_GI_S
+        )
+
+    def test_short_gi_is_faster(self):
+        long_gi = ppdu_airtime(1000, ht_mcs(7), short_gi=False)
+        short_gi = ppdu_airtime(1000, ht_mcs(7), short_gi=True)
+        assert short_gi.total_s < long_gi.total_s
+        assert short_gi.symbol_s == SYMBOL_SHORT_GI_S
+
+    def test_higher_mcs_is_faster(self):
+        slow = ppdu_airtime(1500, ht_mcs(0))
+        fast = ppdu_airtime(1500, ht_mcs(7))
+        assert fast.total_s < slow.total_s
+
+    def test_more_streams_longer_preamble(self):
+        one = ppdu_airtime(1500, ht_mcs(7))
+        three = ppdu_airtime(1500, ht_mcs(23))  # 3 streams
+        assert (
+            three.preamble.training_s > one.preamble.training_s
+        )
+
+    def test_vht_format(self):
+        timing = ppdu_airtime(1500, ht_mcs(7), phy_format=PhyFormat.VHT)
+        assert timing.preamble.phy_format is PhyFormat.VHT
+
+    def test_negative_psdu_rejected(self):
+        with pytest.raises(ValueError):
+            ppdu_airtime(-1, ht_mcs(0))
+
+
+class TestSymbolWindow:
+    def test_full_psdu_window(self):
+        timing = ppdu_airtime(100, ht_mcs(0))
+        dbps = ht_mcs(0).data_bits_per_symbol()
+        start, end = timing.symbol_window(0, 799, dbps)
+        assert start == pytest.approx(timing.preamble.total_s)
+        assert end <= timing.total_s + 1e-12
+
+    def test_invalid_range_rejected(self):
+        timing = ppdu_airtime(100, ht_mcs(0))
+        with pytest.raises(ValueError):
+            timing.symbol_window(10, 5, 26.0)
+        with pytest.raises(ValueError):
+            timing.symbol_window(-1, 5, 26.0)
+
+
+class TestSubframeSchedule:
+    def test_windows_cover_in_order(self):
+        sched = subframe_schedule([100, 100, 100, 100], ht_mcs(3))
+        assert sched.n_subframes == 4
+        starts = [w[0] for w in sched.windows]
+        assert starts == sorted(starts)
+        for start, end in sched.windows:
+            assert end > start
+
+    def test_first_window_starts_after_preamble(self):
+        sched = subframe_schedule([64], ht_mcs(7))
+        assert sched.windows[0][0] == pytest.approx(
+            sched.timing.preamble.total_s
+        )
+
+    def test_total_bytes_consistency(self):
+        sizes = [60, 120, 90]
+        sched = subframe_schedule(sizes, ht_mcs(5))
+        assert sched.timing.psdu_bytes == sum(sizes)
+
+    def test_equal_sizes_equal_spacing(self):
+        # 130-byte subframes at MCS5 are exactly 5 symbols; spacing between
+        # window starts must be constant.
+        sched = subframe_schedule([128] * 8, ht_mcs(5))
+        starts = [w[0] for w in sched.windows]
+        gaps = {round(b - a, 9) for a, b in zip(starts, starts[1:])}
+        assert len(gaps) <= 2  # symbol quantisation allows two gap values
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            subframe_schedule([100, 0], ht_mcs(0))

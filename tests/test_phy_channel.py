@@ -1,0 +1,203 @@
+"""Unit tests for the backscatter channel model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    BackscatterChannel,
+    ChannelGeometry,
+    PathLossModel,
+    TagAntenna,
+    TagState,
+)
+from repro.phy.constants import Band
+
+
+def make_channel(d_tag=4.0, seed=0, **kwargs):
+    geometry = ChannelGeometry.on_line(8.0, d_tag)
+    return BackscatterChannel(
+        geometry=geometry, rng=np.random.default_rng(seed), **kwargs
+    )
+
+
+class TestPathLoss:
+    def test_free_space_at_known_distance(self):
+        # FSPL at 8 m, 2.437 GHz ~= 58.2 dB.
+        model = PathLossModel()
+        wavelength = Band.GHZ_2_4.wavelength_m
+        assert model.path_loss_db(8.0, wavelength) == pytest.approx(
+            58.2, abs=0.3
+        )
+
+    def test_obstruction_adds(self):
+        wall = PathLossModel(obstruction_db=12.0)
+        clear = PathLossModel()
+        wl = Band.GHZ_2_4.wavelength_m
+        assert wall.path_loss_db(5.0, wl) == pytest.approx(
+            clear.path_loss_db(5.0, wl) + 12.0
+        )
+
+    def test_exponent_slope(self):
+        model = PathLossModel(exponent=3.0)
+        wl = 0.125
+        delta = model.path_loss_db(10.0, wl) - model.path_loss_db(1.0, wl)
+        assert delta == pytest.approx(30.0)
+
+    def test_amplitude_gain_consistent(self):
+        model = PathLossModel()
+        wl = 0.125
+        gain = model.amplitude_gain(4.0, wl)
+        assert -20 * math.log10(gain) == pytest.approx(
+            model.path_loss_db(4.0, wl)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PathLossModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            PathLossModel(reference_m=0.0)
+        with pytest.raises(ValueError):
+            PathLossModel(obstruction_db=-1.0)
+        with pytest.raises(ValueError):
+            PathLossModel().path_loss_db(0.0, 0.125)
+
+
+class TestGeometry:
+    def test_on_line(self):
+        g = ChannelGeometry.on_line(8.0, 3.0)
+        assert g.tx_tag_m == 3.0
+        assert g.tag_rx_m == 5.0
+        assert g.excess_delay_s == pytest.approx(0.0)
+
+    def test_on_line_bounds(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry.on_line(8.0, 0.0)
+        with pytest.raises(ValueError):
+            ChannelGeometry.on_line(8.0, 8.0)
+
+    def test_triangle_inequality(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(tx_rx_m=10.0, tx_tag_m=1.0, tag_rx_m=2.0)
+
+    def test_excess_delay_off_line(self):
+        g = ChannelGeometry(tx_rx_m=8.0, tx_tag_m=5.0, tag_rx_m=5.0)
+        assert g.excess_delay_s == pytest.approx(2.0 / 2.998e8, rel=1e-3)
+
+    def test_positive_distances(self):
+        with pytest.raises(ValueError):
+            ChannelGeometry(tx_rx_m=-1.0, tx_tag_m=1.0, tag_rx_m=1.0)
+
+
+class TestTagAntenna:
+    def test_rcs_scale(self):
+        # ~2 dBi omni at 12.3 cm: sigma on the order of 1e-3 m^2.
+        sigma = TagAntenna().radar_cross_section_m2(0.123)
+        assert 1e-3 < sigma < 1e-2
+
+    def test_rcs_grows_with_gain(self):
+        low = TagAntenna(gain_dbi=0.0).radar_cross_section_m2(0.123)
+        high = TagAntenna(gain_dbi=6.0).radar_cross_section_m2(0.123)
+        assert high > low
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ValueError):
+            TagAntenna(modulation_efficiency=0.0)
+        with pytest.raises(ValueError):
+            TagAntenna(modulation_efficiency=1.5)
+
+
+class TestTagStates:
+    def test_reflection_coefficients(self):
+        assert TagState.REFLECT_0.reflection_coefficient == 1.0
+        assert TagState.REFLECT_180.reflection_coefficient == -1.0
+        assert abs(TagState.ABSORB.reflection_coefficient) < 0.2
+
+
+class TestBackscatterChannel:
+    def test_direct_gain_matches_path_loss(self):
+        ch = make_channel()
+        expected = PathLossModel().amplitude_gain(
+            8.0, Band.GHZ_2_4.wavelength_m
+        )
+        assert abs(ch.direct_gain) == pytest.approx(expected)
+
+    def test_phase_flip_doubles_channel_change(self):
+        """Paper Figure 3: |h' - h''| = 2 |h_tag| vs ~ |h_tag| open/short."""
+        ch = make_channel()
+        flip = ch.mean_change_magnitude(
+            TagState.REFLECT_0, TagState.REFLECT_180
+        )
+        open_short = ch.mean_change_magnitude(
+            TagState.ABSORB, TagState.REFLECT_0
+        )
+        assert flip / open_short == pytest.approx(2.0 / 0.9, rel=1e-6)
+
+    def test_change_magnitude_u_shape(self):
+        """Reflection weakest mid-span (paper Section 6.2's 1/Ds^2 Dr^2)."""
+        mags = [
+            make_channel(d).mean_change_magnitude(
+                TagState.REFLECT_0, TagState.REFLECT_180
+            )
+            for d in (1.0, 4.0, 7.0)
+        ]
+        assert mags[0] > mags[1]
+        assert mags[2] > mags[1]
+        assert mags[0] == pytest.approx(mags[2], rel=0.01)
+
+    def test_same_state_no_change(self):
+        ch = make_channel()
+        assert ch.mean_change_magnitude(
+            TagState.REFLECT_0, TagState.REFLECT_0
+        ) == pytest.approx(0.0)
+
+    def test_channel_vector_shape(self):
+        ch = make_channel()
+        h = ch.channel_vector(TagState.REFLECT_0)
+        assert h.shape == (ch.n_subcarriers,)
+        assert ch.n_subcarriers == 52
+
+    def test_fading_disabled_is_deterministic(self):
+        ch = make_channel(rician_k_db=None)
+        assert ch.sample_direct_fading() == ch.sample_direct_fading()
+
+    def test_fading_mean_power_preserved(self):
+        ch = make_channel(rician_k_db=10.0, seed=3)
+        samples = np.array([ch.sample_direct_fading() for _ in range(4000)])
+        mean_power = np.mean(np.abs(samples) ** 2)
+        assert mean_power == pytest.approx(abs(ch.direct_gain) ** 2, rel=0.1)
+
+    def test_tag_fading_unit_mean_power(self):
+        ch = make_channel(tag_rician_k_db=5.0, seed=4)
+        samples = np.array([ch.sample_tag_fading() for _ in range(4000)])
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_tag_fading_disabled(self):
+        ch = make_channel(tag_rician_k_db=None)
+        assert ch.sample_tag_fading() == 1.0 + 0.0j
+
+    def test_reflected_path_much_weaker_than_direct(self):
+        ch = make_channel()
+        assert ch.tag_path_amplitude < 0.1 * abs(ch.direct_gain)
+
+    def test_deterministic_under_seed(self):
+        a = make_channel(seed=9)
+        b = make_channel(seed=9)
+        assert np.allclose(
+            a.channel_vector(TagState.REFLECT_0),
+            b.channel_vector(TagState.REFLECT_0),
+        )
+
+    def test_split_leg_losses(self):
+        blocked = BackscatterChannel(
+            geometry=ChannelGeometry(tx_rx_m=8.0, tx_tag_m=1.0, tag_rx_m=7.0),
+            tag_rx_loss=PathLossModel(obstruction_db=20.0),
+            rng=np.random.default_rng(0),
+        )
+        clear = BackscatterChannel(
+            geometry=ChannelGeometry(tx_rx_m=8.0, tx_tag_m=1.0, tag_rx_m=7.0),
+            rng=np.random.default_rng(0),
+        )
+        ratio = blocked.tag_path_amplitude / clear.tag_path_amplitude
+        assert 20 * math.log10(ratio) == pytest.approx(-20.0, abs=0.1)

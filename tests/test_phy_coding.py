@@ -1,0 +1,84 @@
+"""Unit tests for the convolutional-coding BER model."""
+
+import pytest
+
+from repro.phy.coding import (
+    SUPPORTED_RATES,
+    coded_bit_error_rate,
+    packet_error_rate,
+)
+from repro.phy.modulation import CodingRate, RATE_1_2, RATE_3_4, RATE_5_6
+
+
+class TestCodedBer:
+    def test_zero_channel_ber_gives_zero(self):
+        for rate in SUPPORTED_RATES:
+            assert coded_bit_error_rate(rate, 0.0) == 0.0
+
+    def test_coding_gain_at_low_ber(self):
+        # At channel BER 1e-3 the decoder must improve things a lot.
+        for rate in SUPPORTED_RATES:
+            assert coded_bit_error_rate(rate, 1e-3) < 1e-3
+
+    def test_stronger_code_is_better(self):
+        p = 0.01
+        assert (
+            coded_bit_error_rate(RATE_1_2, p)
+            < coded_bit_error_rate(RATE_3_4, p)
+            < coded_bit_error_rate(RATE_5_6, p)
+        )
+
+    def test_monotone_in_channel_ber(self):
+        points = [1e-5, 1e-4, 1e-3, 1e-2]
+        for rate in SUPPORTED_RATES:
+            values = [coded_bit_error_rate(rate, p) for p in points]
+            assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_clipped_at_half(self):
+        for rate in SUPPORTED_RATES:
+            assert coded_bit_error_rate(rate, 0.4) <= 0.5
+
+    def test_out_of_range_ber_rejected(self):
+        with pytest.raises(ValueError):
+            coded_bit_error_rate(RATE_1_2, -0.1)
+        with pytest.raises(ValueError):
+            coded_bit_error_rate(RATE_1_2, 0.6)
+
+    def test_unsupported_rate_rejected(self):
+        with pytest.raises(ValueError):
+            coded_bit_error_rate(CodingRate(7, 8), 0.01)
+
+    def test_half_rate_code_very_strong(self):
+        # Rate 1/2, d_free = 10: at p = 1e-4 the bound is ~a_d * p^5 scale.
+        assert coded_bit_error_rate(RATE_1_2, 1e-4) < 1e-15
+
+
+class TestPacketErrorRate:
+    def test_zero_ber_never_errors(self):
+        assert packet_error_rate(0.0, 10_000) == 0.0
+
+    def test_certain_error_at_half(self):
+        assert packet_error_rate(0.5, 100) == 1.0
+
+    def test_zero_length_packet(self):
+        assert packet_error_rate(0.01, 0) == 0.0
+
+    def test_single_bit(self):
+        assert packet_error_rate(0.01, 1) == pytest.approx(0.01)
+
+    def test_matches_direct_formula(self):
+        ber, bits = 1e-4, 2000
+        expected = 1.0 - (1.0 - ber) ** bits
+        assert packet_error_rate(ber, bits) == pytest.approx(expected)
+
+    def test_tiny_ber_long_frame_no_underflow(self):
+        per = packet_error_rate(1e-15, 10_000)
+        assert per == pytest.approx(1e-11, rel=1e-3)
+
+    def test_monotone_in_length(self):
+        pers = [packet_error_rate(1e-3, n) for n in (10, 100, 1000, 10000)]
+        assert all(a < b for a, b in zip(pers, pers[1:]))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            packet_error_rate(0.01, -1)

@@ -1,0 +1,149 @@
+"""Unit tests for PHY constants, preamble timing, noise and OFDM grids."""
+
+import numpy as np
+import pytest
+
+from repro.phy.constants import (
+    Band,
+    DIFS_5GHZ_S,
+    SIFS_5GHZ_S,
+    SLOT_TIME_S,
+    SYMBOL_LONG_GI_S,
+    SYMBOL_SHORT_GI_S,
+    data_subcarriers,
+)
+from repro.phy.noise import (
+    ReceiverNoise,
+    dbm_to_watts,
+    thermal_noise_dbm,
+    watts_to_dbm,
+)
+from repro.phy.ofdm import (
+    data_subcarrier_offsets_hz,
+    delay_phase_rotation,
+    subcarrier_offsets_hz,
+)
+from repro.phy.preamble import PhyFormat, preamble_info
+
+
+class TestConstants:
+    def test_symbol_durations(self):
+        assert SYMBOL_LONG_GI_S == pytest.approx(4.0e-6)
+        assert SYMBOL_SHORT_GI_S == pytest.approx(3.6e-6)
+
+    def test_difs_structure(self):
+        assert DIFS_5GHZ_S == pytest.approx(SIFS_5GHZ_S + 2 * SLOT_TIME_S)
+
+    def test_data_subcarriers(self):
+        assert data_subcarriers(20) == 52
+        assert data_subcarriers(40) == 108
+        assert data_subcarriers(80) == 234
+        assert data_subcarriers(160) == 468
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            data_subcarriers(30)
+
+    def test_band_wavelengths(self):
+        assert Band.GHZ_2_4.wavelength_m == pytest.approx(0.123, abs=0.001)
+        assert Band.GHZ_5.wavelength_m == pytest.approx(0.0579, abs=0.001)
+
+    def test_band_sifs(self):
+        assert Band.GHZ_2_4.sifs_s == pytest.approx(10e-6)
+        assert Band.GHZ_5.sifs_s == pytest.approx(16e-6)
+
+
+class TestPreamble:
+    def test_ht_single_stream(self):
+        info = preamble_info(PhyFormat.HT_MIXED, 1)
+        # L(20) + HT-SIG(8) + HT-STF(4) + 1 x HT-LTF(4) = 36 us.
+        assert info.total_s == pytest.approx(36e-6)
+
+    def test_ht_three_streams_uses_four_ltfs(self):
+        info = preamble_info(PhyFormat.HT_MIXED, 3)
+        assert info.total_s == pytest.approx(48e-6)
+
+    def test_vht_single_stream(self):
+        info = preamble_info(PhyFormat.VHT, 1)
+        # L(20) + SIG-A(8) + STF(4) + LTF(4) + SIG-B(4) = 40 us.
+        assert info.total_s == pytest.approx(40e-6)
+
+    def test_channel_estimation_end(self):
+        info = preamble_info(PhyFormat.HT_MIXED, 2)
+        assert info.channel_estimation_end_s == info.total_s
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            preamble_info(PhyFormat.HT_MIXED, 0)
+        with pytest.raises(ValueError):
+            preamble_info(PhyFormat.VHT, 5)
+
+
+class TestNoise:
+    def test_thermal_noise_20mhz(self):
+        # kTB at 290 K for 20 MHz ~= -101 dBm.
+        assert thermal_noise_dbm(20e6) == pytest.approx(-101.0, abs=0.2)
+
+    def test_noise_floor_includes_nf(self):
+        rx = ReceiverNoise(noise_figure_db=6.0)
+        assert rx.noise_floor_dbm == pytest.approx(-95.0, abs=0.2)
+
+    def test_snr(self):
+        rx = ReceiverNoise(noise_figure_db=6.0)
+        assert rx.snr_db(-45.0) == pytest.approx(50.0, abs=0.2)
+        assert rx.snr_linear(-45.0) == pytest.approx(1e5, rel=0.06)
+
+    def test_dbm_watts_roundtrip(self):
+        for dbm in (-90.0, -30.0, 0.0, 20.0):
+            assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_zero_dbm_is_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            ReceiverNoise(bandwidth_hz=-1)
+        with pytest.raises(ValueError):
+            ReceiverNoise(noise_figure_db=-1)
+
+
+class TestOfdmGrid:
+    def test_occupied_grid_excludes_dc(self):
+        grid = subcarrier_offsets_hz(20)
+        assert 0.0 not in grid
+        assert grid.size == 56  # +-28 occupied for HT20
+
+    def test_data_grid_count(self):
+        assert data_subcarrier_offsets_hz(20).size == 52
+        assert data_subcarrier_offsets_hz(40).size == 108
+
+    def test_grid_symmetric(self):
+        grid = subcarrier_offsets_hz(20)
+        assert np.isclose(grid.min(), -grid.max())
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            subcarrier_offsets_hz(25)
+
+    def test_delay_rotation_unit_magnitude(self):
+        grid = data_subcarrier_offsets_hz(20)
+        rot = delay_phase_rotation(grid, 50e-9)
+        assert np.allclose(np.abs(rot), 1.0)
+
+    def test_zero_delay_is_identity(self):
+        grid = data_subcarrier_offsets_hz(20)
+        assert np.allclose(delay_phase_rotation(grid, 0.0), 1.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            delay_phase_rotation(data_subcarrier_offsets_hz(20), -1e-9)
+
+    def test_phase_spread_grows_with_delay(self):
+        grid = data_subcarrier_offsets_hz(20)
+        small = np.angle(delay_phase_rotation(grid, 5e-9))
+        large = np.angle(delay_phase_rotation(grid, 40e-9))
+        assert np.ptp(large) > np.ptp(small)

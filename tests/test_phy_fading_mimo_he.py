@@ -1,0 +1,253 @@
+"""Unit tests for correlated fading, MIMO fragility and 802.11ax support."""
+
+import numpy as np
+import pytest
+
+from repro.phy.fading import CorrelatedFadingChannel, GaussMarkovFading
+from repro.phy.he import (
+    HE_GI_LONG_S,
+    HE_GI_SHORT_S,
+    HeMcs,
+    he_ppdu_airtime_s,
+    he_preamble_s,
+    he_symbol_duration_s,
+    witag_he_throughput_bps,
+)
+from repro.phy.mimo import (
+    MimoChannelMatrix,
+    effective_mismatch_power,
+    mimo_fragility_db,
+    zf_stream_sinrs,
+)
+
+
+class TestGaussMarkov:
+    def test_stationary_unit_variance(self):
+        process = GaussMarkovFading(rng=np.random.default_rng(0))
+        # Advance by >> tau so samples are effectively independent.
+        samples = [process.advance(1.0) for _ in range(5000)]
+        power = np.mean(np.abs(samples) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+    def test_short_steps_highly_correlated(self):
+        process = GaussMarkovFading(
+            coherence_time_s=0.1, rng=np.random.default_rng(1)
+        )
+        before = process.state
+        after = process.advance(1e-4)  # dt << tau
+        assert abs(after - before) < 0.15
+
+    def test_long_steps_decorrelate(self):
+        process = GaussMarkovFading(
+            coherence_time_s=0.1, rng=np.random.default_rng(2)
+        )
+        pairs = []
+        for _ in range(2000):
+            a = process.state
+            b = process.advance(1.0)  # dt >> tau
+            pairs.append((a, b))
+        corr = np.mean([a * np.conj(b) for a, b in pairs])
+        assert abs(corr) < 0.1
+
+    def test_correlation_after(self):
+        process = GaussMarkovFading(coherence_time_s=0.1)
+        assert process.correlation_after(0.0) == 1.0
+        assert process.correlation_after(0.1) == pytest.approx(np.exp(-1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussMarkovFading(coherence_time_s=0.0)
+        with pytest.raises(ValueError):
+            GaussMarkovFading().advance(-1.0)
+
+
+class TestCorrelatedFadingChannel:
+    def test_mean_powers_preserved(self):
+        los = complex(1e-3, 0.0)
+        channel = CorrelatedFadingChannel(
+            direct_los=los, rng=np.random.default_rng(3)
+        )
+        direct, tag = [], []
+        for _ in range(5000):
+            channel.advance(1.0)  # iid samples
+            direct.append(channel.direct_gain())
+            tag.append(channel.tag_fading())
+        assert np.mean(np.abs(direct) ** 2) == pytest.approx(
+            abs(los) ** 2, rel=0.1
+        )
+        assert np.mean(np.abs(tag) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_consecutive_queries_nearly_identical(self):
+        channel = CorrelatedFadingChannel(
+            direct_los=complex(1e-3, 0.0),
+            coherence_time_s=0.1,
+            rng=np.random.default_rng(4),
+        )
+        channel.advance(0.0015)
+        first = channel.tag_fading()
+        channel.advance(0.0015)  # one query cycle later
+        second = channel.tag_fading()
+        assert abs(first - second) < 0.1
+
+    def test_fading_disabled(self):
+        channel = CorrelatedFadingChannel(
+            direct_los=complex(1e-3, 0.0),
+            rician_k_db=None,
+            tag_rician_k_db=None,
+        )
+        channel.advance(10.0)
+        assert channel.direct_gain() == complex(1e-3, 0.0)
+        assert channel.tag_fading() == 1.0 + 0.0j
+
+    def test_end_to_end_session_runs(self):
+        from repro.core.session import MeasurementSession
+        from repro.sim.scenario import los_scenario
+
+        system, _ = los_scenario(4.0, seed=3, coherence_time_s=0.1)
+        assert system.fading_channel is not None
+        stats = MeasurementSession(
+            system, rng=np.random.default_rng(1)
+        ).run_for(0.3)
+        assert 0.0 <= stats.ber < 0.3
+        assert stats.throughput_bps > 25e3
+
+    def test_correlated_fading_produces_longer_bursts(self):
+        """Error-run lengths are longer under correlated fading."""
+        from repro.core.session import MeasurementSession
+        from repro.sim.scenario import los_scenario
+
+        def mean_bad_run(coherence):
+            system, _ = los_scenario(
+                4.0, seed=8, coherence_time_s=coherence
+            )
+            session = MeasurementSession(
+                system, rng=np.random.default_rng(2)
+            )
+            session.run_for(1.5)
+            bers = session.per_query_ber()
+            runs, current = [], 0
+            for b in bers:
+                if b > 0.2:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            if current:
+                runs.append(current)
+            return float(np.mean(runs)) if runs else 0.0
+
+        assert mean_bad_run(0.2) >= mean_bad_run(None or 1e-6)
+
+
+class TestMimo:
+    def test_sample_unit_power(self):
+        model = MimoChannelMatrix(3, rng=np.random.default_rng(5))
+        powers = [
+            np.mean(np.abs(model.sample()) ** 2) for _ in range(500)
+        ]
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.15)
+
+    def test_perturbation_is_rank_one(self):
+        model = MimoChannelMatrix(3, rng=np.random.default_rng(6))
+        delta = model.sample_tag_perturbation(0.05)
+        singular = np.linalg.svd(delta, compute_uv=False)
+        assert singular[0] == pytest.approx(0.05, rel=1e-6)
+        assert singular[1] < 1e-12
+
+    def test_fresh_estimate_noise_limited(self):
+        model = MimoChannelMatrix(2, rng=np.random.default_rng(7))
+        h = model.sample()
+        sinrs = zf_stream_sinrs(h, h, 1e4)
+        assert np.all(sinrs > 10.0)
+
+    def test_stale_estimate_hurts(self):
+        model = MimoChannelMatrix(3, rng=np.random.default_rng(8))
+        h = model.sample()
+        delta = model.sample_tag_perturbation(0.05)
+        fresh = zf_stream_sinrs(h + delta, h + delta, 1e4)
+        stale = zf_stream_sinrs(h + delta, h, 1e4)
+        assert np.min(stale) < np.min(fresh)
+
+    def test_fragility_grows_with_conditioning(self):
+        rich = mimo_fragility_db(3, rician_k_db=5.0, n_trials=150)
+        los = mimo_fragility_db(3, rician_k_db=15.0, n_trials=150)
+        assert los > rich + 5.0
+
+    def test_3x3_fragility_near_calibration(self):
+        """The error model's MIMO share (~10-12 dB) is physically grounded."""
+        value = mimo_fragility_db(3, n_trials=300)
+        assert 7.0 < value < 14.0
+
+    def test_siso_baseline_is_zero(self):
+        assert abs(mimo_fragility_db(1, n_trials=100)) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MimoChannelMatrix(0)
+        with pytest.raises(ValueError):
+            MimoChannelMatrix(3).sample_tag_perturbation(-1.0)
+        with pytest.raises(ValueError):
+            zf_stream_sinrs(np.eye(2), np.eye(3), 10.0)
+        with pytest.raises(ValueError):
+            zf_stream_sinrs(np.eye(2), np.eye(2), 0.0)
+        with pytest.raises(ValueError):
+            mimo_fragility_db(2, n_trials=0)
+
+    def test_effective_mismatch_zero_for_fresh(self):
+        h = MimoChannelMatrix(2, rng=np.random.default_rng(9)).sample()
+        assert effective_mismatch_power(h, h) == pytest.approx(0.0)
+
+
+class TestHe:
+    def test_published_rates(self):
+        # HE 20 MHz, 1 stream, 0.8 us GI.
+        assert HeMcs(0).data_rate_bps() / 1e6 == pytest.approx(8.6, abs=0.05)
+        assert HeMcs(7).data_rate_bps() / 1e6 == pytest.approx(86.0, abs=0.5)
+        assert HeMcs(11).data_rate_bps() / 1e6 == pytest.approx(143.4, abs=0.5)
+
+    def test_80mhz_rate(self):
+        # HE MCS 11, 80 MHz, 2 streams, 0.8 GI = 1201 Mb/s.
+        assert HeMcs(11, 2).data_rate_bps(80) / 1e6 == pytest.approx(
+            1201.0, abs=2.0
+        )
+
+    def test_longer_gi_slower(self):
+        fast = HeMcs(7).data_rate_bps(gi_s=HE_GI_SHORT_S)
+        slow = HeMcs(7).data_rate_bps(gi_s=HE_GI_LONG_S)
+        assert fast > slow
+
+    def test_symbol_duration(self):
+        assert he_symbol_duration_s() == pytest.approx(13.6e-6)
+
+    def test_preamble_grows_with_streams(self):
+        assert he_preamble_s(2) > he_preamble_s(1)
+        assert he_preamble_s(1) == pytest.approx(44e-6)
+
+    def test_airtime_monotone_in_size(self):
+        small = he_ppdu_airtime_s(500, HeMcs(7))
+        large = he_ppdu_airtime_s(5000, HeMcs(7))
+        assert large > small
+
+    def test_witag_on_ax_same_regime(self):
+        """Paper Section 4: WiTAG will be compatible with 802.11ax.
+
+        The tag rate stays in the tens of Kbps: the clock, not the PHY
+        generation, sets it (HE's 13.6 us symbols make subframes 2 symbols
+        for a 50 kHz tag).
+        """
+        rate = witag_he_throughput_bps()
+        assert 25e3 < rate < 45e3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeMcs(12)
+        with pytest.raises(ValueError):
+            HeMcs(0, spatial_streams=9)
+        with pytest.raises(ValueError):
+            HeMcs(0).data_rate_bps(gi_s=1e-6)
+        with pytest.raises(ValueError):
+            HeMcs(0).data_bits_per_symbol(30)
+        with pytest.raises(ValueError):
+            he_preamble_s(0)
+        with pytest.raises(ValueError):
+            he_ppdu_airtime_s(-1, HeMcs(0))

@@ -1,0 +1,106 @@
+"""Unit tests for the MCS tables against published 802.11n/ac rates."""
+
+import pytest
+
+from repro.phy.mcs import (
+    MCS_MIN_SNR_DB,
+    Mcs,
+    highest_reliable_mcs,
+    ht_mcs,
+    vht_mcs,
+)
+from repro.phy.modulation import Modulation
+
+
+class TestHtRates:
+    """Published 802.11n 20 MHz long-GI single-stream rates (Mb/s)."""
+
+    EXPECTED_20_LGI = [6.5, 13.0, 19.5, 26.0, 39.0, 52.0, 58.5, 65.0]
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_20mhz_long_gi(self, index):
+        rate = ht_mcs(index).data_rate_bps() / 1e6
+        assert rate == pytest.approx(self.EXPECTED_20_LGI[index])
+
+    def test_mcs7_short_gi(self):
+        assert ht_mcs(7).data_rate_bps(short_gi=True) / 1e6 == pytest.approx(
+            72.2, abs=0.05
+        )
+
+    def test_mcs15_two_streams(self):
+        # HT MCS 15 = two streams of MCS 7: 130 Mb/s at 20 MHz LGI.
+        assert ht_mcs(15).data_rate_bps() / 1e6 == pytest.approx(130.0)
+
+    def test_mcs31_four_streams(self):
+        assert ht_mcs(31).data_rate_bps() / 1e6 == pytest.approx(260.0)
+
+    def test_40mhz_mcs7(self):
+        assert ht_mcs(7).data_rate_bps(40) / 1e6 == pytest.approx(135.0)
+
+    def test_ht_index_roundtrip(self):
+        for index in range(32):
+            assert ht_mcs(index).ht_index == index
+
+    @pytest.mark.parametrize("bad", [-1, 32, 100])
+    def test_invalid_ht_index(self, bad):
+        with pytest.raises(ValueError):
+            ht_mcs(bad)
+
+
+class TestVhtRates:
+    def test_vht_mcs9_80mhz_3ss(self):
+        # The famous 1300 Mb/s: VHT MCS 9, 80 MHz, 3 streams, short GI.
+        rate = vht_mcs(9, 3).data_rate_bps(80, short_gi=True) / 1e6
+        assert rate == pytest.approx(1300.0)
+
+    def test_vht_mcs8_modulation(self):
+        assert vht_mcs(8).modulation is Modulation.QAM256
+
+    def test_vht_mcs9_160mhz(self):
+        rate = vht_mcs(9, 1).data_rate_bps(160, short_gi=True) / 1e6
+        assert rate == pytest.approx(866.7, abs=0.1)
+
+    @pytest.mark.parametrize("bad", [-1, 10])
+    def test_invalid_vht_index(self, bad):
+        with pytest.raises(ValueError):
+            vht_mcs(bad)
+
+    def test_ht_index_rejects_vht_only(self):
+        with pytest.raises(ValueError):
+            _ = vht_mcs(9).ht_index
+
+
+class TestMcsValidation:
+    def test_bad_stream_count(self):
+        with pytest.raises(ValueError):
+            vht_mcs(0, spatial_streams=5)
+        with pytest.raises(ValueError):
+            vht_mcs(0, spatial_streams=0)
+
+    def test_data_bits_per_symbol_mcs7(self):
+        # 52 subcarriers * 6 bits * 5/6 = 260.
+        assert ht_mcs(7).data_bits_per_symbol() == pytest.approx(260.0)
+
+
+class TestRateSelection:
+    def test_low_snr_picks_mcs0(self):
+        assert highest_reliable_mcs(0.0).index == 0
+
+    def test_high_snr_picks_mcs7(self):
+        assert highest_reliable_mcs(50.0).index == 7
+
+    def test_vht_allowed_reaches_mcs9(self):
+        assert highest_reliable_mcs(50.0, allow_vht=True).index == 9
+
+    def test_margin_is_respected(self):
+        # Just at the MCS5 threshold + default margin.
+        snr = MCS_MIN_SNR_DB[5] + 3.0
+        assert highest_reliable_mcs(snr).index == 5
+        assert highest_reliable_mcs(snr - 0.1).index == 4
+
+    def test_monotone_in_snr(self):
+        picks = [highest_reliable_mcs(float(db)).index for db in range(0, 40)]
+        assert all(a <= b for a, b in zip(picks, picks[1:]))
+
+    def test_stream_count_propagates(self):
+        assert highest_reliable_mcs(30.0, spatial_streams=3).spatial_streams == 3

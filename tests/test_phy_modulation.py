@@ -1,0 +1,130 @@
+"""Unit tests for modulation schemes and BER curves."""
+
+import math
+
+import pytest
+
+from repro.phy.modulation import (
+    CodingRate,
+    Modulation,
+    RATE_1_2,
+    RATE_5_6,
+    q_function,
+    snr_db_to_linear,
+    snr_linear_to_db,
+)
+
+
+class TestQFunction:
+    def test_q_zero_is_half(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+
+    def test_q_is_decreasing(self):
+        values = [q_function(x) for x in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_q_known_value(self):
+        # Q(1.96) ~= 0.025 (the 95% two-sided quantile).
+        assert q_function(1.96) == pytest.approx(0.025, abs=5e-4)
+
+    def test_q_symmetry(self):
+        assert q_function(-1.0) == pytest.approx(1.0 - q_function(1.0))
+
+
+class TestModulationProperties:
+    def test_bits_per_symbol(self):
+        assert Modulation.BPSK.bits_per_symbol == 1
+        assert Modulation.QPSK.bits_per_symbol == 2
+        assert Modulation.QAM16.bits_per_symbol == 4
+        assert Modulation.QAM64.bits_per_symbol == 6
+        assert Modulation.QAM256.bits_per_symbol == 8
+
+    def test_constellation_sizes(self):
+        assert Modulation.QAM64.constellation_size == 64
+        assert Modulation.BPSK.constellation_size == 2
+
+
+class TestBitErrorRate:
+    @pytest.mark.parametrize("modulation", list(Modulation))
+    def test_zero_snr_gives_half(self, modulation):
+        assert modulation.bit_error_rate(0.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("modulation", list(Modulation))
+    def test_monotone_decreasing_in_snr(self, modulation):
+        snrs = [snr_db_to_linear(db) for db in range(0, 31, 5)]
+        bers = [modulation.bit_error_rate(s) for s in snrs]
+        assert all(a >= b for a, b in zip(bers, bers[1:]))
+
+    def test_bpsk_known_value(self):
+        # BPSK at Eb/N0 = 9.6 dB gives BER ~= 1e-5.
+        assert Modulation.BPSK.bit_error_rate(
+            snr_db_to_linear(9.6)
+        ) == pytest.approx(1e-5, rel=0.25)
+
+    def test_higher_order_needs_more_snr(self):
+        snr = snr_db_to_linear(12.0)
+        assert (
+            Modulation.BPSK.bit_error_rate(snr)
+            < Modulation.QAM16.bit_error_rate(snr)
+            < Modulation.QAM64.bit_error_rate(snr)
+            < Modulation.QAM256.bit_error_rate(snr)
+        )
+
+    def test_negative_snr_rejected(self):
+        with pytest.raises(ValueError):
+            Modulation.QPSK.bit_error_rate(-1.0)
+
+    @pytest.mark.parametrize("modulation", list(Modulation))
+    def test_ber_bounded(self, modulation):
+        for db in (-100, 0, 10, 50):
+            ber = modulation.bit_error_rate(snr_db_to_linear(db))
+            assert 0.0 <= ber <= 0.5
+
+
+class TestSymbolErrorRate:
+    @pytest.mark.parametrize("modulation", list(Modulation))
+    def test_ser_at_least_ber(self, modulation):
+        snr = snr_db_to_linear(10.0)
+        assert modulation.symbol_error_rate(snr) >= modulation.bit_error_rate(
+            snr
+        ) - 1e-12
+
+    def test_zero_snr_ser(self):
+        # Uniform guessing over M symbols.
+        assert Modulation.QPSK.symbol_error_rate(0.0) == pytest.approx(0.75)
+
+    def test_negative_snr_rejected(self):
+        with pytest.raises(ValueError):
+            Modulation.QAM64.symbol_error_rate(-0.1)
+
+
+class TestCodingRate:
+    def test_value(self):
+        assert RATE_1_2.value == pytest.approx(0.5)
+        assert RATE_5_6.value == pytest.approx(5 / 6)
+
+    def test_str(self):
+        assert str(RATE_1_2) == "1/2"
+
+    @pytest.mark.parametrize("num,den", [(0, 2), (3, 2), (-1, 2), (2, 0)])
+    def test_invalid_rates_rejected(self, num, den):
+        with pytest.raises(ValueError):
+            CodingRate(num, den)
+
+
+class TestSnrConversion:
+    def test_roundtrip(self):
+        for db in (-10.0, 0.0, 3.0, 25.5):
+            assert snr_linear_to_db(snr_db_to_linear(db)) == pytest.approx(db)
+
+    def test_zero_db_is_unity(self):
+        assert snr_db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_3db_is_factor_two(self):
+        assert snr_db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            snr_linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            snr_linear_to_db(-5.0)

@@ -1,0 +1,122 @@
+"""Waveform-level validation of the corruption mechanism (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import TagState
+from repro.phy.waveform import (
+    CP_LENGTH,
+    DATA_TONES,
+    FFT_SIZE,
+    OfdmModem,
+    TagChannelWaveform,
+    run_corruption_experiment,
+)
+
+
+class TestOfdmModem:
+    @pytest.mark.parametrize("bps", [1, 2, 4])
+    def test_loopback_ideal_channel(self, bps):
+        modem = OfdmModem(bits_per_symbol=bps)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, modem.bits_per_ofdm_symbol)
+        tx = modem.modulate_symbol(bits)
+        estimate = np.ones(DATA_TONES.size, dtype=complex)
+        decoded = modem.demodulate_symbol(tx, estimate)
+        assert np.array_equal(decoded, bits)
+
+    def test_loopback_through_flat_channel(self):
+        modem = OfdmModem(bits_per_symbol=4)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, modem.bits_per_ofdm_symbol)
+        gain = 0.7 * np.exp(1j * 0.9)
+        rx = modem.modulate_symbol(bits) * gain
+        estimate = np.full(DATA_TONES.size, gain, dtype=complex)
+        assert np.array_equal(modem.demodulate_symbol(rx, estimate), bits)
+
+    def test_channel_estimation_recovers_gain(self):
+        modem = OfdmModem()
+        training, tones = modem.training_symbol()
+        gain = 1.3 * np.exp(-1j * 0.4)
+        estimate = modem.estimate_channel(training * gain, tones)
+        assert np.allclose(estimate, gain, atol=1e-9)
+
+    def test_symbol_length(self):
+        modem = OfdmModem()
+        bits = np.zeros(modem.bits_per_ofdm_symbol, dtype=int)
+        assert len(modem.modulate_symbol(bits)) == FFT_SIZE + CP_LENGTH
+
+    def test_invalid_inputs(self):
+        modem = OfdmModem()
+        with pytest.raises(ValueError):
+            modem.modulate_symbol(np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            modem.demodulate_symbol(
+                np.zeros(10, dtype=complex),
+                np.ones(DATA_TONES.size, dtype=complex),
+            )
+        with pytest.raises(ValueError):
+            OfdmModem(bits_per_symbol=3)
+
+    def test_unit_mean_power(self):
+        modem = OfdmModem(bits_per_symbol=4)
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, modem.bits_per_ofdm_symbol)
+        tx = modem.modulate_symbol(bits)
+        # 52 occupied of 64 tones at unit symbol power.
+        assert np.mean(np.abs(tx) ** 2) == pytest.approx(
+            DATA_TONES.size / FFT_SIZE, rel=0.3
+        )
+
+
+class TestTagChannelWaveform:
+    def test_state_changes_gain(self):
+        channel = TagChannelWaveform(tag_gain=0.1 + 0.0j)
+        idle = channel.channel_gain(TagState.REFLECT_0)
+        flipped = channel.channel_gain(TagState.REFLECT_180)
+        assert idle != flipped
+        assert abs(idle - flipped) == pytest.approx(0.2)
+
+    def test_noise_applied(self):
+        channel = TagChannelWaveform(noise_std=0.1)
+        samples = np.ones(64, dtype=complex)
+        out = channel.apply(samples, TagState.REFLECT_0)
+        assert not np.allclose(out, samples * channel.channel_gain(TagState.REFLECT_0))
+
+
+class TestCorruptionExperiment:
+    """Paper §5 at IQ-sample level: errors land exactly in the flip window."""
+
+    def test_errors_concentrate_in_flip_window(self):
+        rates = run_corruption_experiment()
+        flipped = rates[8:12]
+        clean = [r for i, r in enumerate(rates) if not 8 <= i < 12]
+        assert min(flipped) > 0.05
+        assert max(clean) < 0.01
+
+    def test_no_flip_no_errors(self):
+        rates = run_corruption_experiment(flip_range=(0, 0))
+        assert max(rates) < 0.01
+
+    def test_whole_frame_flip(self):
+        rates = run_corruption_experiment(flip_range=(0, 20))
+        assert min(rates) > 0.05
+
+    def test_bpsk_resists_what_16qam_cannot(self):
+        """The paper's rate-selection logic, demonstrated on IQ samples:
+        denser constellations are corrupted by perturbations BPSK absorbs."""
+        qam16 = run_corruption_experiment(bits_per_symbol=4)
+        bpsk = run_corruption_experiment(bits_per_symbol=1)
+        assert np.mean(qam16[8:12]) > 0.1
+        assert np.mean(bpsk[8:12]) < 0.01
+
+    def test_stronger_reflection_worse_corruption(self):
+        weak = run_corruption_experiment(tag_gain=0.15j)
+        strong = run_corruption_experiment(tag_gain=0.45j)
+        assert np.mean(strong[8:12]) > np.mean(weak[8:12])
+
+    def test_invalid_flip_range(self):
+        with pytest.raises(ValueError):
+            run_corruption_experiment(flip_range=(5, 3))
+        with pytest.raises(ValueError):
+            run_corruption_experiment(flip_range=(0, 99))

@@ -1,0 +1,44 @@
+"""Paper-exact regression runs (excluded by default; run with ``-m slow``).
+
+The regular test suite and benches use shortened measurement windows for
+speed.  These tests run the paper's actual methodology — minute-scale
+measurements — and pin the headline numbers with tight tolerances.  They
+exist so that a refactor that quietly shifts the calibrated operating
+point is caught before results are quoted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import MeasurementSession
+from repro.sim.scenario import los_scenario, nlos_scenario
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize(
+    "distance,max_ber",
+    [(1.0, 0.015), (4.0, 0.08), (7.0, 0.015)],
+)
+def test_fig5_minute_run(distance, max_ber):
+    """One paper-style measurement: a minute of queries at one position."""
+    system, _ = los_scenario(distance, seed=int(distance))
+    stats = MeasurementSession(
+        system, rng=np.random.default_rng(int(distance))
+    ).run_for(60.0)
+    assert stats.ber < max_ber
+    assert 38e3 < stats.throughput_bps < 45e3
+    assert stats.queries > 35_000
+
+
+@pytest.mark.parametrize("location,p90_max", [("A", 0.012), ("B", 0.03)])
+def test_fig6_minute_runs(location, p90_max):
+    """Paper Section 6.2: repeated one-minute NLOS measurements."""
+    bers = []
+    for run in range(10):
+        system, _ = nlos_scenario(location, seed=3000 + run)
+        stats = MeasurementSession(
+            system, rng=np.random.default_rng(run)
+        ).run_for(6.0)
+        bers.append(stats.ber)
+    assert float(np.percentile(bers, 90)) < p90_max

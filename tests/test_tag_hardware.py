@@ -1,0 +1,167 @@
+"""Unit tests for tag hardware: RF switch, antenna designs, oscillators."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.phy.channel import TagState
+from repro.tag.antenna import (
+    open_short_design,
+    phase_flip_design,
+    phase_flip_loads,
+)
+from repro.tag.oscillator import (
+    Oscillator,
+    OscillatorKind,
+    power_vs_frequency_uw,
+    precision_oscillator_20mhz,
+    ring_oscillator_20mhz,
+    witag_crystal_50khz,
+)
+from repro.tag.rf_switch import (
+    ReflectionLoad,
+    RfSwitch,
+    quarter_wave_pair,
+    sky13314,
+)
+
+WAVELENGTH = 0.123
+
+
+class TestRfSwitch:
+    def test_sky13314_defaults(self):
+        switch = sky13314()
+        assert switch.insertion_loss_db == pytest.approx(0.35)
+        assert switch.switching_time_s < 100e-9
+
+    def test_settles_within_symbol(self):
+        """Paper Section 5: switching must fit well inside an OFDM symbol."""
+        assert sky13314().settles_within(4e-6)
+        assert not sky13314().settles_within(1e-9)
+
+    def test_through_gain(self):
+        assert sky13314().through_gain == pytest.approx(
+            10 ** (-0.35 / 20), rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RfSwitch(insertion_loss_db=-1)
+        with pytest.raises(ValueError):
+            RfSwitch(switching_time_s=0)
+        with pytest.raises(ValueError):
+            sky13314().settles_within(0)
+
+
+class TestReflectionLoad:
+    def test_bare_short(self):
+        load = ReflectionLoad(complex(-1, 0))
+        assert load.reflection_coefficient(WAVELENGTH) == complex(-1, 0)
+
+    def test_cable_phase_rotation(self):
+        lam_cable = WAVELENGTH * 0.66
+        load = ReflectionLoad(
+            complex(-1, 0), cable_length_m=lam_cable / 8
+        )
+        gamma = load.reflection_coefficient(WAVELENGTH)
+        # lambda/8 of cable = 90 degrees round trip.
+        assert cmath.phase(gamma / complex(-1, 0)) == pytest.approx(
+            -math.pi / 2, abs=1e-9
+        )
+
+    def test_passive_bound(self):
+        with pytest.raises(ValueError):
+            ReflectionLoad(complex(1.5, 0))
+
+    def test_quarter_wave_pair_opposes(self):
+        """Paper Section 5.2 footnote: quarter-wave cable delta = 180 deg."""
+        short, longer = quarter_wave_pair(WAVELENGTH)
+        g1 = short.reflection_coefficient(WAVELENGTH)
+        g2 = longer.reflection_coefficient(WAVELENGTH)
+        assert abs(g1 + g2) == pytest.approx(0.0, abs=1e-9)
+        assert abs(g1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReflectionLoad(complex(1, 0), cable_length_m=-0.1)
+        with pytest.raises(ValueError):
+            ReflectionLoad(complex(1, 0), velocity_factor=0.0)
+        with pytest.raises(ValueError):
+            ReflectionLoad(complex(1, 0)).reflection_coefficient(0.0)
+
+
+class TestTagDesigns:
+    def test_phase_flip_delta_is_two(self):
+        """Figure 3: always-reflect phase flip doubles the channel change."""
+        assert phase_flip_design().coefficient_delta == pytest.approx(2.0)
+
+    def test_open_short_delta_smaller(self):
+        assert open_short_design().coefficient_delta < 1.0
+
+    def test_bit_mapping_phase_flip(self):
+        design = phase_flip_design()
+        assert design.state_for_bit(1) is TagState.REFLECT_0
+        assert design.state_for_bit(0) is TagState.REFLECT_180
+
+    def test_bit_mapping_open_short(self):
+        design = open_short_design()
+        assert design.state_for_bit(1) is TagState.ABSORB
+        assert design.state_for_bit(0) is TagState.REFLECT_0
+
+    def test_bad_bit(self):
+        with pytest.raises(ValueError):
+            phase_flip_design().state_for_bit(2)
+
+    def test_loads_factory(self):
+        short, longer = phase_flip_loads(WAVELENGTH)
+        assert longer.cable_length_m > short.cable_length_m
+
+
+class TestOscillators:
+    def test_witag_crystal_microwatts(self):
+        """Paper Section 7: 50 kHz clock consumes a few microwatts."""
+        osc = witag_crystal_50khz()
+        assert osc.nominal_hz == 50e3
+        assert osc.power_uw < 5.0
+
+    def test_precision_20mhz_over_1mw(self):
+        """Paper Section 7: MHz precision oscillators are > 1 mW."""
+        assert precision_oscillator_20mhz().power_uw > 1000.0
+
+    def test_ring_20mhz_tens_of_microwatts(self):
+        """Paper Section 7: ring oscillators consume tens of microwatts."""
+        power = ring_oscillator_20mhz().power_uw
+        assert 10.0 < power < 100.0
+
+    def test_ring_drift_600khz_per_5c(self):
+        """Paper footnote 4: 5 degC shifts a ring oscillator by ~600 kHz."""
+        ring = ring_oscillator_20mhz()
+        shift = ring.frequency_at(30.0) - ring.nominal_hz
+        assert shift == pytest.approx(600e3, rel=0.01)
+
+    def test_crystal_stable_over_temperature(self):
+        crystal = witag_crystal_50khz()
+        assert abs(crystal.frequency_error_ppm(45.0)) < 20.0
+
+    def test_power_scales_with_f_squared(self):
+        """Paper Section 7: oscillator power proportional to f^2."""
+        p1 = power_vs_frequency_uw(1e6, base_uw=0.0)
+        p2 = power_vs_frequency_uw(2e6, base_uw=0.0)
+        assert p2 / p1 == pytest.approx(4.0)
+
+    def test_timing_drift_accumulates(self):
+        ring = ring_oscillator_20mhz()
+        d1 = ring.timing_drift_s(1e-3, 30.0)
+        d2 = ring.timing_drift_s(2e-3, 30.0)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Oscillator(OscillatorKind.CRYSTAL, 0.0, 1e-10)
+        with pytest.raises(ValueError):
+            Oscillator(OscillatorKind.CRYSTAL, 1e3, -1.0)
+        with pytest.raises(ValueError):
+            witag_crystal_50khz().timing_drift_s(-1.0, 25.0)
+        with pytest.raises(ValueError):
+            power_vs_frequency_uw(0.0)
