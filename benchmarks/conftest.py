@@ -19,6 +19,15 @@ sys.path.insert(
 from repro.core.session import MeasurementSession  # noqa: E402
 
 
+def engine_workers(default: int = 2) -> int:
+    """Worker count for engine-driven benches (REPRO_BENCH_WORKERS=N).
+
+    Results are bit-identical at any value — the knob only trades
+    wall-clock for process overhead (set 1 to force the serial path).
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", default)))
+
+
 def run_point(system, sim_seconds=1.0, seed=0):
     """Run one measurement point; returns (stats, per-query BERs)."""
     session = MeasurementSession(system, rng=np.random.default_rng(seed))

@@ -9,15 +9,21 @@ This bench measures, across tag positions: (a) the channel-change
 magnitude for both designs and (b) the resulting probability that a
 corrupted subframe actually fails — the quantity that becomes bit-0
 reliability.
+
+Each tag position is one work unit of the parallel experiment engine
+(:mod:`repro.runner`); seeding is fixed per position inside the work
+function, so values match the historical serial loop bit-for-bit at any
+worker count.
 """
 
 import numpy as np
 
-from conftest import print_banner
+from conftest import engine_workers, print_banner
 from repro.analysis.reporting import Table
 from repro.phy.channel import BackscatterChannel, ChannelGeometry, TagState
 from repro.phy.error_model import LinkErrorModel
 from repro.phy.mcs import ht_mcs
+from repro.runner import SweepSpec, run_sweep
 from repro.tag.antenna import open_short_design, phase_flip_design
 
 DISTANCES_M = [1.0, 2.0, 4.0, 6.0, 7.0]
@@ -39,35 +45,52 @@ def corruption_failure_probability(model, design, rng):
     return total / N_SAMPLES
 
 
-def sweep():
+def _fig3_point(ctx):
+    """Both designs at one tag position, historically-seeded."""
+    d = ctx.parameters["distance_m"]
     designs = {
         "open/short": open_short_design(),
         "phase-flip": phase_flip_design(),
     }
-    rows = []
-    for d in DISTANCES_M:
-        geometry = ChannelGeometry.on_line(8.0, d)
-        channel = BackscatterChannel(
-            geometry=geometry, rng=np.random.default_rng(7)
+    geometry = ChannelGeometry.on_line(8.0, d)
+    channel = BackscatterChannel(
+        geometry=geometry, rng=np.random.default_rng(7)
+    )
+    model = LinkErrorModel(
+        channel=channel, mcs=ht_mcs(7), rng=np.random.default_rng(8)
+    )
+    row = {"distance_m": d}
+    for name, design in designs.items():
+        delta = channel.mean_change_magnitude(
+            design.state_for_bit_one, design.state_for_bit_zero
         )
-        model = LinkErrorModel(
-            channel=channel, mcs=ht_mcs(7), rng=np.random.default_rng(8)
+        row[f"{name}_delta"] = delta
+        row[f"{name}_fail"] = corruption_failure_probability(
+            model, design, np.random.default_rng(9)
         )
-        row = {"distance_m": d}
-        for name, design in designs.items():
-            delta = channel.mean_change_magnitude(
-                design.state_for_bit_one, design.state_for_bit_zero
-            )
-            row[f"{name}_delta"] = delta
-            row[f"{name}_fail"] = corruption_failure_probability(
-                model, design, np.random.default_rng(9)
-            )
-        rows.append(row)
-    return rows
+    return row
+
+
+def sweep(n_workers=None):
+    if n_workers is None:
+        n_workers = engine_workers()
+    return run_sweep(
+        _fig3_point,
+        SweepSpec(axes={"distance_m": DISTANCES_M}, seed=0),
+        n_workers=n_workers,
+    )
 
 
 def test_fig3_channel_change_techniques(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = result.values
+    benchmark.extra_info["engine"] = {
+        "executor": result.executor,
+        "n_workers": result.n_workers,
+        "chunk_size": result.chunk_size,
+        "wall_s": result.wall_s,
+        "busy_s": result.busy_s,
+    }
 
     print_banner(
         "Figure 3 / Section 5.2: open-short vs always-reflect phase flip"

@@ -8,43 +8,66 @@ bits delivered per second.
 Expected shape: BER ~0.01 near either endpoint, peaking mid-span (the
 1/(Ds^2 Dr^2) reflection minimum); throughput ~40 Kbps dipping ~1 Kbps at
 mid-span.
+
+The sweep runs through the parallel experiment engine
+(:mod:`repro.runner`): each distance is one work unit, and the per-point
+seeding is fixed inside the work function, so the measured numbers are
+identical to the historical serial loop for any worker count.
 """
 
 import numpy as np
 
-from conftest import print_banner, run_point
+from conftest import engine_workers, print_banner, run_point
 from repro.analysis.reporting import Table
+from repro.runner import SweepSpec, run_sweep
 from repro.sim.scenario import los_scenario
 
 DISTANCES_M = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
 SIM_SECONDS = 1.0
 
 
-def sweep():
-    rows = []
-    for d in DISTANCES_M:
-        system, info = los_scenario(d, seed=100 + int(d))
-        stats, _ = run_point(system, SIM_SECONDS, seed=int(d))
-        rows.append(
-            {
-                "distance_m": d,
-                "ber": stats.ber,
-                "throughput_kbps": stats.throughput_bps / 1e3,
-                "queries": stats.queries,
-            }
-        )
-    return rows
+def _fig5_point(ctx):
+    """One distance point, seeded exactly as the historical serial sweep."""
+    d = ctx.parameters["distance_m"]
+    system, info = los_scenario(d, seed=100 + int(d))
+    stats, _ = run_point(system, SIM_SECONDS, seed=int(d))
+    return {
+        "distance_m": d,
+        "ber": stats.ber,
+        "throughput_kbps": stats.throughput_bps / 1e3,
+        "queries": stats.queries,
+    }
+
+
+def sweep(n_workers=None):
+    if n_workers is None:
+        n_workers = engine_workers()
+    result = run_sweep(
+        _fig5_point,
+        SweepSpec(axes={"distance_m": DISTANCES_M}, seed=0),
+        n_workers=n_workers,
+    )
+    return result
 
 
 def test_fig5_ber_and_throughput(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = result.values
+    benchmark.extra_info["engine"] = {
+        "executor": result.executor,
+        "n_workers": result.n_workers,
+        "chunk_size": result.chunk_size,
+        "wall_s": result.wall_s,
+        "busy_s": result.busy_s,
+    }
 
     print_banner(
         "Figure 5: BER and throughput of WiTAG vs tag distance "
         "(client and AP 8 m apart)"
     )
     table = Table(
-        f"{SIM_SECONDS:g}s of simulated queries per point",
+        f"{SIM_SECONDS:g}s of simulated queries per point "
+        f"({result.n_workers} worker(s), {result.executor} executor)",
         ["tag distance (m)", "BER", "throughput (Kbps)", "queries"],
     )
     for row in rows:

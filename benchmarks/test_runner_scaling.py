@@ -1,0 +1,81 @@
+"""Engine scaling smoke: serial vs parallel wall-clock, same bits.
+
+Runs one small LOS sweep twice through :mod:`repro.runner` — once on
+the serial executor, once on a 2-worker process pool — records both
+wall-clocks (and their ratio) into the benchmark JSON trajectory, and
+asserts the determinism contract: the two runs return bit-identical
+values.
+
+No speedup is *asserted*: CI may be single-core (fork + pool overhead
+can even lose there), and the point of this bench is the recorded
+trajectory plus the identity check, not a pass/fail race.
+"""
+
+import functools
+import os
+
+from conftest import print_banner
+from repro.analysis.reporting import Table
+from repro.runner import SweepSpec, run_sweep
+from repro.runner.workers import los_ber_point
+
+DISTANCES_M = [1.0, 3.0, 5.0, 7.0]
+SIM_SECONDS = 0.1
+PARALLEL_WORKERS = 2
+
+
+def _run(n_workers, executor):
+    spec = SweepSpec(axes={"distance_m": DISTANCES_M}, seed=11)
+    return run_sweep(
+        functools.partial(los_ber_point, sim_seconds=SIM_SECONDS),
+        spec,
+        n_workers=n_workers,
+        executor=executor,
+    )
+
+
+def both():
+    serial = _run(1, "serial")
+    parallel = _run(PARALLEL_WORKERS, "auto")
+    return serial, parallel
+
+
+def test_runner_scaling_smoke(benchmark):
+    serial, parallel = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    benchmark.extra_info["runner_scaling"] = {
+        "n_points": len(DISTANCES_M),
+        "sim_seconds_per_point": SIM_SECONDS,
+        "serial_wall_s": serial.wall_s,
+        "parallel_wall_s": parallel.wall_s,
+        "parallel_workers": parallel.n_workers,
+        "parallel_executor": parallel.executor,
+        "speedup": speedup,
+        "cpu_count": os.cpu_count(),
+    }
+
+    print_banner("Runner scaling smoke: serial vs parallel wall-clock")
+    table = Table(
+        f"{len(DISTANCES_M)} points x {SIM_SECONDS:g}s sim "
+        f"(cpu_count={os.cpu_count()})",
+        ["executor", "workers", "wall (s)", "busy (s)"],
+    )
+    table.add_row(["serial", 1, serial.wall_s, serial.busy_s])
+    table.add_row(
+        [
+            parallel.executor,
+            parallel.n_workers,
+            parallel.wall_s,
+            parallel.busy_s,
+        ]
+    )
+    print(table.render())
+    print(f"speedup (serial/parallel): {speedup:.2f}x")
+
+    # The determinism contract is the assertion: identical bits.
+    assert serial.values == parallel.values
+    assert [p.parameters for p in serial.points] == [
+        p.parameters for p in parallel.points
+    ]
+    assert speedup > 0.0

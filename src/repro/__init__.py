@@ -17,6 +17,10 @@ Subpackages:
     * :mod:`repro.baselines` -- prior-system models and the requirements
       comparison.
     * :mod:`repro.analysis` -- BER/CDF/statistics utilities.
+    * :mod:`repro.runner` -- parallel experiment engine with a
+      bit-identical-for-any-worker-count determinism contract.
+    * :mod:`repro.seeding` -- SeedSequence-based stream derivation
+      (public facade: :mod:`repro.sim.rng`).
 
 Quickstart:
     >>> from repro.sim import los_scenario

@@ -8,11 +8,21 @@ per point.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .reporting import Table
+
+
+def _legacy_measure(ctx, measure: Callable[..., Any]) -> Any:
+    """Adapter: engine work unit -> ``measure(seed=..., **parameters)``.
+
+    Reproduces :meth:`ParameterSweep.run`'s additive seeding so the
+    serial and parallel paths are interchangeable.
+    """
+    return measure(seed=ctx.root_seed + ctx.index, **ctx.parameters)
 
 
 @dataclass(frozen=True)
@@ -68,6 +78,53 @@ class ParameterSweep:
             self.points.append(
                 SweepPoint(parameters=parameters, value=value, seed=seed)
             )
+        return self.points
+
+    def run_parallel(
+        self,
+        n_workers: int = 1,
+        *,
+        chunk_size: int | None = None,
+        executor: str = "auto",
+    ) -> list[SweepPoint]:
+        """Evaluate every point through :mod:`repro.runner`.
+
+        Point seeds are the same ``base_seed + index`` values
+        :meth:`run` uses, so a deterministic ``measure`` produces
+        identical points on either path and at any worker count.
+        ``measure`` must be picklable (module-level callable) to run on
+        more than one worker.
+        """
+        # Imported lazily: the runner builds on this module.
+        from ..runner.engine import UnitContext, run_units
+
+        names = list(self.axes)
+        units = [
+            UnitContext(
+                index=index,
+                parameters=dict(zip(names, combo)),
+                root_seed=self.base_seed,
+            )
+            for index, combo in enumerate(
+                itertools.product(*(self.axes[n] for n in names))
+            )
+        ]
+        result = run_units(
+            functools.partial(_legacy_measure, measure=self.measure),
+            units,
+            seed=self.base_seed,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            executor=executor,
+        )
+        self.points = [
+            SweepPoint(
+                parameters=unit.parameters,
+                value=value,
+                seed=self.base_seed + unit.index,
+            )
+            for unit, value in zip(units, result.values)
+        ]
         return self.points
 
     def table(

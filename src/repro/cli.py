@@ -2,6 +2,7 @@
 
 Usage::
 
+    python -m repro sweep [--distances 1,2,...] [--workers 4] [--seed 0]
     python -m repro fig5 [--seconds 1.0] [--seed 0]
     python -m repro fig6 [--runs 8] [--seconds 0.5]
     python -m repro quickstart [--distance 2.0] [--message TEXT]
@@ -34,6 +35,53 @@ from .tag.power import (
     channel_shift_ring_budget,
     witag_budget,
 )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
+
+    from .runner import SweepSpec, run_sweep
+    from .runner.workers import los_ber_point
+
+    try:
+        distances = [float(d) for d in args.distances.split(",") if d]
+    except ValueError:
+        print(f"bad --distances value: {args.distances!r}", file=sys.stderr)
+        return 2
+    if not distances:
+        print("--distances must name at least one point", file=sys.stderr)
+        return 2
+    try:
+        spec = SweepSpec(
+            axes={"distance_m": distances},
+            seed=args.seed,
+            chunk_size=args.chunk,
+        )
+        result = run_sweep(
+            functools.partial(los_ber_point, sim_seconds=args.seconds),
+            spec,
+            n_workers=args.workers,
+        )
+    except ValueError as error:
+        print(f"bad sweep options: {error}", file=sys.stderr)
+        return 2
+    print(
+        result.table(
+            f"LOS sweep: {args.seconds:g}s per point, seed {args.seed}, "
+            f"{result.n_workers} worker(s) [{result.executor}]"
+        ).render()
+    )
+    print(
+        f"wall {result.wall_s:.2f}s, busy {result.busy_s:.2f}s across "
+        f"{len(result.worker_timings)} worker(s), "
+        f"chunk size {result.chunk_size}"
+    )
+    for timing in result.worker_timings:
+        print(
+            f"  worker {timing.worker}: {timing.n_units} unit(s) in "
+            f"{timing.n_chunks} chunk(s), {timing.busy_s:.2f}s busy"
+        )
+    return 0
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
@@ -196,6 +244,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="WiTAG (HotNets 2018) reproduction experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel LOS distance sweep (repro.runner engine)"
+    )
+    sweep.add_argument(
+        "--distances",
+        type=str,
+        default="1,2,3,4,5,6,7",
+        help="comma-separated tag distances from the client (m)",
+    )
+    sweep.add_argument("--seconds", type=float, default=0.5)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument(
+        "--chunk", type=int, default=None, help="work units per task"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     fig5 = sub.add_parser("fig5", help="BER/throughput vs tag position")
     fig5.add_argument("--seconds", type=float, default=1.0)

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..mac.block_ack import BlockAck, BlockAckScoreboard, build_block_ack
 from ..phy.error_model import LinkErrorModel
+from ..seeding import component_rng
 from ..tag.state_machine import QueryObservation, TagStateMachine
 from .config import WiTagConfig
 from .decoder import raw_bits_from_block_ack
@@ -83,7 +84,7 @@ class MultiTagCell:
     config: WiTagConfig
     endpoints: dict[str, TagEndpoint]
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(31)
+        default_factory=lambda: component_rng("multitag")
     )
 
     def __post_init__(self) -> None:

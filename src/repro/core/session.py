@@ -10,10 +10,15 @@ as code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from ..seeding import component_rng
 from .system import QueryResult, WiTagSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..runner.engine import SweepResult, UnitContext
 
 Bits = list[int]
 
@@ -66,7 +71,7 @@ class MeasurementSession:
 
     system: WiTagSystem
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(101)
+        default_factory=lambda: component_rng("session")
     )
     results: list[QueryResult] = field(default_factory=list)
 
@@ -117,3 +122,35 @@ class MeasurementSession:
         return [
             r.bit_errors / r.n_bits for r in self.results if r.n_bits > 0
         ]
+
+
+def run_parallel_sessions(
+    build: "Callable[[UnitContext], MeasurementSession]",
+    n_sessions: int,
+    *,
+    queries: int | None = None,
+    duration_s: float | None = None,
+    seed: int = 0,
+    n_workers: int = 1,
+    **engine_kwargs,
+) -> "SweepResult":
+    """Run independent sessions through the parallel engine.
+
+    Thin forwarding wrapper around :func:`repro.runner.run_sessions`
+    (imported lazily — the runner builds on this module) so session
+    consumers get parallel execution without importing the runner
+    package themselves.  ``result.values`` is a list of
+    :class:`SessionStats`, one per session, in session order and
+    bit-identical for any ``n_workers``.
+    """
+    from ..runner import run_sessions
+
+    return run_sessions(
+        build,
+        n_sessions,
+        queries=queries,
+        duration_s=duration_s,
+        seed=seed,
+        n_workers=n_workers,
+        **engine_kwargs,
+    )

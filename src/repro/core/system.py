@@ -33,6 +33,7 @@ from ..mac.csma import ContentionModel
 from ..phy.channel import TagState
 from ..phy.error_model import FadingSample, LinkErrorModel
 from ..phy.fading import CorrelatedFadingChannel
+from ..seeding import component_rng
 from ..tag.state_machine import QueryObservation, TagStateMachine
 from .config import WiTagConfig
 from .decoder import raw_bits_from_block_ack
@@ -108,7 +109,7 @@ class WiTagSystem:
     ap: MacAddress = DEFAULT_AP
     fading_channel: CorrelatedFadingChannel | None = None
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(23)
+        default_factory=lambda: component_rng("system")
     )
 
     def __post_init__(self) -> None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..phy.constants import DIFS_5GHZ_S, SIFS_5GHZ_S, SLOT_TIME_S
+from ..seeding import component_rng
 
 
 @dataclass(frozen=True)
@@ -90,7 +91,7 @@ class ContentionModel:
     contender_busy_s: float = 1.5e-3
     contender_activity: float = 0.1
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(3)
+        default_factory=lambda: component_rng("csma")
     )
 
     def __post_init__(self) -> None:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..seeding import component_rng
 from .constants import Band, SPEED_OF_LIGHT_M_S
 from .ofdm import data_subcarrier_offsets_hz, delay_phase_rotation
 
@@ -250,7 +251,7 @@ class BackscatterChannel:
     tag_rician_k_db: float | None = 5.0
     channel_width_mhz: int = 20
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
+        default_factory=lambda: component_rng("channel")
     )
 
     def __post_init__(self) -> None:

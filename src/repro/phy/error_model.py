@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..seeding import component_rng
 from .channel import BackscatterChannel, TagState
 from .coding import coded_bit_error_rate, packet_error_rate
 from .csi import eesm_effective_sinr, estimate_csi
@@ -111,7 +112,7 @@ class LinkErrorModel:
     receiver: ReceiverNoise = field(default_factory=ReceiverNoise)
     mismatch_gain_db: float = 22.0
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(1)
+        default_factory=lambda: component_rng("error-model")
     )
 
     def __post_init__(self) -> None:

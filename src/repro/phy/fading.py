@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..seeding import component_rng
+
 
 @dataclass
 class GaussMarkovFading:
@@ -36,7 +38,7 @@ class GaussMarkovFading:
 
     coherence_time_s: float = 0.1
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(17)
+        default_factory=lambda: component_rng("fading-gm")
     )
 
     def __post_init__(self) -> None:
@@ -95,7 +97,7 @@ class CorrelatedFadingChannel:
     tag_rician_k_db: float | None = 5.0
     coherence_time_s: float = 0.1
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(19)
+        default_factory=lambda: component_rng("fading-correlated")
     )
 
     def __post_init__(self) -> None:

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..seeding import component_rng
+
 
 @dataclass
 class MimoChannelMatrix:
@@ -38,7 +40,7 @@ class MimoChannelMatrix:
     n_streams: int = 3
     rician_k_db: float = 10.0
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(29)
+        default_factory=lambda: component_rng("mimo")
     )
 
     def __post_init__(self) -> None:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..seeding import component_rng
 from .channel import TagState
 
 #: FFT size for 20 MHz 802.11 OFDM.
@@ -118,6 +119,8 @@ class OfdmModem:
 
     def training_symbol(self) -> tuple[np.ndarray, np.ndarray]:
         """A known (LTF-like) training symbol and its tone values."""
+        # Deliberately fixed: this is the *known* training sequence both
+        # modem ends must agree on (a protocol constant), not randomness.
         rng = np.random.default_rng(0xC0FFEE)
         tone_bits = rng.integers(0, 2, DATA_TONES.size)
         tones = np.where(tone_bits == 1, 1.0 + 0j, -1.0 + 0j)
@@ -149,7 +152,7 @@ class TagChannelWaveform:
     tag_gain: complex = 0.08 + 0.0j
     noise_std: float = 0.01
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0xBEEF)
+        default_factory=lambda: component_rng("waveform")
     )
 
     def channel_gain(self, state: TagState) -> complex:

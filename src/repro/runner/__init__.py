@@ -1,0 +1,40 @@
+"""Parallel experiment engine: deterministic multi-process sweeps.
+
+Public surface:
+
+* :class:`SweepSpec` / :class:`SweepResult` — declarative sweep grid
+  and ordered results with per-worker timing counters.
+* :func:`run_sweep` — evaluate a work function at every grid point.
+* :func:`run_sessions` — run many measurement sessions as work units.
+* :func:`run_units` — the raw primitive beneath both.
+* :class:`UnitContext` — per-unit seeding handle (the determinism
+  contract lives here: derive *all* randomness from it).
+
+See ``docs/running_experiments.md`` for usage and the determinism
+contract, and :mod:`repro.runner.workers` for ready-made picklable
+work functions.
+"""
+
+from .engine import (
+    SweepError,
+    SweepResult,
+    SweepSpec,
+    UnitContext,
+    WorkerTiming,
+    WorkUnitError,
+    run_sweep,
+    run_units,
+)
+from .sessions import run_sessions
+
+__all__ = [
+    "SweepError",
+    "SweepResult",
+    "SweepSpec",
+    "UnitContext",
+    "WorkUnitError",
+    "WorkerTiming",
+    "run_sessions",
+    "run_sweep",
+    "run_units",
+]

@@ -1,0 +1,482 @@
+"""Parallel experiment engine with deterministic seeding.
+
+Every BER/throughput experiment in this repo reduces to "evaluate many
+independent work units": the points of a parameter sweep, repeated
+measurement sessions, Monte-Carlo repetitions.  This module executes
+those units across worker processes while guaranteeing a hard
+determinism contract:
+
+    **A sweep's results are bit-identical regardless of worker count,
+    chunking, or scheduling order.**
+
+The contract holds because randomness is never shared between units.
+Work unit ``index`` of a sweep seeded with ``seed`` draws all of its
+randomness from ``numpy`` SeedSequence children keyed ``(index, ...)``
+(see :mod:`repro.sim.rng`), which depend only on the root seed and the
+unit's position — not on which process runs it, how units are batched
+into tasks, or how many siblings exist.  Workers therefore never
+communicate randomness; they only return values, which the coordinator
+reassembles in unit order.
+
+Units are batched into *chunks* (several units per submitted task) to
+amortize inter-process pickling overhead; chunking is a pure scheduling
+concern and cannot affect results.  A serial executor runs everything
+in-process for ``n_workers=1``, for platforms without ``fork``-style
+multiprocessing, and for work functions that cannot be pickled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..analysis.reporting import Table
+from ..analysis.sweep import SweepPoint
+from ..seeding import derived_seed
+
+__all__ = [
+    "SweepError",
+    "SweepResult",
+    "SweepSpec",
+    "UnitContext",
+    "WorkUnitError",
+    "WorkerTiming",
+    "run_sweep",
+    "run_units",
+]
+
+
+class SweepError(RuntimeError):
+    """The engine could not complete a sweep."""
+
+
+class WorkUnitError(SweepError):
+    """A work function raised inside a worker.
+
+    Carries enough context to debug without the worker's interpreter:
+    the unit index and parameters, plus the formatted remote traceback
+    (exception objects themselves may not survive pickling).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        parameters: dict[str, Any],
+        cause: str,
+        remote_traceback: str,
+    ) -> None:
+        self.index = index
+        self.parameters = parameters
+        self.cause = cause
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"work unit {index} (parameters {parameters!r}) failed: "
+            f"{cause}\n--- worker traceback ---\n{remote_traceback}"
+        )
+
+
+@dataclass(frozen=True)
+class UnitContext:
+    """Everything a work function may depend on for one unit.
+
+    Work functions receive exactly one :class:`UnitContext` and must
+    derive all randomness from it — that is what makes results
+    independent of scheduling.
+
+    Attributes:
+        index: the unit's position in the sweep (0-based, stable).
+        parameters: the unit's parameter-axis values.
+        root_seed: the sweep's root seed.
+    """
+
+    index: int
+    parameters: dict[str, Any]
+    root_seed: int
+
+    @property
+    def seed(self) -> int:
+        """Derived integer seed for APIs that take ``seed: int``."""
+        return derived_seed(self.root_seed, self.index)
+
+    def rng(self, stream: int = 0) -> np.random.Generator:
+        """An independent generator for this unit.
+
+        Distinct ``stream`` values give statistically independent
+        generators, so one unit can feed several stochastic components.
+        """
+        if stream < 0:
+            raise ValueError("stream must be >= 0")
+        sequence = np.random.SeedSequence(
+            self.root_seed, spawn_key=(self.index, stream)
+        )
+        return np.random.default_rng(sequence)
+
+
+@dataclass(frozen=True)
+class WorkerTiming:
+    """Per-worker progress/timing counters (observability hook).
+
+    Attributes:
+        worker: OS pid of the worker process ("serial" runs report the
+            coordinator's own pid).
+        n_chunks: tasks the worker executed.
+        n_units: work units the worker executed.
+        busy_s: wall-clock the worker spent inside work functions.
+    """
+
+    worker: int
+    n_chunks: int
+    n_units: int
+    busy_s: float
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a Cartesian parameter sweep.
+
+    Attributes:
+        axes: name -> values; the grid is the Cartesian product in axis
+            insertion order (same convention as
+            :class:`repro.analysis.sweep.ParameterSweep`).
+        seed: root seed; unit ``i`` derives its streams from
+            ``SeedSequence(seed, spawn_key=(i, ...))``.
+        chunk_size: units per submitted task; ``None`` picks a size that
+            gives each worker a few tasks.
+    """
+
+    axes: dict[str, list[Any]]
+    seed: int = 0
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.axes, dict) or not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"axis name {name!r} must be a string")
+            try:
+                n = len(values)
+            except TypeError:
+                raise ValueError(
+                    f"axis {name!r} values must be a sequence"
+                ) from None
+            if n == 0:
+                raise ValueError(f"axis {name!r} has no values")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    @property
+    def n_points(self) -> int:
+        """Number of grid points."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def units(self) -> list[UnitContext]:
+        """The sweep's work units, in grid order."""
+        names = list(self.axes)
+        return [
+            UnitContext(
+                index=index,
+                parameters=dict(zip(names, combo)),
+                root_seed=self.seed,
+            )
+            for index, combo in enumerate(
+                itertools.product(*(self.axes[n] for n in names))
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results plus execution metadata for one engine run.
+
+    ``points`` is always in unit (grid) order — never in completion
+    order — which is half of the determinism contract; the other half is
+    the per-unit seeding described in the module docstring.
+    """
+
+    points: tuple[SweepPoint, ...]
+    seed: int
+    n_workers: int
+    chunk_size: int
+    executor: str
+    wall_s: float
+    worker_timings: tuple[WorkerTiming, ...]
+
+    @property
+    def values(self) -> list[Any]:
+        """The work functions' return values, in unit order."""
+        return [point.value for point in self.points]
+
+    @property
+    def busy_s(self) -> float:
+        """Total time spent inside work functions, across all workers."""
+        return sum(t.busy_s for t in self.worker_timings)
+
+    def table(self, title: str, value_label: str = "value") -> Table:
+        """Render the sweep as a text table.
+
+        Dict-valued results get one column per key (all values must then
+        share the same keys); any other value type gets a single column.
+        """
+        axis_names: list[str] = []
+        for point in self.points:
+            for name in point.parameters:
+                if name not in axis_names:
+                    axis_names.append(name)
+        first = self.points[0].value if self.points else None
+        if isinstance(first, dict):
+            value_names = [
+                k for k in first if k not in axis_names
+            ]
+            table = Table(title, axis_names + value_names)
+            for point in self.points:
+                table.add_row(
+                    [point.parameters.get(n, "") for n in axis_names]
+                    + [point.value[k] for k in value_names]
+                )
+        else:
+            table = Table(title, axis_names + [value_label])
+            for point in self.points:
+                table.add_row(
+                    [point.parameters.get(n, "") for n in axis_names]
+                    + [point.value]
+                )
+        return table
+
+
+@dataclass(frozen=True)
+class _UnitFailure:
+    index: int
+    parameters: dict[str, Any]
+    cause: str
+    remote_traceback: str
+
+
+@dataclass(frozen=True)
+class _ChunkOutcome:
+    first_index: int
+    values: list[Any]
+    failure: _UnitFailure | None
+    worker: int
+    busy_s: float
+
+
+def _run_chunk(
+    fn: Callable[[UnitContext], Any], units: list[UnitContext]
+) -> _ChunkOutcome:
+    """Execute one chunk of units; never raises (failures are data).
+
+    Returning failures instead of raising keeps tracebacks readable
+    across the process boundary and lets the coordinator attribute the
+    error to a specific unit.
+    """
+    start = time.perf_counter()
+    values: list[Any] = []
+    failure = None
+    for ctx in units:
+        try:
+            values.append(fn(ctx))
+        except Exception as exc:  # noqa: BLE001 - crossing process boundary
+            failure = _UnitFailure(
+                index=ctx.index,
+                parameters=ctx.parameters,
+                cause=f"{type(exc).__name__}: {exc}",
+                remote_traceback=traceback.format_exc(),
+            )
+            break
+    return _ChunkOutcome(
+        first_index=units[0].index,
+        values=values,
+        failure=failure,
+        worker=os.getpid(),
+        busy_s=time.perf_counter() - start,
+    )
+
+
+def _chunked(
+    units: list[UnitContext], chunk_size: int
+) -> list[list[UnitContext]]:
+    return [
+        units[i : i + chunk_size]
+        for i in range(0, len(units), chunk_size)
+    ]
+
+
+def _auto_chunk_size(n_units: int, n_workers: int) -> int:
+    """A few tasks per worker: parallel slack without per-unit IPC."""
+    if n_units == 0:
+        return 1
+    return max(1, -(-n_units // max(1, 4 * n_workers)))
+
+
+def _pick_executor(requested: str, n_workers: int) -> str:
+    if requested not in ("auto", "serial", "process"):
+        raise ValueError(
+            f"executor must be 'auto', 'serial' or 'process', "
+            f"got {requested!r}"
+        )
+    if requested == "serial" or n_workers == 1:
+        return "serial"
+    if requested == "auto":
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" not in methods and "forkserver" not in methods:
+            # No fork-style start method (e.g. some embedded platforms):
+            # spawn requires importable work functions, so default to the
+            # always-correct serial path; "process" forces the pool.
+            return "serial"
+    return "process"
+
+
+def _collect_outcomes(
+    fn: Callable[[UnitContext], Any],
+    chunks: list[list[UnitContext]],
+    executor_kind: str,
+    n_workers: int,
+) -> list[_ChunkOutcome]:
+    if executor_kind == "serial":
+        return [_run_chunk(fn, chunk) for chunk in chunks]
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else methods[0]
+    context = multiprocessing.get_context(method)
+    outcomes: list[_ChunkOutcome] = []
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=context
+    ) as pool:
+        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:
+                for other in futures:
+                    other.cancel()
+                raise SweepError(
+                    f"executor failed before the work function could "
+                    f"report: {type(exc).__name__}: {exc} (unpicklable "
+                    f"work function or crashed worker process?)"
+                ) from exc
+    return outcomes
+
+
+def run_units(
+    fn: Callable[[UnitContext], Any],
+    units: list[UnitContext],
+    *,
+    seed: int = 0,
+    n_workers: int = 1,
+    chunk_size: int | None = None,
+    executor: str = "auto",
+) -> SweepResult:
+    """Execute arbitrary work units; the primitive under :func:`run_sweep`.
+
+    Args:
+        fn: work function, called once per unit with its
+            :class:`UnitContext`.  Must be picklable (a module-level
+            function or :func:`functools.partial` of one) to run on the
+            process executor.
+        units: the units to execute; results come back in this order.
+        seed: recorded in the result (the units already carry theirs).
+        n_workers: worker processes; 1 means in-process serial.
+        chunk_size: units per task; ``None`` auto-sizes.
+        executor: "auto" (process pool when possible), "serial", or
+            "process" (force a pool even for one worker).
+
+    Returns:
+        A :class:`SweepResult`; ``values`` are in unit order.
+
+    Raises:
+        WorkUnitError: a work function raised; the earliest failing unit
+            is reported and remaining work is abandoned.
+        SweepError: the executor itself failed (e.g. unpicklable fn).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    executor_kind = _pick_executor(executor, n_workers)
+    if chunk_size is None:
+        chunk_size = _auto_chunk_size(len(units), n_workers)
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+
+    start = time.perf_counter()
+    chunks = _chunked(units, chunk_size)
+    outcomes = _collect_outcomes(fn, chunks, executor_kind, n_workers)
+    wall_s = time.perf_counter() - start
+
+    failures = [o.failure for o in outcomes if o.failure is not None]
+    if failures:
+        first = min(failures, key=lambda f: f.index)
+        raise WorkUnitError(
+            first.index, first.parameters, first.cause,
+            first.remote_traceback,
+        )
+
+    values: dict[int, Any] = {}
+    for outcome in outcomes:
+        for offset, value in enumerate(outcome.values):
+            values[outcome.first_index + offset] = value
+    points = tuple(
+        SweepPoint(
+            parameters=ctx.parameters,
+            value=values[ctx.index],
+            seed=ctx.seed,
+        )
+        for ctx in units
+    )
+
+    by_worker: dict[int, list[_ChunkOutcome]] = {}
+    for outcome in outcomes:
+        by_worker.setdefault(outcome.worker, []).append(outcome)
+    timings = tuple(
+        WorkerTiming(
+            worker=worker,
+            n_chunks=len(worker_outcomes),
+            n_units=sum(len(o.values) for o in worker_outcomes),
+            busy_s=sum(o.busy_s for o in worker_outcomes),
+        )
+        for worker, worker_outcomes in sorted(by_worker.items())
+    )
+    return SweepResult(
+        points=points,
+        seed=seed,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        executor=executor_kind,
+        wall_s=wall_s,
+        worker_timings=timings,
+    )
+
+
+def run_sweep(
+    measure: Callable[[UnitContext], Any],
+    spec: SweepSpec,
+    *,
+    n_workers: int = 1,
+    chunk_size: int | None = None,
+    executor: str = "auto",
+) -> SweepResult:
+    """Evaluate ``measure`` at every grid point of ``spec``.
+
+    ``measure`` receives one :class:`UnitContext` per point and must
+    take all randomness from it (``ctx.rng(...)`` / ``ctx.seed``); under
+    that discipline the result is bit-identical for any ``n_workers``,
+    ``chunk_size`` and ``executor`` choice.
+    """
+    return run_units(
+        measure,
+        spec.units(),
+        seed=spec.seed,
+        n_workers=n_workers,
+        chunk_size=chunk_size if chunk_size is not None else spec.chunk_size,
+        executor=executor,
+    )

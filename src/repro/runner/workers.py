@@ -1,0 +1,58 @@
+"""Reusable, picklable work functions for common experiments.
+
+Process-pool work functions must be importable top-level callables;
+this module collects the ones shared by the CLI, the benchmarks and the
+scaling tests so every consumer parallelizes the same physics.  All of
+them draw randomness exclusively from their :class:`UnitContext`, so
+any sweep built on them inherits the engine's determinism contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.session import MeasurementSession
+from ..sim.scenario import los_scenario, nlos_scenario
+from .engine import UnitContext
+
+__all__ = ["los_ber_point", "nlos_session_stats"]
+
+
+def los_ber_point(
+    ctx: UnitContext, *, sim_seconds: float = 1.0
+) -> dict[str, Any]:
+    """One Figure-5-style LOS point: BER/throughput at a tag distance.
+
+    Expects ``ctx.parameters["distance_m"]``.  Scenario and data-bit
+    streams derive from the unit's substreams, so the same root seed
+    reproduces the same point bit-for-bit on any worker layout.
+    """
+    distance_m = float(ctx.parameters["distance_m"])
+    system, info = los_scenario(distance_m, seed=ctx.seed)
+    session = MeasurementSession(system, rng=ctx.rng(1))
+    stats = session.run_for(sim_seconds)
+    return {
+        "distance_m": distance_m,
+        "ber": stats.ber,
+        "throughput_kbps": stats.throughput_bps / 1e3,
+        "queries": stats.queries,
+        "missed_triggers": stats.missed_triggers,
+        "link_snr_db": info.link_snr_db,
+    }
+
+
+def nlos_session_stats(
+    ctx: UnitContext, *, sim_seconds: float = 0.5
+) -> dict[str, Any]:
+    """One Figure-6-style NLOS run at ``ctx.parameters["location"]``."""
+    location = str(ctx.parameters["location"])
+    system, info = nlos_scenario(location, seed=ctx.seed)
+    session = MeasurementSession(system, rng=ctx.rng(1))
+    stats = session.run_for(sim_seconds)
+    return {
+        "location": location,
+        "ber": stats.ber,
+        "throughput_kbps": stats.throughput_bps / 1e3,
+        "queries": stats.queries,
+        "link_snr_db": info.link_snr_db,
+    }

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.session import MeasurementSession, SessionStats
 from ..core.system import WiTagSystem
 from .events import EventLoop
+from .rng import component_rng
 
 
 @dataclass
@@ -68,7 +69,7 @@ class TagPoller:
     systems: dict[str, WiTagSystem]
     dwell_s: float = 0.5
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(77)
+        default_factory=lambda: component_rng("network")
     )
 
     def __post_init__(self) -> None:

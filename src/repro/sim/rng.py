@@ -1,35 +1,33 @@
-"""Deterministic random-stream management.
+"""Deterministic random-stream management (public facade).
 
 Every stochastic component (fading, CSI noise, tag detection, backoff,
-data bits) gets its own independent generator derived from one experiment
-seed via ``numpy``'s SeedSequence spawning, so experiments are exactly
-reproducible and components stay statistically independent.
+data bits) gets its own independent generator derived from one
+experiment seed via ``numpy``'s SeedSequence spawning, so experiments
+are exactly reproducible and components stay statistically independent.
+
+The implementation lives in :mod:`repro.seeding` — a dependency-free
+module at the package root — so that low-level layers (``phy``,
+``mac``, ``tag``, ``core``) can import it without pulling in the whole
+``repro.sim`` package.  Import from here in scenario/experiment code;
+the names are identical.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..seeding import (
+    child_sequence,
+    component_rng,
+    derived_seed,
+    named_rngs,
+    spawn_rngs,
+    substream,
+)
 
-
-def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
-    """Create ``count`` independent generators from one seed."""
-    if count < 1:
-        raise ValueError("count must be >= 1")
-    sequence = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in sequence.spawn(count)]
-
-
-def named_rngs(seed: int, *names: str) -> dict[str, np.random.Generator]:
-    """Create independent generators keyed by component name.
-
-    Example:
-        >>> rngs = named_rngs(7, "channel", "tag", "data")
-        >>> sorted(rngs)
-        ['channel', 'data', 'tag']
-    """
-    if not names:
-        raise ValueError("provide at least one stream name")
-    if len(set(names)) != len(names):
-        raise ValueError("stream names must be unique")
-    generators = spawn_rngs(seed, len(names))
-    return dict(zip(names, generators))
+__all__ = [
+    "child_sequence",
+    "component_rng",
+    "derived_seed",
+    "named_rngs",
+    "spawn_rngs",
+    "substream",
+]

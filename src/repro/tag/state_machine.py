@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..phy.channel import TagState
+from ..seeding import component_rng
 from .antenna import TagDesign, phase_flip_design
 from .envelope_detector import TriggerDetector
 from .oscillator import Oscillator, witag_crystal_50khz
@@ -107,7 +108,7 @@ class TagStateMachine:
     oscillator: Oscillator = field(default_factory=witag_crystal_50khz)
     data_queue: list[int] = field(default_factory=list)
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(11)
+        default_factory=lambda: component_rng("tag")
     )
     phase: TagPhase = TagPhase.IDLE
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.session import MeasurementSession
+from repro.core.session import MeasurementSession, run_parallel_sessions
 from repro.core.system import WiTagSystem
 from repro.mac.block_ack import BlockAck
 from repro.sim.scenario import los_scenario
@@ -141,3 +141,59 @@ class TestMeasurementSession:
         ).run_queries(5)
         assert a.bit_errors == b.bit_errors
         assert a.elapsed_s == b.elapsed_s
+
+
+def _fixed_seed_session(ctx):
+    """Engine session builder replaying the serial loop's exact seeding."""
+    return MeasurementSession(
+        fresh_system(seed=9), rng=np.random.default_rng(7)
+    )
+
+
+def _substream_session(ctx):
+    """Engine session builder drawing from the unit's substreams."""
+    return MeasurementSession(fresh_system(seed=ctx.seed), rng=ctx.rng(1))
+
+
+class TestSessionViaEngine:
+    """run_queries through the parallel engine == the serial loop."""
+
+    QUERIES = 25
+
+    def serial_stats(self):
+        return MeasurementSession(
+            fresh_system(seed=9), rng=np.random.default_rng(7)
+        ).run_queries(self.QUERIES)
+
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_engine_matches_serial_loop_exactly(self, n_workers):
+        """SessionStats equality is field-exact, not approximate."""
+        expected = self.serial_stats()
+        result = run_parallel_sessions(
+            _fixed_seed_session,
+            1,
+            queries=self.QUERIES,
+            n_workers=n_workers,
+            executor="process" if n_workers > 1 else "auto",
+        )
+        (stats,) = result.values
+        assert stats == expected  # frozen dataclass: all fields compared
+        assert stats.ber == expected.ber
+        assert stats.throughput_bps == expected.throughput_bps
+
+    def test_many_sessions_each_match_their_serial_run(self):
+        result = run_parallel_sessions(
+            _substream_session, 3, queries=5, seed=17, n_workers=2,
+            executor="process",
+        )
+        for point, stats in zip(result.points, result.values):
+            serial = MeasurementSession(
+                fresh_system(seed=point.seed),
+                rng=np.random.default_rng(
+                    np.random.SeedSequence(
+                        17,
+                        spawn_key=(point.parameters["session"], 1),
+                    )
+                ),
+            ).run_queries(5)
+            assert stats == serial

@@ -1,0 +1,190 @@
+"""The engine's determinism contract, locked down.
+
+``run_sweep(seed=s, n_workers=1)`` must equal ``n_workers=4``
+bit-for-bit — BER values, received bitmaps, stats — for any sweep
+shape, chunking, or executor choice; two runs with the same seed must
+be identical; different seeds must differ.  These tests are the
+contract's enforcement: if per-unit seeding ever picks up a dependence
+on scheduling (shared generators, fork-time stream duplication,
+completion-order assembly), they fail.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.core.session import MeasurementSession
+from repro.runner import SweepSpec, UnitContext, run_sessions, run_sweep
+from repro.seeding import child_sequence
+from repro.sim.scenario import los_scenario
+
+pytestmark = pytest.mark.runner
+
+
+def rng_fingerprint(ctx: UnitContext) -> dict:
+    """Pure-RNG work unit: raw draws expose any stream coupling."""
+    draws = ctx.rng().integers(0, 2**31, size=8)
+    more = ctx.rng(stream=3).random(4)
+    return {
+        "index": ctx.index,
+        "seed": ctx.seed,
+        "draws": draws.tolist(),
+        "floats": more.tolist(),
+    }
+
+
+def session_unit(ctx: UnitContext) -> dict:
+    """A real measurement session: BER, bitmaps and stats for one unit."""
+    distance = ctx.parameters["distance_m"]
+    system, _ = los_scenario(distance, seed=ctx.seed)
+    session = MeasurementSession(system, rng=ctx.rng(1))
+    stats = session.run_queries(4)
+    return {
+        "ber": stats.ber,
+        "stats": (
+            stats.bits_sent,
+            stats.bit_errors,
+            stats.elapsed_s,
+            stats.queries,
+            stats.missed_triggers,
+        ),
+        "bitmaps": [r.block_ack.bitmap for r in session.results],
+        "received": [r.received_bits for r in session.results],
+    }
+
+
+def build_session(ctx: UnitContext) -> MeasurementSession:
+    system, _ = los_scenario(2.0, seed=ctx.seed)
+    return MeasurementSession(system, rng=ctx.rng(1))
+
+
+SWEEP_SHAPES = [
+    {"x": list(range(6))},
+    {"x": [0, 1, 2], "y": ["a", "b"]},
+    {"x": [1], "y": [2], "z": [3, 4, 5, 6, 7]},
+]
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("axes", SWEEP_SHAPES)
+    def test_rng_streams_identical_1_vs_4_workers(self, axes):
+        spec = SweepSpec(axes=axes, seed=42)
+        serial = run_sweep(rng_fingerprint, spec, n_workers=1)
+        parallel = run_sweep(
+            rng_fingerprint, spec, n_workers=4, executor="process"
+        )
+        assert serial.values == parallel.values
+        assert [p.parameters for p in serial.points] == [
+            p.parameters for p in parallel.points
+        ]
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 100])
+    def test_chunking_cannot_change_results(self, chunk_size):
+        spec = SweepSpec(axes={"x": list(range(7))}, seed=9)
+        baseline = run_sweep(rng_fingerprint, spec, n_workers=1)
+        chunked = run_sweep(
+            rng_fingerprint,
+            spec,
+            n_workers=3,
+            chunk_size=chunk_size,
+            executor="process",
+        )
+        assert baseline.values == chunked.values
+        assert chunked.chunk_size == chunk_size
+
+    def test_full_session_physics_identical_1_vs_4_workers(self):
+        """BER, block-ACK bitmaps and SessionStats, bit-for-bit."""
+        spec = SweepSpec(axes={"distance_m": [1.0, 4.0, 7.0]}, seed=5)
+        serial = run_sweep(session_unit, spec, n_workers=1)
+        parallel = run_sweep(
+            session_unit, spec, n_workers=4, executor="process"
+        )
+        assert serial.values == parallel.values
+
+    def test_run_sessions_identical_1_vs_4_workers(self):
+        serial = run_sessions(
+            build_session, 6, queries=3, seed=21, n_workers=1
+        )
+        parallel = run_sessions(
+            build_session,
+            6,
+            queries=3,
+            seed=21,
+            n_workers=4,
+            executor="process",
+        )
+        assert serial.values == parallel.values
+
+
+class TestSeedSemantics:
+    def test_same_seed_same_results(self):
+        spec = SweepSpec(axes={"x": list(range(5))}, seed=7)
+        a = run_sweep(rng_fingerprint, spec, n_workers=1)
+        b = run_sweep(rng_fingerprint, spec, n_workers=1)
+        assert a.values == b.values
+
+    def test_different_seeds_differ(self):
+        a = run_sweep(
+            rng_fingerprint,
+            SweepSpec(axes={"x": list(range(5))}, seed=1),
+            n_workers=1,
+        )
+        b = run_sweep(
+            rng_fingerprint,
+            SweepSpec(axes={"x": list(range(5))}, seed=2),
+            n_workers=1,
+        )
+        assert a.values != b.values
+
+    def test_unit_streams_mutually_independent(self):
+        """No two units of one sweep may share a stream."""
+        result = run_sweep(
+            rng_fingerprint,
+            SweepSpec(axes={"x": list(range(8))}, seed=0),
+            n_workers=1,
+        )
+        draw_sets = [tuple(v["draws"]) for v in result.values]
+        assert len(set(draw_sets)) == len(draw_sets)
+
+    def test_child_sequence_is_sibling_count_invariant(self):
+        """The SeedSequence property the whole contract rests on."""
+        root = np.random.SeedSequence(13)
+        spawned = root.spawn(10)
+        for index in (0, 3, 9):
+            direct = child_sequence(13, index)
+            assert (
+                direct.generate_state(4).tolist()
+                == spawned[index].generate_state(4).tolist()
+            )
+
+
+@pytest.mark.slow
+class TestDeterminismBroad:
+    """Wider shapes and worker counts; the quick suite covers the core."""
+
+    @pytest.mark.parametrize("n_workers", [2, 3, 4, 6])
+    @pytest.mark.parametrize(
+        "axes",
+        [
+            {"x": list(range(17))},
+            {"x": list(range(4)), "y": list(range(5))},
+        ],
+    )
+    def test_many_layouts(self, n_workers, axes):
+        spec = SweepSpec(axes=axes, seed=3)
+        baseline = run_sweep(rng_fingerprint, spec, n_workers=1)
+        layout = run_sweep(
+            rng_fingerprint, spec, n_workers=n_workers, executor="process"
+        )
+        assert baseline.values == layout.values
+
+    def test_long_session_sweep_identical(self):
+        spec = SweepSpec(
+            axes={"distance_m": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]},
+            seed=31,
+        )
+        serial = run_sweep(session_unit, spec, n_workers=1)
+        parallel = run_sweep(
+            session_unit, spec, n_workers=4, executor="process"
+        )
+        assert serial.values == parallel.values
