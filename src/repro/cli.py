@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro sweep [--distances 1,2,...] [--workers 4] [--seed 0]
+    python -m repro bench [--queries 300] [--distance 4.0] [--json OUT.json]
     python -m repro fig5 [--seconds 1.0] [--seed 0]
     python -m repro fig6 [--runs 8] [--seconds 0.5]
     python -m repro quickstart [--distance 2.0] [--message TEXT]
@@ -81,6 +82,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"  worker {timing.worker}: {timing.n_units} unit(s) in "
             f"{timing.n_chunks} chunk(s), {timing.busy_s:.2f}s busy"
         )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Scalar-vs-vectorized PHY micro-benchmark with stage timings."""
+    import json
+    import time
+
+    from .sim.scenario import los_scenario
+
+    if args.queries < 1:
+        print("--queries must be >= 1", file=sys.stderr)
+        return 2
+    results: dict[str, dict] = {}
+    for label, fast in (("scalar", False), ("vectorized", True)):
+        system, info = los_scenario(
+            args.distance, seed=args.seed, phy_fast_path=fast
+        )
+        session = MeasurementSession(
+            system, rng=np.random.default_rng(args.seed)
+        )
+        session.run_queries(min(10, args.queries))  # warm caches/tables
+        system.counters.reset()
+        system.error_model.counters.reset()
+        start = time.perf_counter()
+        stats = session.run_queries(args.queries)
+        wall_s = time.perf_counter() - start
+        results[label] = {
+            "wall_s": wall_s,
+            "queries_per_s": args.queries / wall_s,
+            "ber": stats.ber,
+            "queries": args.queries,
+            "stage_timings": session.stage_timings(),
+        }
+    speedup = (
+        results["vectorized"]["queries_per_s"]
+        / results["scalar"]["queries_per_s"]
+    )
+    table = Table(
+        f"PHY fast path: {args.queries} queries, LOS tag@{args.distance:g}m, "
+        f"seed {args.seed}",
+        ["path", "wall (s)", "queries/s", "BER"],
+    )
+    for label in ("scalar", "vectorized"):
+        r = results[label]
+        table.add_row([label, r["wall_s"], r["queries_per_s"], r["ber"]])
+    print(table.render())
+    print(f"speedup (vectorized/scalar): {speedup:.2f}x")
+    stages = Table(
+        "vectorized stage timings (cumulative seconds)",
+        ["group", "stage", "seconds", "units"],
+    )
+    for group, timings in results["vectorized"]["stage_timings"].items():
+        for stage, entry in sorted(
+            timings.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        ):
+            stages.add_row(
+                [group, stage, entry["seconds"], int(entry["calls"])]
+            )
+    print(stages.render())
+    if args.json:
+        payload = {"speedup": speedup, **results}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -261,6 +327,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk", type=int, default=None, help="work units per task"
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="scalar vs vectorized PHY decode benchmark"
+    )
+    bench.add_argument("--queries", type=int, default=300)
+    bench.add_argument("--distance", type=float, default=4.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--json", type=str, default=None, help="write results to this file"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     fig5 = sub.add_parser("fig5", help="BER/throughput vs tag position")
     fig5.add_argument("--seconds", type=float, default=1.0)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from ..mac.addresses import MacAddress
 from ..mac.ampdu import DELIMITER_BYTES, aggregate, subframe_lengths
+from ..mac.crc import fcs_bytes
 from ..mac.frames import QosDataFrame, SequenceControl
 from ..mac.security.ccmp import CcmpContext
 from ..mac.security.wep import WepContext
@@ -127,6 +128,13 @@ class QueryBuilder:
         elif config.encryption is EncryptionMode.WEP:
             self._wep = WepContext(config.encryption_key)
         self._target_bytes = self._target_subframe_bytes()
+        # Unencrypted query content is identical between builds except the
+        # per-MPDU sequence-control field, so serialized templates, the
+        # byte plan and the airtime schedule are cached after first use
+        # (see build()).  Encrypted builds bypass the cache: CCMP/WEP
+        # payloads change with every packet number / IV.
+        self._templates: list[tuple[bytes, bytes]] | None = None
+        self._schedule: SubframeSchedule | None = None
 
     def _target_subframe_bytes(self) -> float:
         """Ideal (fractional) on-air bytes per subframe.
@@ -192,23 +200,76 @@ class QueryBuilder:
             return self._wep.encrypt(payload)
         return payload
 
+    def _serialize_subframe(self, size: int, trigger: bool, seq: int) -> bytes:
+        """Reference MPDU serialization for one subframe (any encryption)."""
+        payload = self._protect(self._payload_for(size, trigger))
+        frame = QosDataFrame(
+            receiver=self.ap,
+            transmitter=self.client,
+            destination=self.ap,
+            seq=SequenceControl(seq),
+            payload=payload,
+        )
+        return frame.serialize()
+
     def build(self) -> QueryFrame:
         """Build the next query A-MPDU, consuming sequence numbers."""
+        cfg = self.config
+        if self._ccmp is not None or self._wep is not None:
+            return self._build_reference()
+        if self._templates is None:
+            # First unencrypted build: serialize each subframe once through
+            # the reference path and remember it split around the 2-byte
+            # sequence-control field (bytes 22..24 of the MPDU header).
+            self._templates = []
+            for index, size in enumerate(self._subframe_byte_plan()):
+                serialized = self._serialize_subframe(
+                    size, index < cfg.n_trigger_subframes, 0
+                )
+                body = serialized[: -QosDataFrame.FCS_BYTES]
+                self._templates.append((body[:22], body[24:]))
+        ssn = self.sequence.next_value
+        mpdus: list[bytes] = []
+        for head, tail in self._templates:
+            seq = SequenceControl(self.sequence.allocate()).to_int()
+            body = head + seq.to_bytes(2, "little") + tail
+            mpdus.append(body + fcs_bytes(body))
+        if self._schedule is None:
+            # Subframe sizes never change between builds, so the airtime
+            # schedule (a frozen dataclass) is computed once and shared.
+            self._schedule = subframe_schedule(
+                subframe_lengths(mpdus),
+                cfg.mcs,
+                channel_width_mhz=cfg.channel_width_mhz,
+                short_gi=cfg.short_gi,
+                phy_format=cfg.phy_format,
+            )
+        return QueryFrame(
+            psdu=aggregate(mpdus),
+            mpdus=tuple(mpdus),
+            schedule=self._schedule,
+            ssn=ssn,
+            n_trigger_subframes=cfg.n_trigger_subframes,
+        )
+
+    def _build_reference(self) -> QueryFrame:
+        """Uncached build serializing every MPDU from scratch.
+
+        The only path for encrypted configs (CCMP packet numbers and WEP
+        IVs change every MPDU, so templates would be wrong) and the
+        equivalence oracle the cached path is tested against.
+        """
         cfg = self.config
         plan = self._subframe_byte_plan()
         ssn = self.sequence.next_value
         mpdus: list[bytes] = []
         for index, size in enumerate(plan):
             trigger = index < cfg.n_trigger_subframes
-            payload = self._protect(self._payload_for(size, trigger))
-            frame = QosDataFrame(
-                receiver=self.ap,
-                transmitter=self.client,
-                destination=self.ap,
-                seq=SequenceControl(self.sequence.allocate()),
-                payload=payload,
+            mpdus.append(
+                self._serialize_subframe(
+                    size, trigger, self.sequence.allocate()
+                )
             )
-            mpdus.append(frame.serialize())
         schedule = subframe_schedule(
             subframe_lengths(mpdus),
             cfg.mcs,

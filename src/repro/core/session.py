@@ -123,6 +123,18 @@ class MeasurementSession:
             r.bit_errors / r.n_bits for r in self.results if r.n_bits > 0
         ]
 
+    def stage_timings(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Cumulative per-stage wall-clock spent by this session's system.
+
+        Groups the system-level query-cycle counters and the error
+        model's vectorized-decode counters (see :mod:`repro.perf`); the
+        ``repro bench`` CLI renders exactly this structure.
+        """
+        return {
+            "system": self.system.counters.as_dict(),
+            "error_model": self.system.error_model.counters.as_dict(),
+        }
+
 
 def run_parallel_sessions(
     build: "Callable[[UnitContext], MeasurementSession]",

@@ -30,6 +30,7 @@ import numpy as np
 from ..mac.addresses import MacAddress
 from ..mac.block_ack import BlockAck, BlockAckScoreboard, build_block_ack
 from ..mac.csma import ContentionModel
+from ..perf import StageCounters
 from ..phy.channel import TagState
 from ..phy.error_model import FadingSample, LinkErrorModel
 from ..phy.fading import CorrelatedFadingChannel
@@ -98,6 +99,14 @@ class WiTagSystem:
             each query cycle advances it by the cycle duration instead of
             drawing independent fading per query.
         rng: randomness for subframe outcome draws.
+        phy_fast_path: decode each A-MPDU through the vectorized batch
+            API (:meth:`LinkErrorModel.subframe_outcomes`) instead of the
+            scalar per-subframe reference loop.  Both draw randomness in
+            the same order; the fast path differs only by the coded-BER
+            interpolation table (~1e-3 relative), so flipping this flag
+            changes individual subframe outcomes with probability ~1e-6.
+        counters: cumulative per-stage wall-clock of the query cycle
+            (``query-build``, ``tag-fsm``, ``phy-decode``, ``mac-ba``).
     """
 
     config: WiTagConfig
@@ -111,6 +120,8 @@ class WiTagSystem:
     rng: np.random.Generator = field(
         default_factory=lambda: component_rng("system")
     )
+    phy_fast_path: bool = True
+    counters: StageCounters = field(default_factory=StageCounters, repr=False)
 
     def __post_init__(self) -> None:
         self.builder = QueryBuilder(self.config, self.client, self.ap)
@@ -160,7 +171,8 @@ class WiTagSystem:
 
     def run_query(self) -> QueryResult:
         """Execute one full query cycle (paper Figure 2, steps 1 and 2)."""
-        query = self.builder.build()
+        with self.counters.timed("query-build"):
+            query = self.builder.build()
         access_s = self._access_delay_s()
         observation = QueryObservation(
             n_subframes=query.n_subframes,
@@ -169,8 +181,9 @@ class WiTagSystem:
             rx_power_dbm=self._rx_at_tag_dbm,
             temperature_c=self.temperature_c,
         )
-        transmission = self.tag.process_query(observation)
-        states = self._effective_states(transmission, query)
+        with self.counters.timed("tag-fsm"):
+            transmission = self.tag.process_query(observation)
+            states = self._effective_states(transmission, query)
         preamble_state = self.tag.design.state_for_bit_one
         if self.fading_channel is not None:
             self.fading_channel.advance(self._last_cycle_s)
@@ -182,16 +195,29 @@ class WiTagSystem:
             fading = self.error_model.sample_fading()
 
         self._scoreboard.reset(query.ssn)
-        for index, mpdu in enumerate(query.mpdus):
-            ok = self.error_model.subframe_outcome(
-                8 * len(mpdu), preamble_state, states[index], fading
-            )
+        with self.counters.timed("phy-decode"):
+            if self.phy_fast_path:
+                outcomes = self.error_model.subframe_outcomes(
+                    [8 * len(mpdu) for mpdu in query.mpdus],
+                    preamble_state,
+                    [states[index] for index in range(len(query.mpdus))],
+                    fading,
+                )
+            else:
+                outcomes = [
+                    self.error_model.subframe_outcome(
+                        8 * len(mpdu), preamble_state, states[index], fading
+                    )
+                    for index, mpdu in enumerate(query.mpdus)
+                ]
+        for index, ok in enumerate(outcomes):
             if ok:
                 sequence = (query.ssn + index) % 4096
                 self._scoreboard.record(sequence)
-        block_ack = build_block_ack(self._scoreboard, self.client, self.ap)
+        with self.counters.timed("mac-ba"):
+            block_ack = build_block_ack(self._scoreboard, self.client, self.ap)
 
-        raw = raw_bits_from_block_ack(block_ack, query)
+            raw = raw_bits_from_block_ack(block_ack, query)
         n_sent = len(transmission.bits_loaded)
         cycle_s = (
             access_s

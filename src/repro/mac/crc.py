@@ -10,12 +10,29 @@ Two checksums matter to WiTAG's mechanism:
   delimiter CRCs, one corrupted subframe would take down the rest of the
   aggregate and WiTAG could only send one bit per A-MPDU.
 
-Both are table-driven implementations of the standard polynomials:
-CRC-32 (IEEE 802.3): reflected 0xEDB88320; CRC-8 (802.11 delimiter):
-``x^8 + x^2 + x + 1`` (0x07), initial value 0xFF, output complemented.
+Both are implementations of the standard polynomials: CRC-32 (IEEE 802.3):
+reflected 0xEDB88320; CRC-8 (802.11 delimiter): ``x^8 + x^2 + x + 1``
+(0x07), initial value 0xFF, output complemented.
+
+Fast paths
+----------
+
+Every MPDU serialization computes an FCS, so CRC-32 sits on the query
+build hot path (~15% of a simulated query cycle before optimisation).
+:func:`crc32` therefore delegates to :func:`zlib.crc32` (C implementation
+of the identical IEEE 802.3 polynomial) and :func:`crc16_ccitt` to
+:func:`binascii.crc_hqx` (CRC-CCITT, poly 0x1021) when the initial value
+allows.  The original table-driven implementations remain as
+``*_reference`` functions; ``tests/test_mac_crc_addresses.py``
+cross-checks fast vs reference over random payloads.  CRC-8 covers only
+2-byte delimiter headers, so its table implementation is already cheap
+and has no stdlib equivalent.
 """
 
 from __future__ import annotations
+
+import binascii
+import zlib
 
 
 def _build_crc32_table() -> tuple[int, ...]:
@@ -42,8 +59,19 @@ _CRC32_TABLE = _build_crc32_table()
 _CRC8_TABLE = _build_crc8_table()
 
 
+def crc32_reference(data: bytes) -> int:
+    """Table-driven IEEE 802.3 CRC-32 (reference implementation)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = _CRC32_TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
 def crc32(data: bytes) -> int:
     """IEEE 802.3 CRC-32 as used for the 802.11 FCS.
+
+    Delegates to :func:`zlib.crc32` (same polynomial, preset and final
+    XOR); :func:`crc32_reference` is the first-principles version.
 
     Args:
         data: the bytes covered by the FCS (header + body).
@@ -51,10 +79,7 @@ def crc32(data: bytes) -> int:
     Returns:
         32-bit checksum as an unsigned integer.
     """
-    crc = 0xFFFFFFFF
-    for byte in data:
-        crc = _CRC32_TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
-    return crc ^ 0xFFFFFFFF
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def fcs_bytes(data: bytes) -> bytes:
@@ -81,16 +106,22 @@ def crc8(data: bytes) -> int:
     return crc ^ 0xFF
 
 
-def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
-    """CRC-16-CCITT (poly 0x1021), used for tag-message integrity.
-
-    The paper leaves tag-side error detection to future work (§4.1); the
-    reproduction's message framing layer uses this checksum so a reader
-    can reject corrupted tag messages.
-    """
+def crc16_ccitt_reference(data: bytes, initial: int = 0xFFFF) -> int:
+    """Bit-by-bit CRC-16-CCITT (reference implementation)."""
     crc = initial
     for byte in data:
         crc ^= byte << 8
         for _ in range(8):
             crc = ((crc << 1) ^ 0x1021) & 0xFFFF if crc & 0x8000 else (crc << 1) & 0xFFFF
     return crc
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """CRC-16-CCITT (poly 0x1021), used for tag-message integrity.
+
+    The paper leaves tag-side error detection to future work (§4.1); the
+    reproduction's message framing layer uses this checksum so a reader
+    can reject corrupted tag messages.  Delegates to
+    :func:`binascii.crc_hqx` (the same MSB-first 0x1021 polynomial).
+    """
+    return binascii.crc_hqx(data, initial & 0xFFFF)

@@ -35,6 +35,10 @@ from .constants import Band, SPEED_OF_LIGHT_M_S
 from .ofdm import data_subcarrier_offsets_hz, delay_phase_rotation
 
 
+#: Unit tag-fading multiplier: the deterministic no-fading case.
+_UNIT_FADING = 1.0 + 0.0j
+
+
 class TagState(enum.Enum):
     """Reflection state of a backscatter tag antenna.
 
@@ -273,6 +277,22 @@ class BackscatterChannel:
         self._tag_rotation = delay_phase_rotation(
             self._offsets_hz, self.geometry.excess_delay_s
         )
+        # Deterministic (no-fading) channel vectors are pure functions of
+        # the geometry fixed above; cache them per tag state.
+        self._static_vectors: dict[TagState, np.ndarray] = {}
+
+    def invalidate_caches(self) -> None:
+        """Drop cached deterministic channel vectors.
+
+        The per-:class:`TagState` cache filled by :meth:`channel_vector`
+        assumes the geometry, band, path-loss models and antenna fixed in
+        ``__post_init__`` never change.  Anything that would re-run
+        ``__post_init__`` (building a new channel) gets fresh caches
+        automatically; call this only if you mutate derived attributes of
+        an existing instance in place (tests do; production code should
+        build a new channel instead).
+        """
+        self._static_vectors.clear()
 
     @property
     def n_subcarriers(self) -> int:
@@ -340,8 +360,21 @@ class BackscatterChannel:
                 ~100 ms >> frame time of a few ms, paper §5 footnote 2).
 
         Returns:
-            Complex array of length :attr:`n_subcarriers`.
+            Complex array of length :attr:`n_subcarriers`.  Fully
+            deterministic calls (no ``direct_gain``, unit ``tag_fading``)
+            are cached per state and returned as read-only arrays; see
+            :meth:`invalidate_caches` for the caching contract.
         """
+        if direct_gain is None and tag_fading == _UNIT_FADING:
+            cached = self._static_vectors.get(state)
+            if cached is None:
+                gamma = state.reflection_coefficient
+                cached = self._h_direct_los + (
+                    gamma * _UNIT_FADING * self._h_tag_los * self._tag_rotation
+                )
+                cached.flags.writeable = False
+                self._static_vectors[state] = cached
+            return cached
         h_d = self._h_direct_los if direct_gain is None else direct_gain
         gamma = state.reflection_coefficient
         return h_d + gamma * tag_fading * self._h_tag_los * self._tag_rotation

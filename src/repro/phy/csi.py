@@ -70,6 +70,32 @@ def estimate_csi(
     Raises:
         ValueError: for non-positive SNR or training count.
     """
+    h = np.asarray(true_channel, dtype=complex)
+    scale = csi_noise_scale(
+        h, snr_linear, n_training_symbols=n_training_symbols
+    )
+    error = rng.normal(0.0, 1.0, h.shape) + 1j * rng.normal(0.0, 1.0, h.shape)
+    return CsiEstimate(
+        h=h + scale * error, estimation_snr_linear=snr_linear
+    )
+
+
+def csi_noise_scale(
+    true_channel: np.ndarray,
+    snr_linear: float,
+    *,
+    n_training_symbols: int = 2,
+) -> np.ndarray:
+    """Per-subcarrier standard deviation of the CSI estimation error.
+
+    Shared by :func:`estimate_csi` and the vectorized fast path (which
+    draws one noise matrix for a whole A-MPDU): both scale unit Gaussians
+    by exactly this array, so scalar and batch estimates agree bitwise
+    for identical draws.
+
+    Raises:
+        ValueError: for non-positive SNR or training count.
+    """
     if snr_linear <= 0:
         raise ValueError(f"SNR must be > 0, got {snr_linear}")
     if n_training_symbols < 1:
@@ -77,11 +103,7 @@ def estimate_csi(
             f"need >= 1 training symbol, got {n_training_symbols}"
         )
     h = np.asarray(true_channel, dtype=complex)
-    scale = np.abs(h) / np.sqrt(2.0 * snr_linear * n_training_symbols)
-    error = rng.normal(0.0, 1.0, h.shape) + 1j * rng.normal(0.0, 1.0, h.shape)
-    return CsiEstimate(
-        h=h + scale * error, estimation_snr_linear=snr_linear
-    )
+    return np.abs(h) / np.sqrt(2.0 * snr_linear * n_training_symbols)
 
 
 def per_subcarrier_sinr(
@@ -143,3 +165,33 @@ def eesm_effective_sinr(
     minimum = float(np.min(sinrs))
     shifted = np.exp(-(sinrs - minimum) / beta)  # entries in (0, 1]
     return minimum - beta * float(np.log(np.mean(shifted)))
+
+
+def eesm_effective_sinr_batch(
+    sinrs_linear: np.ndarray, modulation: Modulation
+) -> np.ndarray:
+    """Row-wise :func:`eesm_effective_sinr` for a ``(k, n)`` SINR matrix.
+
+    Applies the identical anchored log-sum-exp along the last axis.
+    Reductions along the contiguous last axis of a 2-D array use the same
+    pairwise summation as their 1-D counterparts, so each row's result is
+    bitwise equal to the scalar function applied to that row (asserted by
+    the fast-path equivalence tests).
+
+    Args:
+        sinrs_linear: ``(k, n_subcarriers)`` matrix, one row per subframe.
+
+    Returns:
+        Length-``k`` vector of effective SINRs.
+    """
+    sinrs = np.ascontiguousarray(sinrs_linear, dtype=float)
+    if sinrs.ndim != 2 or sinrs.shape[1] == 0:
+        raise ValueError(
+            f"need a (k, n_subcarriers) matrix, got shape {sinrs.shape}"
+        )
+    if np.any(sinrs < 0):
+        raise ValueError("SINRs must be non-negative")
+    beta = EESM_BETA[modulation]
+    minimum = np.min(sinrs, axis=1)
+    shifted = np.exp(-(sinrs - minimum[:, None]) / beta)
+    return minimum - beta * np.log(np.mean(shifted, axis=1))

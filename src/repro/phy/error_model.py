@@ -45,14 +45,27 @@ from the physics, not from the knob.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..perf import StageCounters
 from ..seeding import component_rng
 from .channel import BackscatterChannel, TagState
-from .coding import coded_bit_error_rate, packet_error_rate
-from .csi import eesm_effective_sinr, estimate_csi
+from .coding import (
+    coded_bit_error_rate,
+    coded_bit_error_rate_batch,
+    packet_error_rate,
+    packet_error_rate_batch,
+)
+from .csi import (
+    csi_noise_scale,
+    eesm_effective_sinr,
+    eesm_effective_sinr_batch,
+    estimate_csi,
+)
 from .mcs import Mcs
 from .noise import ReceiverNoise, dbm_to_watts
 
@@ -75,6 +88,46 @@ def mpdu_success_probability(
     uncoded = mcs.modulation.bit_error_rate(max(effective_sinr_linear, 0.0))
     coded = coded_bit_error_rate(mcs.coding_rate, uncoded)
     return 1.0 - packet_error_rate(coded, mpdu_bits)
+
+
+def mpdu_success_probabilities(
+    mcs: Mcs,
+    mpdu_bits,
+    effective_sinrs_linear,
+    *,
+    exact: bool = False,
+) -> np.ndarray:
+    """Vectorized :func:`mpdu_success_probability` over many subframes.
+
+    Args:
+        mpdu_bits: MPDU length(s) in bits — scalar or array broadcastable
+            against the SINR vector.
+        effective_sinrs_linear: AWGN-equivalent SINRs (post EESM).
+        exact: when True, evaluate the scalar reference per element
+            (bit-identical to :func:`mpdu_success_probability`); when
+            False (the fast path), use the vectorized uncoded-BER curve
+            and the interpolated coded-BER table — accurate to ~1e-3
+            relative on the coded BER, which is far below anything
+            observable at packet level.
+
+    Returns:
+        Array of success probabilities in [0, 1].
+    """
+    sinrs = np.asarray(effective_sinrs_linear, dtype=float)
+    bits = np.asarray(mpdu_bits)
+    if np.any(bits <= 0):
+        raise ValueError(f"mpdu_bits must be > 0, got {mpdu_bits}")
+    if exact:
+        bits_by_subframe = np.broadcast_to(bits, sinrs.shape)
+        return np.array(
+            [
+                mpdu_success_probability(mcs, int(b), float(s))
+                for b, s in zip(bits_by_subframe.ravel(), sinrs.ravel())
+            ]
+        ).reshape(sinrs.shape)
+    uncoded = mcs.modulation.bit_error_rate_array(np.maximum(sinrs, 0.0))
+    coded = coded_bit_error_rate_batch(mcs.coding_rate, uncoded)
+    return 1.0 - packet_error_rate_batch(coded, bits)
 
 
 @dataclass(frozen=True)
@@ -104,6 +157,11 @@ class LinkErrorModel:
             channel mismatch only — never to thermal noise or to the
             benign (tag idle) case.
         rng: randomness source for CSI estimation noise and fading.
+        counters: cumulative per-stage timing of the vectorized decode
+            path (``channel``, ``csi``, ``eesm``, ``coding``); sampled
+            once per A-MPDU, so the instrumentation overhead is a few
+            microseconds per query.  The scalar reference methods are
+            deliberately left un-instrumented.
     """
 
     channel: BackscatterChannel
@@ -114,6 +172,7 @@ class LinkErrorModel:
     rng: np.random.Generator = field(
         default_factory=lambda: component_rng("error-model")
     )
+    counters: StageCounters = field(default_factory=StageCounters, repr=False)
 
     def __post_init__(self) -> None:
         self._tx_ref_snr = (
@@ -187,6 +246,187 @@ class LinkErrorModel:
         noise = 1.0 / (self._tx_ref_snr * safe_est_sq)
         sinrs = 1.0 / (tag_mismatch + est_mismatch + noise)
         return eesm_effective_sinr(sinrs, self.mcs.modulation)
+
+    def subframe_effective_sinrs(
+        self,
+        preamble_state: TagState,
+        subframe_states: Sequence[TagState] | Iterable[TagState],
+        fading: FadingSample | None = None,
+        *,
+        include_estimation_noise: bool = True,
+        _uniforms: list[float] | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`subframe_effective_sinr` for one A-MPDU.
+
+        Computes the AWGN-equivalent SINR of every subframe in a single
+        numpy pass.  The geometry-dependent terms (channel vectors and
+        the tag-induced channel-change power) are evaluated once per
+        *distinct* tag state — an A-MPDU only ever contains the design's
+        two data states, so the per-subframe work reduces to the CSI
+        estimation noise and the shared EESM reduction.
+
+        Randomness is drawn in exactly the order the scalar method uses
+        (per subframe: real noise, imaginary noise), so given the same
+        generator state this returns bitwise-identical SINRs to calling
+        :meth:`subframe_effective_sinr` in a loop — the equivalence suite
+        asserts this.
+
+        Args:
+            preamble_state: tag state during the PHY preamble.
+            subframe_states: tag state during each subframe, in order.
+            fading: one coherence-interval sample shared by the preamble
+                and all subframes (paper §5 footnote 2); drawn fresh when
+                omitted.
+            _uniforms: internal — when provided, one uniform draw per
+                subframe is appended after that subframe's noise draws,
+                replicating the scalar :meth:`subframe_outcome` stream.
+
+        Returns:
+            Array of effective SINRs, one per subframe.
+        """
+        states = list(subframe_states)
+        k = len(states)
+        if k == 0:
+            return np.empty(0, dtype=float)
+        if fading is None:
+            fading = self.sample_fading()
+        start = time.perf_counter()
+        h_preamble = self.channel.channel_vector(
+            preamble_state, fading.direct_gain, fading.tag_fading
+        )
+        # Deduplicate tag states: per coherence interval at most two
+        # (preamble, subframe) combinations occur, so the channel-change
+        # power |h_actual - h_preamble|^2 is computed once per state.
+        distinct: list[TagState] = []
+        index_of: dict[TagState, int] = {}
+        row = np.empty(k, dtype=np.intp)
+        for i, state in enumerate(states):
+            j = index_of.get(state)
+            if j is None:
+                j = index_of[state] = len(distinct)
+                distinct.append(state)
+            row[i] = j
+        change_sq = np.stack(
+            [
+                np.abs(
+                    self.channel.channel_vector(
+                        state, fading.direct_gain, fading.tag_fading
+                    )
+                    - h_preamble
+                )
+                ** 2
+                for state in distinct
+            ]
+        )
+        self.counters.add("channel", time.perf_counter() - start, k)
+
+        if not include_estimation_noise:
+            if _uniforms is not None:
+                for _ in range(k):
+                    _uniforms.append(self.rng.random())
+            start = time.perf_counter()
+            # Noise-free estimates collapse to one SINR row per distinct
+            # state; EESM runs on those rows only and is scattered back.
+            safe_est_sq = np.maximum(np.abs(h_preamble) ** 2, 1e-30)
+            tag_mismatch = self._mismatch_gain * (change_sq / safe_est_sq)
+            est_mismatch = np.abs(h_preamble - h_preamble) ** 2 / safe_est_sq
+            noise = 1.0 / (self._tx_ref_snr * safe_est_sq)
+            sinr_rows = 1.0 / (tag_mismatch + est_mismatch + noise)
+            self.counters.add("csi", time.perf_counter() - start, k)
+            start = time.perf_counter()
+            effective = eesm_effective_sinr_batch(
+                sinr_rows, self.mcs.modulation
+            )[row]
+            self.counters.add("eesm", time.perf_counter() - start, k)
+            return effective
+
+        start = time.perf_counter()
+        n = h_preamble.size
+        rx_snr = self._tx_ref_snr * float(np.mean(np.abs(h_preamble) ** 2))
+        scale = csi_noise_scale(h_preamble, max(rx_snr, 1e-12))
+        noise_re = np.empty((k, n))
+        noise_im = np.empty((k, n))
+        rng = self.rng
+        for i in range(k):
+            # Draw order matches the scalar path exactly (estimate_csi's
+            # real then imaginary parts, then the outcome uniform).
+            noise_re[i] = rng.normal(0.0, 1.0, n)
+            noise_im[i] = rng.normal(0.0, 1.0, n)
+            if _uniforms is not None:
+                _uniforms.append(rng.random())
+        estimate = h_preamble + scale * (noise_re + 1j * noise_im)
+        safe_est_sq = np.maximum(np.abs(estimate) ** 2, 1e-30)
+        tag_mismatch = self._mismatch_gain * (change_sq[row] / safe_est_sq)
+        est_mismatch = np.abs(h_preamble - estimate) ** 2 / safe_est_sq
+        noise = 1.0 / (self._tx_ref_snr * safe_est_sq)
+        sinr_rows = 1.0 / (tag_mismatch + est_mismatch + noise)
+        self.counters.add("csi", time.perf_counter() - start, k)
+        start = time.perf_counter()
+        effective = eesm_effective_sinr_batch(sinr_rows, self.mcs.modulation)
+        self.counters.add("eesm", time.perf_counter() - start, k)
+        return effective
+
+    def subframe_success_probabilities(
+        self,
+        mpdu_bits,
+        preamble_state: TagState,
+        subframe_states: Sequence[TagState] | Iterable[TagState],
+        fading: FadingSample | None = None,
+        *,
+        exact_coding: bool = False,
+        _uniforms: list[float] | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`subframe_success_probability` for one A-MPDU.
+
+        Args:
+            mpdu_bits: per-subframe MPDU lengths in bits (scalar or
+                array broadcastable against the subframe axis).
+            exact_coding: evaluate the coded-BER union bound exactly per
+                subframe instead of via the interpolated table; slower,
+                bit-identical to the scalar reference.
+        """
+        sinrs = self.subframe_effective_sinrs(
+            preamble_state, subframe_states, fading, _uniforms=_uniforms
+        )
+        start = time.perf_counter()
+        probabilities = mpdu_success_probabilities(
+            self.mcs, mpdu_bits, sinrs, exact=exact_coding
+        )
+        self.counters.add("coding", time.perf_counter() - start, sinrs.size)
+        return probabilities
+
+    def subframe_outcomes(
+        self,
+        mpdu_bits,
+        preamble_state: TagState,
+        subframe_states: Sequence[TagState] | Iterable[TagState],
+        fading: FadingSample | None = None,
+        *,
+        exact_coding: bool = False,
+    ) -> np.ndarray:
+        """Vectorized :meth:`subframe_outcome`: one Bernoulli per subframe.
+
+        The uniform deciding each subframe is drawn from the same stream,
+        interleaved after that subframe's CSI noise exactly as the scalar
+        loop draws it — with ``exact_coding=True`` the outcome vector is
+        bitwise-identical to calling :meth:`subframe_outcome` per
+        subframe from the same generator state.
+
+        Returns:
+            Boolean array, True where the subframe's FCS passes.
+        """
+        if fading is None:
+            fading = self.sample_fading()
+        uniforms: list[float] = []
+        probabilities = self.subframe_success_probabilities(
+            mpdu_bits,
+            preamble_state,
+            subframe_states,
+            fading,
+            exact_coding=exact_coding,
+            _uniforms=uniforms,
+        )
+        return np.asarray(uniforms) < probabilities
 
     def subframe_success_probability(
         self,

@@ -23,6 +23,7 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
 from scipy.special import erfc
 
 
@@ -75,6 +76,37 @@ class Modulation(enum.Enum):
         arg = math.sqrt(3.0 * snr_linear / (m - 1))
         ser_factor = 4.0 * (1.0 - 1.0 / math.sqrt(m)) * q_function(arg)
         return min(0.5, ser_factor / k)
+
+    def bit_error_rate_array(self, snr_linear) -> "np.ndarray":
+        """Vectorized :meth:`bit_error_rate` over an array of SNRs.
+
+        Applies the same closed forms elementwise (identical operations,
+        so scalar and array evaluations agree bitwise); used by the
+        vectorized PHY fast path to price a whole A-MPDU in one call.
+
+        Args:
+            snr_linear: array-like of per-symbol SNRs (Es/N0), all >= 0.
+
+        Returns:
+            Array of uncoded BERs in [0, 0.5], same shape as the input.
+        """
+        snr = np.asarray(snr_linear, dtype=float)
+        if np.any(snr < 0):
+            raise ValueError("SNRs must be non-negative")
+        if self in (Modulation.BPSK, Modulation.QPSK):
+            scaled = 2.0 * snr if self is Modulation.BPSK else snr
+            ber = 0.5 * erfc(np.sqrt(scaled) / math.sqrt(2.0))
+        else:
+            m = self.constellation_size
+            k = self.bits_per_symbol
+            arg = np.sqrt(3.0 * snr / (m - 1))
+            ser_factor = (
+                4.0
+                * (1.0 - 1.0 / math.sqrt(m))
+                * (0.5 * erfc(arg / math.sqrt(2.0)))
+            )
+            ber = np.minimum(0.5, ser_factor / k)
+        return np.where(snr == 0.0, 0.5, ber)
 
     def symbol_error_rate(self, snr_linear: float) -> float:
         """Uncoded symbol error probability on an AWGN channel."""

@@ -19,16 +19,21 @@ __all__ = ["los_ber_point", "nlos_session_stats"]
 
 
 def los_ber_point(
-    ctx: UnitContext, *, sim_seconds: float = 1.0
+    ctx: UnitContext, *, sim_seconds: float = 1.0, phy_fast_path: bool = True
 ) -> dict[str, Any]:
     """One Figure-5-style LOS point: BER/throughput at a tag distance.
 
     Expects ``ctx.parameters["distance_m"]``.  Scenario and data-bit
     streams derive from the unit's substreams, so the same root seed
     reproduces the same point bit-for-bit on any worker layout.
+    ``phy_fast_path=False`` selects the scalar PHY reference loop — the
+    fast-path benchmarks sweep the same physics both ways through the
+    engine.
     """
     distance_m = float(ctx.parameters["distance_m"])
-    system, info = los_scenario(distance_m, seed=ctx.seed)
+    system, info = los_scenario(
+        distance_m, seed=ctx.seed, phy_fast_path=phy_fast_path
+    )
     session = MeasurementSession(system, rng=ctx.rng(1))
     stats = session.run_for(sim_seconds)
     return {

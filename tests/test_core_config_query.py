@@ -108,6 +108,45 @@ class TestQueryBuilder:
             make_builder(mcs=ht_mcs(0), tag_clock_hz=500e3).build()
 
 
+class TestBuildTemplateCache:
+    """The cached unencrypted build must be indistinguishable from the
+    uncached reference serialization (only sequence numbers differ
+    between consecutive builds)."""
+
+    def test_cached_build_matches_reference(self):
+        cached = make_builder()
+        reference = make_builder()
+        for _ in range(3):
+            a = cached.build()
+            b = reference._build_reference()
+            assert a.psdu == b.psdu
+            assert a.mpdus == b.mpdus
+            assert a.ssn == b.ssn
+            assert a.schedule == b.schedule
+
+    def test_consecutive_builds_advance_sequence_numbers(self):
+        builder = make_builder()
+        first = builder.build()
+        second = builder.build()
+        assert second.ssn == (
+            first.ssn + first.n_subframes
+        ) % 4096
+        assert first.mpdus != second.mpdus
+        # Schedule is geometry-only and shared between builds.
+        assert first.schedule is second.schedule
+
+    def test_encrypted_builds_bypass_cache(self):
+        builder = make_builder(
+            encryption=EncryptionMode.WPA2_CCMP,
+            encryption_key=bytes(range(16)),
+        )
+        q1 = builder.build()
+        q2 = builder.build()
+        assert builder._templates is None
+        # CCMP packet numbers advance: same positions, different bytes.
+        assert q1.mpdus != q2.mpdus
+
+
 class TestEncryptedQueries:
     def test_ccmp_queries_decryptable(self):
         key = b"0123456789abcdef"

@@ -1,11 +1,20 @@
 """Unit tests for CRC implementations and MAC addresses."""
 
+import random
 import zlib
 
 import pytest
 
 from repro.mac.addresses import MacAddress
-from repro.mac.crc import crc8, crc16_ccitt, crc32, fcs_bytes, verify_fcs
+from repro.mac.crc import (
+    crc8,
+    crc16_ccitt,
+    crc16_ccitt_reference,
+    crc32,
+    crc32_reference,
+    fcs_bytes,
+    verify_fcs,
+)
 
 
 class TestCrc32:
@@ -58,6 +67,40 @@ class TestCrc16:
 
     def test_detects_swap(self):
         assert crc16_ccitt(b"ab") != crc16_ccitt(b"ba")
+
+
+class TestStdlibFastPaths:
+    """The shipped CRCs ride zlib/binascii; the table/bit-by-bit
+    implementations stay as the reference they are checked against."""
+
+    def _random_payloads(self, seed):
+        rng = random.Random(seed)
+        yield b""
+        yield b"\x00"
+        yield b"\xff" * 64
+        for _ in range(50):
+            n = rng.randrange(0, 512)
+            yield rng.randbytes(n)
+
+    def test_crc32_fast_matches_table_reference(self):
+        for data in self._random_payloads(1):
+            assert crc32(data) == crc32_reference(data)
+
+    def test_crc16_fast_matches_bitwise_reference(self):
+        for data in self._random_payloads(2):
+            assert crc16_ccitt(data) == crc16_ccitt_reference(data)
+
+    def test_crc16_custom_initial_value(self):
+        for initial in (0x0000, 0x1D0F, 0xFFFF):
+            assert crc16_ccitt(b"123456789", initial) == crc16_ccitt_reference(
+                b"123456789", initial
+            )
+
+    def test_reference_check_values(self):
+        # The references must themselves stay correct, or the cross-check
+        # proves nothing.
+        assert crc32_reference(b"123456789") == 0xCBF43926
+        assert crc16_ccitt_reference(b"123456789") == 0x29B1
 
 
 class TestMacAddress:
