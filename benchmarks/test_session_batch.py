@@ -1,0 +1,119 @@
+"""Session-batch benchmark: three fast-path tiers on the same physics.
+
+Runs the same LOS session through all three execution tiers — the
+scalar per-subframe reference, the per-query vectorized PHY path (PR 2)
+and the cross-query batched session engine — via the shared
+:mod:`repro.bench` helpers, records a timestamped entry into the
+``BENCH_session_batch.json`` trajectory, and asserts the batch engine's
+speedup over the *vectorized* tier (an honest denominator: the memoized
+query builder and the vectorized tag-alignment draws only engage inside
+the session-batch engine).
+
+The floor is ``max(2.0, 0.8 * baseline)`` where ``baseline`` is the
+``speedup_session_vs_vectorized`` recorded in ``benchmarks/
+baselines.json`` by ``repro bench --update-baseline``.  The vectorized
+and session-batch tiers must also produce bitwise-identical
+SessionStats — a slow-but-wrong batch engine fails before any timing
+assert does.
+
+Marked ``bench`` (wall-clock sensitive): excluded from the default
+pytest split, run with ``pytest benchmarks/test_session_batch.py -m
+bench``.  The tiny ``bench_smoke`` twin in ``tests/test_bench_smoke.py``
+keeps this file's machinery exercised by tier-1.
+"""
+
+import os
+
+import pytest
+
+from conftest import print_banner
+from repro.analysis.reporting import Table
+from repro.bench import (
+    TIERS,
+    bench_payload,
+    load_baseline,
+    record_bench_trajectory,
+    three_tier_bench,
+)
+
+QUERIES = 200
+REPEATS = 3  # best-of-N wall clock per tier: robust to scheduler noise
+DISTANCE_M = 4.0
+SEED = 0
+
+_BENCH_DIR = os.path.dirname(__file__)
+_BASELINES = os.path.join(_BENCH_DIR, "baselines.json")
+_TRAJECTORY = os.path.join(_BENCH_DIR, "BENCH_session_batch.json")
+
+
+@pytest.mark.bench
+def test_session_batch_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: three_tier_bench(
+            QUERIES, distance_m=DISTANCE_M, seed=SEED, repeats=REPEATS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    tiers = result["tiers"]
+    speedups = result["speedups"]
+
+    baseline_entry = load_baseline("session_batch", _BASELINES)
+    baseline = (
+        float(baseline_entry["speedup_session_vs_vectorized"])
+        if baseline_entry
+        else 2.0
+    )
+    floor = max(2.0, 0.8 * baseline)
+
+    # Record the trajectory before asserting: a regression run still
+    # leaves its numbers behind for the post-mortem.
+    payload = bench_payload(result)
+    payload["floor"] = floor
+    payload["baseline_speedup_session_vs_vectorized"] = baseline
+    record_bench_trajectory(_TRAJECTORY, payload)
+    benchmark.extra_info["session_batch"] = payload
+
+    print_banner(
+        "session batch: scalar vs vectorized vs cross-query engine"
+    )
+    table = Table(
+        f"{QUERIES} queries, LOS tag@{DISTANCE_M:g}m, seed {SEED}",
+        ["path", "wall (s)", "queries/s", "BER"],
+    )
+    for label, _phy, _session in TIERS:
+        tier = tiers[label]
+        table.add_row(
+            [label, tier["wall_s"], tier["queries_per_s"], tier["ber"]]
+        )
+    print(table.render())
+    print(
+        f"session-batch/vectorized {speedups['session_vs_vectorized']:.2f}x "
+        f"(floor {floor:.2f}x from baseline {baseline:.2f}x), "
+        f"session-batch/scalar {speedups['session_vs_scalar']:.2f}x"
+    )
+
+    # Correctness before speed: tiers 2 and 3 are bitwise identical —
+    # same stats, same per-query BER vector, same block-ACK bitmaps.
+    fast = tiers["session-batch"]["session"]
+    vectorized = tiers["vectorized"]["session"]
+    assert tiers["vectorized"]["stats"] == tiers["session-batch"]["stats"]
+    assert vectorized.per_query_ber() == fast.per_query_ber()
+    assert [r.block_ack.bitmap for r in vectorized.results] == [
+        r.block_ack.bitmap for r in fast.results
+    ]
+    # Tier 1 shares the physics; only the coded-BER table may differ.
+    assert tiers["scalar"]["stats"].queries == QUERIES
+    assert (
+        tiers["scalar"]["stats"].bits_sent
+        == tiers["session-batch"]["stats"].bits_sent
+    )
+    assert abs(tiers["scalar"]["ber"] - tiers["session-batch"]["ber"]) < 0.01
+
+    # The loud regression gate (ISSUE: >= 2x over the PR 2 vectorized
+    # path, and within 20% of the recorded baseline trajectory).
+    assert speedups["session_vs_vectorized"] >= floor, (
+        f"session-batch engine regressed: "
+        f"{speedups['session_vs_vectorized']:.2f}x < {floor:.2f}x "
+        f"(baseline {baseline:.2f}x)"
+    )

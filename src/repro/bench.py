@@ -1,0 +1,244 @@
+"""Shared benchmark helpers: the three-tier fast-path hierarchy.
+
+The simulator has three execution tiers for the same physics:
+
+1. **scalar reference** (``phy_fast_path=False``,
+   ``session_fast_path=False``) — per-subframe, per-query Python loops;
+   the ground truth every optimisation is verified against.
+2. **vectorized** (``phy_fast_path=True``) — each query's A-MPDU decodes
+   as one numpy batch, but the session still loops query by query.
+3. **session-batch** (``session_fast_path=True``) — whole chunks of
+   query cycles run as one ``(n_queries, n_subframes)`` computation in
+   :meth:`repro.core.system.WiTagSystem.run_queries_batch`.
+
+Tiers 2 and 3 are bitwise identical to each other; tier 1 differs only
+through the coded-BER interpolation table unless ``phy_exact_coding``
+is set.  The ``repro bench`` CLI, the asserted benchmark in
+``benchmarks/test_session_batch.py`` and the tier-1 bench smoke all
+measure through these helpers so the three consumers cannot drift
+apart.  Timing numbers feed a JSON *trajectory* file (append-only list
+of timestamped runs) and a *baseline* file (the floor the benchmarks
+assert against); both live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from typing import Any
+
+import numpy as np
+
+from .core.session import MeasurementSession
+from .sim.scenario import los_scenario
+
+__all__ = [
+    "TIERS",
+    "three_tier_bench",
+    "timed_session",
+    "record_bench_trajectory",
+    "load_baseline",
+    "update_baseline",
+]
+
+#: (label, phy_fast_path, session_fast_path) for each execution tier,
+#: slowest first.
+TIERS: tuple[tuple[str, bool, bool], ...] = (
+    ("scalar", False, False),
+    ("vectorized", True, False),
+    ("session-batch", True, True),
+)
+
+
+def timed_session(
+    queries: int,
+    *,
+    distance_m: float = 4.0,
+    seed: int = 0,
+    phy_fast_path: bool = True,
+    session_fast_path: bool = True,
+    warmup: int = 10,
+) -> dict[str, Any]:
+    """Build, warm up, and time one LOS measurement session.
+
+    Builds the paper's Figure-5 LOS geometry at ``distance_m``, runs
+    ``warmup`` throwaway queries (fills the coded-BER table, channel
+    caches and frame memo so the timed region measures steady state),
+    resets counters, then times ``run_queries(queries)``.
+
+    Returns a dict with the live objects (``stats``, ``session``) plus
+    JSON-safe numbers (``wall_s``, ``queries_per_s``, ``ber``,
+    ``stage_timings``).  Callers that serialize should pick the
+    JSON-safe keys.
+    """
+    if queries < 1:
+        raise ValueError("queries must be >= 1")
+    system, _info = los_scenario(
+        distance_m, seed=seed, phy_fast_path=phy_fast_path
+    )
+    session = MeasurementSession(
+        system,
+        rng=np.random.default_rng(seed + 1),
+        session_fast_path=session_fast_path,
+    )
+    if warmup:
+        session.run_queries(warmup)
+        session.results.clear()  # stats aggregate results; drop the warmup
+        system.counters.reset()
+        system.error_model.counters.reset()
+    start = time.perf_counter()
+    stats = session.run_queries(queries)
+    wall_s = time.perf_counter() - start
+    return {
+        "stats": stats,
+        "session": session,
+        "queries": queries,
+        "wall_s": wall_s,
+        "queries_per_s": queries / wall_s,
+        "ber": stats.ber,
+        "stage_timings": session.stage_timings(),
+    }
+
+
+def three_tier_bench(
+    queries: int,
+    *,
+    distance_m: float = 4.0,
+    seed: int = 0,
+    warmup: int = 10,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Time all three execution tiers on the same physics.
+
+    Returns ``{"tiers": {label: timed_session(...)}, "speedups": {...},
+    "queries": ..., "distance_m": ..., "seed": ...}`` where the speedup
+    keys are ``vectorized_vs_scalar``, ``session_vs_scalar`` and
+    ``session_vs_vectorized`` (wall-clock ratios, higher is better).
+
+    ``repeats`` runs each tier that many times and keeps its
+    fastest run: the minimum wall-clock is the standard noise-robust
+    estimator on shared machines, and every repeat simulates identical
+    physics (same seeds), so only the timing varies.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    tiers: dict[str, dict[str, Any]] = {}
+    for label, phy_fast, session_fast in TIERS:
+        best: dict[str, Any] | None = None
+        for _ in range(repeats):
+            run = timed_session(
+                queries,
+                distance_m=distance_m,
+                seed=seed,
+                phy_fast_path=phy_fast,
+                session_fast_path=session_fast,
+                warmup=warmup,
+            )
+            if best is None or run["wall_s"] < best["wall_s"]:
+                best = run
+        tiers[label] = best
+    scalar = tiers["scalar"]["wall_s"]
+    vectorized = tiers["vectorized"]["wall_s"]
+    session = tiers["session-batch"]["wall_s"]
+    return {
+        "queries": queries,
+        "distance_m": distance_m,
+        "seed": seed,
+        "tiers": tiers,
+        "speedups": {
+            "vectorized_vs_scalar": scalar / vectorized,
+            "session_vs_scalar": scalar / session,
+            "session_vs_vectorized": vectorized / session,
+        },
+    }
+
+
+def _json_safe_tier(tier: dict[str, Any]) -> dict[str, Any]:
+    """The JSON-serializable slice of a :func:`timed_session` result."""
+    return {
+        key: tier[key]
+        for key in (
+            "queries",
+            "wall_s",
+            "queries_per_s",
+            "ber",
+            "stage_timings",
+        )
+    }
+
+
+def bench_payload(result: dict[str, Any]) -> dict[str, Any]:
+    """JSON-serializable view of a :func:`three_tier_bench` result."""
+    return {
+        "queries": result["queries"],
+        "distance_m": result["distance_m"],
+        "seed": result["seed"],
+        "speedups": dict(result["speedups"]),
+        "tiers": {
+            label: _json_safe_tier(tier)
+            for label, tier in result["tiers"].items()
+        },
+    }
+
+
+def record_bench_trajectory(
+    path: str, entry: dict[str, Any], *, timestamp: str | None = None
+) -> dict[str, Any]:
+    """Append a timestamped entry to the JSON trajectory list at ``path``.
+
+    The file holds a JSON list, one object per bench run; a missing or
+    empty file starts a new list.  ``timestamp`` defaults to the current
+    UTC time in ISO-8601.  Returns the entry as written (with its
+    ``recorded_at`` field) so callers can report it.
+    """
+    if timestamp is None:
+        timestamp = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+    stamped = {"recorded_at": timestamp, **entry}
+    history: list[dict[str, Any]] = []
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read().strip()
+        if text:
+            history = json.loads(text)
+            if not isinstance(history, list):
+                raise ValueError(
+                    f"trajectory file {path} does not hold a JSON list"
+                )
+    history.append(stamped)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    return stamped
+
+
+def load_baseline(
+    key: str, path: str, default: dict[str, Any] | None = None
+) -> dict[str, Any] | None:
+    """Read one baseline entry from a ``baselines.json``-style file."""
+    if not os.path.exists(path):
+        return default
+    with open(path, encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    return baselines.get(key, default)
+
+
+def update_baseline(key: str, entry: dict[str, Any], path: str) -> None:
+    """Rewrite one key of a baselines file, preserving all other keys."""
+    baselines: dict[str, Any] = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            baselines = json.load(handle)
+    baselines[key] = entry
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baselines, handle, indent=2)
+        handle.write("\n")

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro sweep [--distances 1,2,...] [--workers 4] [--seed 0]
     python -m repro bench [--queries 300] [--distance 4.0] [--json OUT.json]
+                          [--update-baseline] [--trajectory PATH.json]
     python -m repro fig5 [--seconds 1.0] [--seed 0]
     python -m repro fig6 [--runs 8] [--seconds 0.5]
     python -m repro quickstart [--distance 2.0] [--message TEXT]
@@ -86,64 +87,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    """Scalar-vs-vectorized PHY micro-benchmark with stage timings."""
+    """Three-tier fast-path benchmark with stage timings."""
     import json
-    import time
 
-    from .sim.scenario import los_scenario
+    from .bench import (
+        TIERS,
+        bench_payload,
+        record_bench_trajectory,
+        three_tier_bench,
+        update_baseline,
+    )
 
     if args.queries < 1:
         print("--queries must be >= 1", file=sys.stderr)
         return 2
-    results: dict[str, dict] = {}
-    for label, fast in (("scalar", False), ("vectorized", True)):
-        system, info = los_scenario(
-            args.distance, seed=args.seed, phy_fast_path=fast
-        )
-        session = MeasurementSession(
-            system, rng=np.random.default_rng(args.seed)
-        )
-        session.run_queries(min(10, args.queries))  # warm caches/tables
-        system.counters.reset()
-        system.error_model.counters.reset()
-        start = time.perf_counter()
-        stats = session.run_queries(args.queries)
-        wall_s = time.perf_counter() - start
-        results[label] = {
-            "wall_s": wall_s,
-            "queries_per_s": args.queries / wall_s,
-            "ber": stats.ber,
-            "queries": args.queries,
-            "stage_timings": session.stage_timings(),
-        }
-    speedup = (
-        results["vectorized"]["queries_per_s"]
-        / results["scalar"]["queries_per_s"]
+    result = three_tier_bench(
+        args.queries,
+        distance_m=args.distance,
+        seed=args.seed,
+        repeats=args.repeats,
     )
+    speedups = result["speedups"]
     table = Table(
-        f"PHY fast path: {args.queries} queries, LOS tag@{args.distance:g}m, "
-        f"seed {args.seed}",
+        f"fast-path tiers: {args.queries} queries, "
+        f"LOS tag@{args.distance:g}m, seed {args.seed}",
         ["path", "wall (s)", "queries/s", "BER"],
     )
-    for label in ("scalar", "vectorized"):
-        r = results[label]
-        table.add_row([label, r["wall_s"], r["queries_per_s"], r["ber"]])
+    for label, _phy, _session in TIERS:
+        tier = result["tiers"][label]
+        table.add_row(
+            [label, tier["wall_s"], tier["queries_per_s"], tier["ber"]]
+        )
     print(table.render())
-    print(f"speedup (vectorized/scalar): {speedup:.2f}x")
-    stages = Table(
-        "vectorized stage timings (cumulative seconds)",
-        ["group", "stage", "seconds", "units"],
+    print(
+        f"speedup vectorized/scalar: "
+        f"{speedups['vectorized_vs_scalar']:.2f}x, "
+        f"session-batch/scalar: {speedups['session_vs_scalar']:.2f}x, "
+        f"session-batch/vectorized: "
+        f"{speedups['session_vs_vectorized']:.2f}x"
     )
-    for group, timings in results["vectorized"]["stage_timings"].items():
+    stages = Table(
+        "session-batch stage timings (cumulative seconds)",
+        ["group", "stage", "seconds", "units", "us/unit"],
+    )
+    batch_session = result["tiers"]["session-batch"]["session"]
+    for group, counters in (
+        ("system", batch_session.system.counters),
+        ("error_model", batch_session.system.error_model.counters),
+    ):
+        timings = counters.as_dict()
         for stage, entry in sorted(
             timings.items(), key=lambda kv: kv[1]["seconds"], reverse=True
         ):
             stages.add_row(
-                [group, stage, entry["seconds"], int(entry["calls"])]
+                [
+                    group,
+                    stage,
+                    entry["seconds"],
+                    int(entry["calls"]),
+                    counters.per_call_us(stage),
+                ]
             )
     print(stages.render())
+    payload = bench_payload(result)
+    entry = record_bench_trajectory(args.trajectory, payload)
+    print(f"recorded trajectory entry ({entry['recorded_at']}) in "
+          f"{args.trajectory}")
+    if args.update_baseline:
+        tiers = payload["tiers"]
+        update_baseline(
+            "session_batch",
+            {
+                "recorded": entry["recorded_at"],
+                "queries": args.queries,
+                "distance_m": args.distance,
+                "seed": args.seed,
+                "scalar_queries_per_s": tiers["scalar"]["queries_per_s"],
+                "vectorized_queries_per_s": tiers["vectorized"][
+                    "queries_per_s"
+                ],
+                "session_batch_queries_per_s": tiers["session-batch"][
+                    "queries_per_s"
+                ],
+                "speedup_session_vs_vectorized": speedups[
+                    "session_vs_vectorized"
+                ],
+                "note": (
+                    "Reference machine numbers from `repro bench "
+                    "--update-baseline`. benchmarks/test_session_batch.py "
+                    "asserts session-batch >= max(2.0, 0.8 * "
+                    "speedup_session_vs_vectorized) over the vectorized "
+                    "tier; absolute queries/s are trajectory data only."
+                ),
+            },
+            args.baselines,
+        )
+        print(f"updated session_batch baseline in {args.baselines}")
     if args.json:
-        payload = {"speedup": speedup, **results}
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
@@ -329,13 +369,38 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
-        "bench", help="scalar vs vectorized PHY decode benchmark"
+        "bench",
+        help="three-tier benchmark: scalar vs vectorized vs session-batch",
     )
     bench.add_argument("--queries", type=int, default=300)
     bench.add_argument("--distance", type=float, default=4.0)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of-N wall clock per tier (robust to machine noise)",
+    )
+    bench.add_argument(
         "--json", type=str, default=None, help="write results to this file"
+    )
+    bench.add_argument(
+        "--trajectory",
+        type=str,
+        default="benchmarks/BENCH_session_batch.json",
+        help="JSON list appended to on every run (timestamped)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the session_batch entry of the baselines file "
+        "with this run's numbers",
+    )
+    bench.add_argument(
+        "--baselines",
+        type=str,
+        default="benchmarks/baselines.json",
+        help="baselines file updated by --update-baseline",
     )
     bench.set_defaults(func=_cmd_bench)
 

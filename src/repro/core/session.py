@@ -9,13 +9,16 @@ as code.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..seeding import component_rng
+from .config import EncryptionMode
 from .system import QueryResult, WiTagSystem
+from .throughput import block_ack_airtime_s
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ..runner.engine import SweepResult, UnitContext
@@ -67,6 +70,19 @@ class MeasurementSession:
     Attributes:
         system: the deployment under test.
         rng: source for the random data bits the tag transmits.
+        session_fast_path: route whole chunks of query cycles through
+            the batched session engine
+            (:meth:`WiTagSystem.run_queries_batch`) instead of the
+            scalar per-query loop.  Each simulation component owns its
+            generator and the batch engine consumes every stream in
+            scalar order, so results are bitwise identical to the
+            scalar loop for any chunk size (see the determinism
+            contract on ``run_queries_batch``); the scalar loop remains
+            the reference and is kept for verification.
+        batch_queries: chunk size for the batch engine.  Bounds the
+            transient numpy working set (a few hundred queries of 64
+            subframes x 52 subcarriers of complex matrices is tens of
+            MB); has no effect on results.
     """
 
     system: WiTagSystem
@@ -74,11 +90,31 @@ class MeasurementSession:
         default_factory=lambda: component_rng("session")
     )
     results: list[QueryResult] = field(default_factory=list)
+    session_fast_path: bool = True
+    batch_queries: int = 256
 
     def run_for(self, duration_s: float) -> SessionStats:
-        """Run query cycles until ``duration_s`` of simulated time passes."""
+        """Run query cycles until ``duration_s`` of simulated time passes.
+
+        The batched engine needs the query count up front, so the fast
+        path only engages when the cycle duration is deterministic (no
+        CSMA contention, unencrypted queries): it then replays the
+        scalar loop's float accumulation on the predicted constant
+        cycle duration to find the exact count the scalar loop would
+        run, and batches that.  Otherwise the scalar reference loop
+        runs unchanged.
+        """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
+        if self.session_fast_path:
+            cycle_s = self._predicted_cycle_s()
+            if cycle_s is not None:
+                count = 0
+                elapsed = 0.0
+                while elapsed < duration_s:
+                    elapsed += cycle_s
+                    count += 1
+                return self.stats(self._run_batch(count))
         elapsed = 0.0
         while elapsed < duration_s:
             elapsed += self._one_cycle()
@@ -88,19 +124,72 @@ class MeasurementSession:
         """Run a fixed number of query cycles."""
         if count < 1:
             raise ValueError("count must be >= 1")
+        if self.session_fast_path:
+            return self.stats(self._run_batch(count))
         elapsed = 0.0
         for _ in range(count):
             elapsed += self._one_cycle()
         return self.stats(elapsed)
 
     def _one_cycle(self) -> float:
+        self._ensure_tag_bits()
+        result = self.system.run_query()
+        self.results.append(result)
+        return result.cycle_s
+
+    def _ensure_tag_bits(self) -> None:
+        """Top up the tag's queue for one query (scalar draw order)."""
         bits_needed = self.system.config.bits_per_query
         if self.system.tag.pending_bits < bits_needed:
             fresh = self.rng.integers(0, 2, size=bits_needed).tolist()
             self.system.load_tag_bits([int(b) for b in fresh])
-        result = self.system.run_query()
-        self.results.append(result)
-        return result.cycle_s
+
+    def _run_batch(self, count: int) -> float:
+        """Run ``count`` cycles through the batch engine, in chunks.
+
+        Returns the elapsed simulated time accumulated in the scalar
+        loop's order (one float add per query), so the value is bitwise
+        equal to the scalar loop's ``elapsed``.
+        """
+        if self.batch_queries < 1:
+            raise ValueError(
+                f"batch_queries must be >= 1, got {self.batch_queries}"
+            )
+        elapsed = 0.0
+        remaining = count
+        while remaining > 0:
+            chunk = min(remaining, self.batch_queries)
+            for result in self.system.run_queries_batch(
+                chunk, load_bits=self._ensure_tag_bits
+            ):
+                self.results.append(result)
+                elapsed += result.cycle_s
+            remaining -= chunk
+        return elapsed
+
+    def _predicted_cycle_s(self) -> float | None:
+        """The constant per-cycle duration, or None if not predictable.
+
+        Cycle duration is access delay + query airtime + SIFS + block
+        ACK airtime.  Without contention the access delay is a
+        deterministic constant, and unencrypted queries all share one
+        frozen airtime schedule — so every cycle of the session has the
+        exact same duration.  Contention draws random backoffs and
+        encrypted builds cannot be peeked without consuming CCMP packet
+        numbers / WEP IVs; both fall back to the scalar loop.
+        """
+        system = self.system
+        if system.contention is not None:
+            return None
+        if system.config.encryption is not EncryptionMode.OPEN:
+            return None
+        airtime_s = system.builder.peek_airtime_s()
+        return (
+            system._access_delay_s()
+            + airtime_s
+            + system.config.band.sifs_s
+            + block_ack_airtime_s()
+        )
 
     def stats(self, elapsed_s: float | None = None) -> SessionStats:
         """Aggregate statistics over all cycles run so far."""
@@ -154,8 +243,28 @@ def run_parallel_sessions(
     package themselves.  ``result.values`` is a list of
     :class:`SessionStats`, one per session, in session order and
     bit-identical for any ``n_workers``.
+
+    When the per-session query count is smaller than the requested
+    chunk size, process-pool dispatch would cost more than the work
+    itself; matching ``run_units`` behaviour, this falls back to the
+    serial executor with a warning instead of raising.
     """
     from ..runner import run_sessions
+
+    chunk_size = engine_kwargs.get("chunk_size")
+    if (
+        queries is not None
+        and chunk_size is not None
+        and queries < chunk_size
+    ):
+        warnings.warn(
+            f"n_queries ({queries}) < chunk_size ({chunk_size}): "
+            "parallel dispatch would dominate the work; falling back to "
+            "the serial executor",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        engine_kwargs = dict(engine_kwargs, executor="serial")
 
     return run_sessions(
         build,

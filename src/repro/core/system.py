@@ -24,6 +24,7 @@ minute-long BER/throughput experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -32,7 +33,7 @@ from ..mac.block_ack import BlockAck, BlockAckScoreboard, build_block_ack
 from ..mac.csma import ContentionModel
 from ..perf import StageCounters
 from ..phy.channel import TagState
-from ..phy.error_model import FadingSample, LinkErrorModel
+from ..phy.error_model import FadingBatch, FadingSample, LinkErrorModel
 from ..phy.fading import CorrelatedFadingChannel
 from ..seeding import component_rng
 from ..tag.state_machine import QueryObservation, TagStateMachine
@@ -105,6 +106,11 @@ class WiTagSystem:
             the same order; the fast path differs only by the coded-BER
             interpolation table (~1e-3 relative), so flipping this flag
             changes individual subframe outcomes with probability ~1e-6.
+        phy_exact_coding: make the vectorized paths (per-query and
+            session-batch) evaluate the coded-BER union bound exactly
+            instead of via the interpolated table.  Slower, but outcome
+            draws become bitwise-identical to the scalar reference loop
+            — the equivalence suites run with this enabled.
         counters: cumulative per-stage wall-clock of the query cycle
             (``query-build``, ``tag-fsm``, ``phy-decode``, ``mac-ba``).
     """
@@ -121,6 +127,7 @@ class WiTagSystem:
         default_factory=lambda: component_rng("system")
     )
     phy_fast_path: bool = True
+    phy_exact_coding: bool = False
     counters: StageCounters = field(default_factory=StageCounters, repr=False)
 
     def __post_init__(self) -> None:
@@ -202,6 +209,7 @@ class WiTagSystem:
                     preamble_state,
                     [states[index] for index in range(len(query.mpdus))],
                     fading,
+                    exact_coding=self.phy_exact_coding,
                 )
             else:
                 outcomes = [
@@ -241,3 +249,143 @@ class WiTagSystem:
         if count < 0:
             raise ValueError("count must be >= 0")
         return [self.run_query() for _ in range(count)]
+
+    def run_queries_batch(
+        self,
+        count: int,
+        *,
+        load_bits: Callable[[], None] | None = None,
+    ) -> list[QueryResult]:
+        """Run ``count`` query cycles as one 2-D numpy computation.
+
+        Functionally identical to :meth:`run_queries` — same
+        :class:`QueryResult` list, same per-component RNG consumption —
+        but the per-query Python loop is reduced to a cheap prologue
+        (query build via the memoized builder, contention draw, tag FSM
+        with vectorized alignment draws) while all PHY decode work runs
+        as a single ``(count, n_subframes)`` matrix pass through
+        :meth:`LinkErrorModel.subframe_outcomes_batch2d`, and block-ACK
+        bitmaps fall out of one ``np.packbits``.
+
+        Determinism contract: each simulation component owns its own
+        generator, and this method consumes each component's stream in
+        exactly the scalar per-query order — so for a given seed the
+        results are bitwise identical to :meth:`run_queries` up to the
+        coded-BER table (and fully identical with
+        ``phy_exact_coding=True``), for any chunking of ``count``.
+
+        Args:
+            load_bits: optional callback invoked once per query before
+                the tag processes it — the session layer uses this to
+                top up the tag's data queue from the session generator
+                in scalar order.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return []
+        builder = self.builder
+        sifs = self.config.band.sifs_s
+        ba_airtime_s = block_ack_airtime_s()
+
+        with self.counters.timed("query-build", count):
+            frames = [builder.build_fast() for _ in range(count)]
+        access = [self._access_delay_s() for _ in range(count)]
+
+        # Fading next: the channel / fading generators are consumed one
+        # query cycle at a time in the scalar loop, and nothing else
+        # shares their streams, so the whole chunk can be drawn up front.
+        if self.fading_channel is not None:
+            # The correlated process advances by the previous cycle's
+            # duration, which is fully determined by the access draw and
+            # the frame airtime — both already known.
+            dts = []
+            previous = self._last_cycle_s
+            for q in range(count):
+                dts.append(previous)
+                previous = (
+                    access[q] + frames[q].airtime_s + sifs + ba_airtime_s
+                )
+            direct, tag_fade = self.fading_channel.sample_batch(dts)
+            fading = FadingBatch(direct_gains=direct, tag_fadings=tag_fade)
+        else:
+            fading = self.error_model.sample_fading_batch(count)
+
+        preamble_state = self.tag.design.state_for_bit_one
+        state_rows: list[list[TagState]] = []
+        transmissions = []
+        with self.counters.timed("tag-fsm", count):
+            for frame in frames:
+                if load_bits is not None:
+                    load_bits()
+                observation = QueryObservation(
+                    n_subframes=frame.n_subframes,
+                    n_trigger_subframes=frame.n_trigger_subframes,
+                    subframe_s=frame.mean_subframe_s,
+                    rx_power_dbm=self._rx_at_tag_dbm,
+                    temperature_c=self.temperature_c,
+                )
+                transmission = self.tag.process_query_fast(observation)
+                transmissions.append(transmission)
+                state_rows.append(self._effective_states(transmission, frame))
+
+        # MPDU sizes are fixed by the builder's byte plan, so one row
+        # serves every query in the chunk.
+        mpdu_bits = [8 * len(mpdu) for mpdu in frames[0].mpdus]
+        with self.counters.timed("phy-decode", count):
+            outcomes = self.error_model.subframe_outcomes_batch2d(
+                mpdu_bits,
+                preamble_state,
+                state_rows,
+                fading,
+                exact_coding=self.phy_exact_coding,
+            )
+
+        results: list[QueryResult] = []
+        with self.counters.timed("mac-ba", count):
+            outcome_matrix = np.ascontiguousarray(outcomes)
+            packed = np.packbits(
+                outcome_matrix, axis=1, bitorder="little"
+            )
+            # Every block ACK below is built with ``ssn == frame.ssn``,
+            # so the reader's bitmap offset is zero and
+            # ``raw_bits_from_block_ack`` reduces to the outcome row
+            # past the trigger subframes — slice it directly instead of
+            # re-extracting 64 bits from the bitmap per query.
+            raw_rows = outcome_matrix.astype(np.uint8).tolist()
+            for q, frame in enumerate(frames):
+                bitmap = int.from_bytes(packed[q].tobytes(), "little")
+                block_ack = BlockAck(
+                    receiver=self.client,
+                    transmitter=self.ap,
+                    ssn=frame.ssn,
+                    bitmap=bitmap,
+                )
+                raw = raw_rows[q][frame.n_trigger_subframes :]
+                transmission = transmissions[q]
+                n_sent = len(transmission.bits_loaded)
+                cycle_s = (
+                    access[q] + frame.airtime_s + sifs + ba_airtime_s
+                )
+                results.append(
+                    QueryResult(
+                        query=frame,
+                        block_ack=block_ack,
+                        detected=transmission.detected,
+                        sent_bits=transmission.bits_loaded,
+                        received_bits=tuple(raw[:n_sent]),
+                        cycle_s=cycle_s,
+                        rx_power_at_tag_dbm=self._rx_at_tag_dbm,
+                    )
+                )
+
+        # Leave the mutable MAC state exactly as the scalar loop would:
+        # the scoreboard holds the last query's outcomes, and the next
+        # fading advance uses the last cycle duration.
+        last_frame = frames[-1]
+        self._scoreboard.reset(last_frame.ssn)
+        for index, ok in enumerate(outcomes[-1]):
+            if ok:
+                self._scoreboard.record((last_frame.ssn + index) % 4096)
+        self._last_cycle_s = results[-1].cycle_s
+        return results

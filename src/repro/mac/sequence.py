@@ -33,6 +33,24 @@ class SequenceCounter:
         self._next = (self._next + 1) % SEQUENCE_MODULUS
         return value
 
+    def advance(self, count: int) -> None:
+        """Consume ``count`` sequence numbers without returning them.
+
+        Equivalent to ``count`` calls of :meth:`allocate` with the values
+        discarded — the memoized query builder uses this to keep the
+        counter in lockstep when it returns a cached frame instead of
+        re-serializing one.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._next = (self._next + count) % SEQUENCE_MODULUS
+
+    def seek(self, value: int) -> None:
+        """Reset the counter to ``value`` (memoized-builder rewind)."""
+        if not 0 <= value < SEQUENCE_MODULUS:
+            raise ValueError(f"sequence must be 0-4095, got {value}")
+        self._next = value
+
     def allocate_block(self, count: int) -> list[int]:
         """Allocate ``count`` consecutive sequence numbers.
 

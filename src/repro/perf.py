@@ -73,6 +73,19 @@ class StageCounters:
             for stage in self.seconds
         }
 
+    def per_call_us(self, stage: str) -> float:
+        """Mean microseconds per recorded call of ``stage`` (0 if unseen).
+
+        The batch engines record one sample covering many calls (``add``
+        with ``count=n``), so this stays comparable across the scalar,
+        per-query and session-batch paths — the ``repro bench`` stage
+        table uses it as its rate column.
+        """
+        calls = self.calls.get(stage, 0)
+        if calls <= 0:
+            return 0.0
+        return 1e6 * self.seconds.get(stage, 0.0) / calls
+
     def rows(self) -> list[list]:
         """Table rows ``[stage, seconds, calls]`` sorted by cost."""
         return [

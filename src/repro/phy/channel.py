@@ -343,6 +343,74 @@ class BackscatterChannel:
             self.rng.normal(0.0, sigma),
         )
 
+    def sample_fading_batch(
+        self, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` coherence intervals of fading in scalar order.
+
+        Returns ``(direct_gains, tag_fadings)`` complex arrays of length
+        ``count``.  Element ``i`` is bitwise equal to the pair a scalar
+        loop would produce with ``sample_direct_fading()`` followed by
+        ``sample_tag_fading()`` on the same generator: the draws come
+        from one row-major ``standard_normal`` matrix whose per-row
+        layout matches the scalar call order (direct re, direct im, tag
+        re, tag im), and each normal is reconstructed as ``sigma * z``
+        exactly as the Generator does internally for ``normal(0, sigma)``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        n_direct = 0 if self.rician_k_db is None else 2
+        n_tag = 0 if self.tag_rician_k_db is None else 2
+        total = n_direct + n_tag
+        z = np.empty((count, total))
+        if total and count:
+            self.rng.standard_normal(out=z)
+        if n_direct:
+            k = 10.0 ** (self.rician_k_db / 10.0)
+            los_part = math.sqrt(k / (k + 1.0)) * self._h_direct_los
+            sigma = abs(self._h_direct_los) * math.sqrt(1.0 / (k + 1.0) / 2.0)
+            scatter = np.empty(count, dtype=complex)
+            scatter.real = sigma * z[:, 0]
+            scatter.imag = sigma * z[:, 1]
+            direct = los_part + scatter
+        else:
+            direct = np.full(count, complex(self._h_direct_los), dtype=complex)
+        if n_tag:
+            k = 10.0 ** (self.tag_rician_k_db / 10.0)
+            los_part = math.sqrt(k / (k + 1.0))
+            sigma = math.sqrt(1.0 / (k + 1.0) / 2.0)
+            tag = np.empty(count, dtype=complex)
+            tag.real = los_part + sigma * z[:, n_direct]
+            tag.imag = sigma * z[:, n_direct + 1]
+        else:
+            tag = np.full(count, _UNIT_FADING, dtype=complex)
+        return direct, tag
+
+    def channel_vector_batch(
+        self,
+        state: TagState,
+        direct_gains: np.ndarray,
+        tag_fadings: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`channel_vector` for many coherence intervals at once.
+
+        Args:
+            state: the tag's reflection state (shared by all rows).
+            direct_gains: complex ``(n_samples,)`` faded direct gains.
+            tag_fadings: complex ``(n_samples,)`` tag-path multipliers.
+
+        Returns:
+            Complex ``(n_samples, n_subcarriers)`` matrix whose row ``i``
+            is bitwise equal to ``channel_vector(state, direct_gains[i],
+            tag_fadings[i])`` — the elementwise operations follow the
+            scalar expression's association order exactly.
+        """
+        gains = np.asarray(direct_gains, dtype=complex)
+        fadings = np.asarray(tag_fadings, dtype=complex)
+        gamma = state.reflection_coefficient
+        tag_term = (gamma * fadings) * self._h_tag_los
+        return gains[:, None] + tag_term[:, None] * self._tag_rotation
+
     def channel_vector(
         self,
         state: TagState,

@@ -82,28 +82,38 @@ def estimate_csi(
 
 def csi_noise_scale(
     true_channel: np.ndarray,
-    snr_linear: float,
+    snr_linear: float | np.ndarray,
     *,
     n_training_symbols: int = 2,
 ) -> np.ndarray:
     """Per-subcarrier standard deviation of the CSI estimation error.
 
-    Shared by :func:`estimate_csi` and the vectorized fast path (which
-    draws one noise matrix for a whole A-MPDU): both scale unit Gaussians
-    by exactly this array, so scalar and batch estimates agree bitwise
-    for identical draws.
+    Shared by :func:`estimate_csi` and the vectorized fast paths (which
+    draw one noise matrix for a whole A-MPDU or session chunk): all paths
+    scale unit Gaussians by exactly this array, so scalar and batch
+    estimates agree bitwise for identical draws.
+
+    ``snr_linear`` may be a scalar, or an array broadcastable against
+    ``true_channel`` (the session-batch engine passes per-coherence-
+    interval SNRs of shape ``(n_queries, 1)`` with channels of shape
+    ``(n_queries, n_subcarriers)``).
 
     Raises:
         ValueError: for non-positive SNR or training count.
     """
-    if snr_linear <= 0:
+    snr = np.asarray(snr_linear, dtype=float)
+    if np.any(snr <= 0):
         raise ValueError(f"SNR must be > 0, got {snr_linear}")
     if n_training_symbols < 1:
         raise ValueError(
             f"need >= 1 training symbol, got {n_training_symbols}"
         )
     h = np.asarray(true_channel, dtype=complex)
-    return np.abs(h) / np.sqrt(2.0 * snr_linear * n_training_symbols)
+    if snr.ndim == 0:
+        # Preserve the original scalar expression (scalar sqrt then
+        # array divide) so existing callers stay bitwise unchanged.
+        return np.abs(h) / np.sqrt(2.0 * float(snr) * n_training_symbols)
+    return np.abs(h) / np.sqrt(2.0 * snr * n_training_symbols)
 
 
 def per_subcarrier_sinr(

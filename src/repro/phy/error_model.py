@@ -143,6 +143,36 @@ class FadingSample:
     tag_fading: complex
 
 
+@dataclass(frozen=True)
+class FadingBatch:
+    """Per-query fading samples for a whole session chunk.
+
+    Row ``i`` holds the coherence-interval state of query ``i`` — the
+    2-D decode APIs broadcast each row across that query's subframes
+    exactly as :class:`FadingSample` is shared within one A-MPDU.
+    """
+
+    direct_gains: np.ndarray
+    tag_fadings: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.direct_gains.shape != self.tag_fadings.shape:
+            raise ValueError(
+                "direct/tag fading shapes differ: "
+                f"{self.direct_gains.shape} vs {self.tag_fadings.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.direct_gains.shape[0])
+
+    def sample(self, index: int) -> FadingSample:
+        """The scalar :class:`FadingSample` view of row ``index``."""
+        return FadingSample(
+            direct_gain=complex(self.direct_gains[index]),
+            tag_fading=complex(self.tag_fadings[index]),
+        )
+
+
 @dataclass
 class LinkErrorModel:
     """Decode model for one client->AP link with a tag in the environment.
@@ -197,6 +227,212 @@ class LinkErrorModel:
             direct_gain=self.channel.sample_direct_fading(),
             tag_fading=self.channel.sample_tag_fading(),
         )
+
+    def sample_fading_batch(self, count: int) -> FadingBatch:
+        """Draw ``count`` coherence intervals in exact scalar order.
+
+        Bitwise equal, per row, to ``count`` sequential calls of
+        :meth:`sample_fading` on the same generator state (see
+        :meth:`repro.phy.channel.BackscatterChannel.sample_fading_batch`).
+        """
+        direct, tag = self.channel.sample_fading_batch(count)
+        return FadingBatch(direct_gains=direct, tag_fadings=tag)
+
+    def subframe_effective_sinrs_batch2d(
+        self,
+        preamble_state: TagState,
+        subframe_state_rows: Sequence[Sequence[TagState]],
+        fading: FadingBatch,
+        *,
+        _uniforms: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """:meth:`subframe_effective_sinrs` for a whole session chunk.
+
+        Computes every subframe SINR of ``n_queries`` A-MPDUs in one
+        ``(n_queries, n_subframes)`` numpy pass.  Tag states are
+        deduplicated across the *whole matrix* (the design only ever
+        uses a handful of states, so the channel-change power is one
+        ``(n_distinct, n_queries, n_subcarriers)`` stack), and all CSI
+        noise is drawn as one row-major ``standard_normal`` buffer whose
+        layout reproduces the scalar draw order (per query, per
+        subframe: n real draws, n imaginary draws, then optionally the
+        outcome uniform).  Given the same generator state, row ``q`` is
+        bitwise equal to ``subframe_effective_sinrs(preamble_state,
+        subframe_state_rows[q], fading.sample(q))``.
+
+        Args:
+            preamble_state: tag state during every PHY preamble.
+            subframe_state_rows: per-query tag states; all rows must
+                have equal length (one A-MPDU shape per chunk).
+            fading: one coherence-interval sample per query.
+            _uniforms: internal — a preallocated ``(n_queries,
+                n_subframes)`` float array; when provided, one uniform
+                per subframe is drawn into it after that subframe's
+                noise draws, replicating the outcome stream.
+
+        Returns:
+            ``(n_queries, n_subframes)`` array of effective SINRs.
+        """
+        rows = [list(row) for row in subframe_state_rows]
+        n_q = len(rows)
+        if n_q != len(fading):
+            raise ValueError(
+                f"{n_q} state rows but {len(fading)} fading samples"
+            )
+        if n_q == 0:
+            return np.empty((0, 0), dtype=float)
+        k = len(rows[0])
+        for row in rows:
+            if len(row) != k:
+                raise ValueError(
+                    "all queries in a chunk must have the same subframe "
+                    f"count, got {len(row)} vs {k}"
+                )
+        if k == 0:
+            return np.empty((n_q, 0), dtype=float)
+
+        start = time.perf_counter()
+        h_preamble = self.channel.channel_vector_batch(
+            preamble_state, fading.direct_gains, fading.tag_fadings
+        )
+        distinct: list[TagState] = []
+        index_of: dict[TagState, int] = {}
+        flat_codes: list[int] = []
+        for row in rows:
+            for state in row:
+                j = index_of.get(state)
+                if j is None:
+                    j = index_of[state] = len(distinct)
+                    distinct.append(state)
+                flat_codes.append(j)
+        codes = np.array(flat_codes, dtype=np.intp).reshape(n_q, k)
+        change_sq = np.stack(
+            [
+                np.abs(
+                    self.channel.channel_vector_batch(
+                        state, fading.direct_gains, fading.tag_fadings
+                    )
+                    - h_preamble
+                )
+                ** 2
+                for state in distinct
+            ]
+        )
+        self.counters.add("channel", time.perf_counter() - start, n_q * k)
+
+        start = time.perf_counter()
+        n = h_preamble.shape[1]
+        rx_snr = self._tx_ref_snr * np.mean(np.abs(h_preamble) ** 2, axis=1)
+        scale = csi_noise_scale(
+            h_preamble, np.maximum(rx_snr, 1e-12)[:, None]
+        )
+        buffer = np.empty((n_q, k, 2 * n))
+        draw_normals = self.rng.standard_normal
+        draw_uniform = self.rng.random
+        if _uniforms is None:
+            for q in range(n_q):
+                per_query = buffer[q]
+                for i in range(k):
+                    draw_normals(out=per_query[i])
+        else:
+            for q in range(n_q):
+                per_query = buffer[q]
+                uniform_row = _uniforms[q]
+                for i in range(k):
+                    draw_normals(out=per_query[i])
+                    uniform_row[i] = draw_uniform()
+        # The matrices below are tens of MB per chunk, so the algebra
+        # runs in place on a handful of scratch buffers.  Every rewrite
+        # is bitwise-neutral: in-place multiply/add keep the scalar
+        # expression's operand order up to commutativity (exact for
+        # float multiply/add), and building the complex noise by field
+        # assignment instead of ``re + 1j * im`` can only flip the sign
+        # of a zero real part, which ``abs()**2`` erases.
+        estimate = np.empty((n_q, k, n), dtype=complex)
+        estimate.real = buffer[..., :n]
+        estimate.imag = buffer[..., n:]
+        estimate *= scale[:, None, :]
+        estimate += h_preamble[:, None, :]
+        safe_est_sq = np.abs(estimate)
+        np.multiply(safe_est_sq, safe_est_sq, out=safe_est_sq)
+        np.maximum(safe_est_sq, 1e-30, out=safe_est_sq)
+        query_index = np.arange(n_q)[:, None]
+        tag_mismatch = change_sq[codes, query_index]
+        np.divide(tag_mismatch, safe_est_sq, out=tag_mismatch)
+        np.multiply(tag_mismatch, self._mismatch_gain, out=tag_mismatch)
+        diff = h_preamble[:, None, :] - estimate
+        est_mismatch = np.abs(diff)
+        np.multiply(est_mismatch, est_mismatch, out=est_mismatch)
+        np.divide(est_mismatch, safe_est_sq, out=est_mismatch)
+        np.multiply(safe_est_sq, self._tx_ref_snr, out=safe_est_sq)
+        np.divide(1.0, safe_est_sq, out=safe_est_sq)  # now the noise term
+        np.add(tag_mismatch, est_mismatch, out=tag_mismatch)
+        np.add(tag_mismatch, safe_est_sq, out=tag_mismatch)
+        np.divide(1.0, tag_mismatch, out=tag_mismatch)
+        sinr_rows = tag_mismatch
+        self.counters.add("csi", time.perf_counter() - start, n_q * k)
+
+        start = time.perf_counter()
+        effective = eesm_effective_sinr_batch(
+            sinr_rows.reshape(n_q * k, n), self.mcs.modulation
+        ).reshape(n_q, k)
+        self.counters.add("eesm", time.perf_counter() - start, n_q * k)
+        return effective
+
+    def subframe_success_probabilities_batch2d(
+        self,
+        mpdu_bits,
+        preamble_state: TagState,
+        subframe_state_rows: Sequence[Sequence[TagState]],
+        fading: FadingBatch,
+        *,
+        exact_coding: bool = False,
+        _uniforms: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """:meth:`subframe_success_probabilities` for a session chunk.
+
+        ``mpdu_bits`` may be scalar, a length-``n_subframes`` row shared
+        by every query, or a full ``(n_queries, n_subframes)`` matrix.
+        """
+        sinrs = self.subframe_effective_sinrs_batch2d(
+            preamble_state, subframe_state_rows, fading, _uniforms=_uniforms
+        )
+        start = time.perf_counter()
+        probabilities = mpdu_success_probabilities(
+            self.mcs, mpdu_bits, sinrs, exact=exact_coding
+        )
+        self.counters.add("coding", time.perf_counter() - start, sinrs.size)
+        return probabilities
+
+    def subframe_outcomes_batch2d(
+        self,
+        mpdu_bits,
+        preamble_state: TagState,
+        subframe_state_rows: Sequence[Sequence[TagState]],
+        fading: FadingBatch,
+        *,
+        exact_coding: bool = False,
+    ) -> np.ndarray:
+        """:meth:`subframe_outcomes` for a whole session chunk.
+
+        Returns a ``(n_queries, n_subframes)`` boolean matrix; with
+        ``exact_coding=True`` it is bitwise equal to stacking the
+        per-query :meth:`subframe_outcomes` (and hence the scalar
+        :meth:`subframe_outcome` loop) from the same generator state.
+        """
+        rows = [list(row) for row in subframe_state_rows]
+        n_q = len(rows)
+        k = len(rows[0]) if n_q else 0
+        uniforms = np.empty((n_q, k))
+        probabilities = self.subframe_success_probabilities_batch2d(
+            mpdu_bits,
+            preamble_state,
+            rows,
+            fading,
+            exact_coding=exact_coding,
+            _uniforms=uniforms,
+        )
+        return uniforms < probabilities
 
     def subframe_effective_sinr(
         self,

@@ -115,6 +115,29 @@ class CorrelatedFadingChannel:
         self._direct_process.advance(dt_s)
         self._tag_process.advance(dt_s)
 
+    def sample_batch(
+        self, dts_s: list[float] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance through a sequence of cycle durations, recording gains.
+
+        For each ``dt`` in ``dts_s``, evolves both processes by ``dt``
+        and records ``(direct_gain(), tag_fading())`` — exactly the
+        per-query sequence the scalar session loop performs, so the
+        returned complex arrays are bitwise equal to a scalar replay on
+        the same generator state.  The AR(1) recursion is inherently
+        sequential (state ``i`` feeds state ``i+1``), so this is a tight
+        loop rather than a matrix pass; it exists to give the session-
+        batch engine a single call per chunk.
+        """
+        count = len(dts_s)
+        direct = np.empty(count, dtype=complex)
+        tag = np.empty(count, dtype=complex)
+        for i, dt_s in enumerate(dts_s):
+            self.advance(dt_s)
+            direct[i] = self.direct_gain()
+            tag[i] = self.tag_fading()
+        return direct, tag
+
     def direct_gain(self) -> complex:
         """Current faded direct-path gain."""
         if self.rician_k_db is None:

@@ -22,18 +22,22 @@ from .engine import (
     UnitContext,
     WorkerTiming,
     WorkUnitError,
+    resolve_executor,
     run_sweep,
     run_units,
 )
 from .sessions import run_sessions
+from .workers import SessionSpec
 
 __all__ = [
+    "SessionSpec",
     "SweepError",
     "SweepResult",
     "SweepSpec",
     "UnitContext",
     "WorkUnitError",
     "WorkerTiming",
+    "resolve_executor",
     "run_sessions",
     "run_sweep",
     "run_units",

@@ -49,6 +49,7 @@ __all__ = [
     "UnitContext",
     "WorkUnitError",
     "WorkerTiming",
+    "resolve_executor",
     "run_sweep",
     "run_units",
 ]
@@ -320,7 +321,15 @@ def _auto_chunk_size(n_units: int, n_workers: int) -> int:
     return max(1, -(-n_units // max(1, 4 * n_workers)))
 
 
-def _pick_executor(requested: str, n_workers: int) -> str:
+def resolve_executor(requested: str, n_workers: int) -> str:
+    """The executor ``run_units`` will actually use for a request.
+
+    Mirrors the engine's silent serial fallbacks (``n_workers == 1``,
+    or ``auto`` on platforms without a fork-style start method) so
+    callers — e.g. the session layer's small-workload fallback, or
+    tests asserting dispatch behaviour — can predict them without
+    duplicating the policy.
+    """
     if requested not in ("auto", "serial", "process"):
         raise ValueError(
             f"executor must be 'auto', 'serial' or 'process', "
@@ -336,6 +345,10 @@ def _pick_executor(requested: str, n_workers: int) -> str:
             # always-correct serial path; "process" forces the pool.
             return "serial"
     return "process"
+
+
+#: Backwards-compatible alias (pre-rename internal name).
+_pick_executor = resolve_executor
 
 
 def _collect_outcomes(
@@ -402,7 +415,7 @@ def run_units(
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    executor_kind = _pick_executor(executor, n_workers)
+    executor_kind = resolve_executor(executor, n_workers)
     if chunk_size is None:
         chunk_size = _auto_chunk_size(len(units), n_workers)
     if chunk_size < 1:

@@ -27,8 +27,11 @@ def _session_unit(
     build: SessionBuilder,
     queries: int | None,
     duration_s: float | None,
+    session_fast_path: bool | None,
 ) -> SessionStats:
     session = build(ctx)
+    if session_fast_path is not None:
+        session.session_fast_path = session_fast_path
     if queries is not None:
         return session.run_queries(queries)
     assert duration_s is not None
@@ -46,6 +49,7 @@ def run_sessions(
     n_workers: int = 1,
     chunk_size: int | None = None,
     executor: str = "auto",
+    session_fast_path: bool | None = None,
 ) -> SweepResult:
     """Run ``n_sessions`` independent sessions; values are SessionStats.
 
@@ -55,7 +59,14 @@ def run_sessions(
             :class:`MeasurementSession` and be picklable for the process
             executor.  Derive all randomness from the context
             (``ctx.seed`` / ``ctx.rng(...)``) to keep the determinism
-            contract.
+            contract.  Prefer shipping a plain config-style callable
+            (e.g. :class:`repro.runner.workers.SessionSpec`) rather
+            than closing over live simulator objects: configs pickle
+            small and rebuild fresh state inside the worker.
+        session_fast_path: when not ``None``, override each built
+            session's ``session_fast_path`` flag, so callers can force
+            every worker through the batched engine (or the scalar
+            reference) without changing the builder.
         n_sessions: number of sessions (0 is allowed: empty result).
         queries: run exactly this many query cycles per session...
         duration_s: ...or this much simulated time (exactly one of the
@@ -84,7 +95,11 @@ def run_sessions(
         for i in range(n_sessions)
     ]
     fn = functools.partial(
-        _session_unit, build=build, queries=queries, duration_s=duration_s
+        _session_unit,
+        build=build,
+        queries=queries,
+        duration_s=duration_s,
+        session_fast_path=session_fast_path,
     )
     return run_units(
         fn,

@@ -9,17 +9,85 @@ any sweep built on them inherits the engine's determinism contract.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 from ..core.session import MeasurementSession
 from ..sim.scenario import los_scenario, nlos_scenario
 from .engine import UnitContext
 
-__all__ = ["los_ber_point", "nlos_session_stats"]
+__all__ = ["SessionSpec", "los_ber_point", "nlos_session_stats"]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Picklable session description for process-pool workers.
+
+    The parallel engine rebuilds every session inside its worker; the
+    cheapest thing to ship across the process boundary is a plain
+    config, not a live simulator object graph (generators, cached
+    channel vectors and memoized frames neither pickle small nor
+    should they be shared).  A ``SessionSpec`` is exactly that config:
+    calling it with a :class:`UnitContext` builds a fresh
+    :class:`MeasurementSession` from scenario parameters and the
+    context's substreams, so it can be passed directly as the
+    ``build`` argument of :func:`repro.runner.run_sessions` /
+    :func:`repro.core.session.run_parallel_sessions`.
+
+    Attributes:
+        kind: ``"los"`` (paper Fig. 5 geometry; reads
+            ``tag_from_client_m`` from ``ctx.parameters["distance_m"]``
+            when present, else :attr:`distance_m`) or ``"nlos"``
+            (Fig. 6 locations via :attr:`location` /
+            ``ctx.parameters["location"]``).
+        distance_m: default LOS tag-from-client distance.
+        location: default NLOS location key.
+        phy_fast_path: per-A-MPDU vectorized decode flag.
+        session_fast_path: batched session engine flag.
+        batch_queries: session-engine chunk size.
+        data_stream: context substream index for the session's random
+            data bits.
+    """
+
+    kind: str = "los"
+    distance_m: float = 4.0
+    location: str = "A"
+    phy_fast_path: bool = True
+    session_fast_path: bool = True
+    batch_queries: int = 256
+    data_stream: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("los", "nlos"):
+            raise ValueError(f"kind must be 'los' or 'nlos', got {self.kind}")
+
+    def __call__(self, ctx: UnitContext) -> MeasurementSession:
+        if self.kind == "los":
+            distance_m = float(
+                ctx.parameters.get("distance_m", self.distance_m)
+            )
+            system, _info = los_scenario(
+                distance_m, seed=ctx.seed, phy_fast_path=self.phy_fast_path
+            )
+        else:
+            location = str(ctx.parameters.get("location", self.location))
+            system, _info = nlos_scenario(
+                location, seed=ctx.seed, phy_fast_path=self.phy_fast_path
+            )
+        return MeasurementSession(
+            system,
+            rng=ctx.rng(self.data_stream),
+            session_fast_path=self.session_fast_path,
+            batch_queries=self.batch_queries,
+        )
 
 
 def los_ber_point(
-    ctx: UnitContext, *, sim_seconds: float = 1.0, phy_fast_path: bool = True
+    ctx: UnitContext,
+    *,
+    sim_seconds: float = 1.0,
+    phy_fast_path: bool = True,
+    session_fast_path: bool = True,
 ) -> dict[str, Any]:
     """One Figure-5-style LOS point: BER/throughput at a tag distance.
 
@@ -28,13 +96,17 @@ def los_ber_point(
     reproduces the same point bit-for-bit on any worker layout.
     ``phy_fast_path=False`` selects the scalar PHY reference loop — the
     fast-path benchmarks sweep the same physics both ways through the
-    engine.
+    engine; ``session_fast_path`` likewise selects between the batched
+    session engine and the scalar per-query loop (bitwise-identical
+    results either way).
     """
     distance_m = float(ctx.parameters["distance_m"])
     system, info = los_scenario(
         distance_m, seed=ctx.seed, phy_fast_path=phy_fast_path
     )
-    session = MeasurementSession(system, rng=ctx.rng(1))
+    session = MeasurementSession(
+        system, rng=ctx.rng(1), session_fast_path=session_fast_path
+    )
     stats = session.run_for(sim_seconds)
     return {
         "distance_m": distance_m,

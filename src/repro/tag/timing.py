@@ -137,6 +137,27 @@ class TimingModel:
         lower = (-self.guard_s - mu) / sigma
         return q_function(upper) + (1.0 - q_function(lower))
 
+    def misalignment_params(
+        self, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mu, sigma)`` vectors for subframes ``0..count-1``.
+
+        Each element is computed through the scalar
+        :meth:`mean_misalignment_s` / :meth:`jitter_sigma_s` methods
+        (``math.hypot`` per element, not ``np.hypot``), so drawing
+        ``rng.normal(mu, sigma)`` once reproduces the per-subframe
+        scalar draws of :meth:`aligned` bitwise.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        mu = np.array(
+            [self.mean_misalignment_s(k) for k in range(count)], dtype=float
+        )
+        sigma = np.array(
+            [self.jitter_sigma_s(k) for k in range(count)], dtype=float
+        )
+        return mu, sigma
+
     def sample_misalignment_s(
         self, subframe_index: int, rng: np.random.Generator
     ) -> float:

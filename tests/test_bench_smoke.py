@@ -1,0 +1,102 @@
+"""Bench smoke: one tiny session through each benchmark's machinery.
+
+The real benchmarks under ``benchmarks/`` are wall-clock sensitive and
+excluded from the default pytest split, which historically let their
+plumbing rot between bench runs.  These smokes run the same code paths
+— the shared :mod:`repro.bench` helpers, trajectory recording and
+baseline bookkeeping — with one tiny session each, asserting only that
+they run and record.  No timing assertions: tier-1 stays
+timing-independent.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    TIERS,
+    bench_payload,
+    load_baseline,
+    record_bench_trajectory,
+    three_tier_bench,
+    timed_session,
+    update_baseline,
+)
+
+
+@pytest.mark.bench_smoke
+def test_timed_session_runs_and_reports(tmp_path):
+    result = timed_session(2, warmup=1)
+    assert result["stats"].queries == 2
+    assert result["wall_s"] > 0.0
+    assert result["queries_per_s"] > 0.0
+    assert set(result["stage_timings"]) == {"system", "error_model"}
+
+
+@pytest.mark.bench_smoke
+def test_three_tier_bench_smoke_records_trajectory(tmp_path):
+    result = three_tier_bench(2, warmup=1)
+    assert set(result["tiers"]) == {label for label, _, _ in TIERS}
+    # Tiers 2 and 3 are bitwise identical; tier 1 only differs via the
+    # coded-BER table.
+    assert (
+        result["tiers"]["vectorized"]["stats"]
+        == result["tiers"]["session-batch"]["stats"]
+    )
+    for key in (
+        "vectorized_vs_scalar",
+        "session_vs_scalar",
+        "session_vs_vectorized",
+    ):
+        assert result["speedups"][key] > 0.0
+
+    trajectory = tmp_path / "BENCH_smoke.json"
+    entry = record_bench_trajectory(
+        str(trajectory), bench_payload(result)
+    )
+    assert "recorded_at" in entry
+    history = json.loads(trajectory.read_text())
+    assert isinstance(history, list) and len(history) == 1
+    assert history[0]["queries"] == 2
+    # Appending keeps prior entries.
+    record_bench_trajectory(str(trajectory), bench_payload(result))
+    assert len(json.loads(trajectory.read_text())) == 2
+
+
+@pytest.mark.bench_smoke
+def test_baseline_roundtrip_preserves_other_keys(tmp_path):
+    path = str(tmp_path / "baselines.json")
+    update_baseline("other", {"speedup": 1.0}, path)
+    update_baseline("session_batch", {"speedup": 2.5}, path)
+    assert load_baseline("other", path) == {"speedup": 1.0}
+    assert load_baseline("session_batch", path) == {"speedup": 2.5}
+    assert load_baseline("missing", path, {"d": 1}) == {"d": 1}
+    update_baseline("session_batch", {"speedup": 3.0}, path)
+    assert load_baseline("other", path) == {"speedup": 1.0}
+    assert load_baseline("session_batch", path) == {"speedup": 3.0}
+
+
+@pytest.mark.bench_smoke
+def test_cli_bench_smoke_runs_and_records(tmp_path, capsys):
+    from repro.cli import main
+
+    trajectory = tmp_path / "BENCH_session_batch.json"
+    baselines = tmp_path / "baselines.json"
+    code = main(
+        [
+            "bench",
+            "--queries",
+            "2",
+            "--trajectory",
+            str(trajectory),
+            "--update-baseline",
+            "--baselines",
+            str(baselines),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "session-batch" in out
+    assert trajectory.exists()
+    entry = load_baseline("session_batch", str(baselines))
+    assert entry is not None and entry["queries"] == 2
