@@ -31,6 +31,13 @@ Quickstart:
     True
 """
 
-__version__ = "1.0.0"
+from importlib import metadata as _metadata
+
+try:
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:
+    # Running from a source tree (PYTHONPATH=src) without an installed
+    # distribution: fall back to the version pinned in pyproject.toml.
+    __version__ = "1.0.0"
 
 __all__ = ["__version__"]

@@ -60,6 +60,7 @@ def timed_session(
     phy_fast_path: bool = True,
     session_fast_path: bool = True,
     warmup: int = 10,
+    telemetry: Any = None,
 ) -> dict[str, Any]:
     """Build, warm up, and time one LOS measurement session.
 
@@ -67,6 +68,12 @@ def timed_session(
     ``warmup`` throwaway queries (fills the coded-BER table, channel
     caches and frame memo so the timed region measures steady state),
     resets counters, then times ``run_queries(queries)``.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) is attached
+    *after* the warmup, so the timed region measures instrumented
+    steady-state throughput and the captured metrics/trace cover exactly
+    the timed queries — the telemetry-overhead acceptance test and the
+    ``repro bench --metrics-out/--trace-out`` flags use this.
 
     Returns a dict with the live objects (``stats``, ``session``) plus
     JSON-safe numbers (``wall_s``, ``queries_per_s``, ``ber``,
@@ -88,6 +95,8 @@ def timed_session(
         session.results.clear()  # stats aggregate results; drop the warmup
         system.counters.reset()
         system.error_model.counters.reset()
+    if telemetry is not None:
+        telemetry.attach(system)
     start = time.perf_counter()
     stats = session.run_queries(queries)
     wall_s = time.perf_counter() - start

@@ -3,8 +3,15 @@
 Usage::
 
     python -m repro sweep [--distances 1,2,...] [--workers 4] [--seed 0]
+                          [--metrics-out M.json] [--trace-out T.jsonl]
     python -m repro bench [--queries 300] [--distance 4.0] [--json OUT.json]
                           [--update-baseline] [--trajectory PATH.json]
+                          [--metrics-out M.json] [--trace-out T.jsonl]
+    python -m repro metrics [--sessions 4] [--queries 50] [--workers 2]
+                            [--format table|json|prometheus] [--out PATH]
+    python -m repro trace run OUT.jsonl [--queries 200] [--every-n 1]
+    python -m repro trace summary TRACE.jsonl [--json]
+    python -m repro trace tail TRACE.jsonl [--records 10] [--kind query]
     python -m repro fig5 [--seconds 1.0] [--seed 0]
     python -m repro fig6 [--runs 8] [--seconds 0.5]
     python -m repro quickstart [--distance 2.0] [--message TEXT]
@@ -25,6 +32,7 @@ import sys
 
 import numpy as np
 
+from . import __version__
 from .analysis.reporting import Table
 from .baselines.comparison import render_requirement_table
 from .core.arq import ArqTransfer
@@ -39,9 +47,27 @@ from .tag.power import (
 )
 
 
+def _write_metrics_payload(payload: dict, path: str) -> None:
+    """Write an aggregated-telemetry payload as indented JSON."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote metrics to {path}")
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import functools
 
+    from .obs import (
+        Telemetry,
+        TelemetryAggregate,
+        TelemetrySpec,
+        TraceSampler,
+        TraceWriter,
+        activate,
+    )
     from .runner import SweepSpec, run_sweep
     from .runner.workers import los_ber_point
 
@@ -53,17 +79,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not distances:
         print("--distances must name at least one point", file=sys.stderr)
         return 2
+    # Tracing needs one live writer, so it forces the serial executor;
+    # metrics-only runs stay parallel (snapshots merge across workers).
+    live: Telemetry | None = None
+    n_workers = args.workers
+    telemetry_spec: TelemetrySpec | None = None
+    if args.trace_out:
+        if args.workers > 1:
+            print(
+                "--trace-out forces the serial executor (one trace "
+                "writer); ignoring --workers",
+                file=sys.stderr,
+            )
+            n_workers = 1
+        try:
+            live = Telemetry(
+                metrics=bool(args.metrics_out),
+                writer=TraceWriter(args.trace_out),
+                sampler=TraceSampler(every_n=args.trace_every_n),
+            )
+        except (OSError, ValueError) as error:
+            print(f"bad --trace-out: {error}", file=sys.stderr)
+            return 2
+    elif args.metrics_out:
+        telemetry_spec = TelemetrySpec(metrics=True)
     try:
         spec = SweepSpec(
             axes={"distance_m": distances},
             seed=args.seed,
             chunk_size=args.chunk,
         )
-        result = run_sweep(
-            functools.partial(los_ber_point, sim_seconds=args.seconds),
-            spec,
-            n_workers=args.workers,
-        )
+        fn = functools.partial(los_ber_point, sim_seconds=args.seconds)
+        if live is not None:
+            with activate(live):
+                result = run_sweep(
+                    fn, spec, n_workers=n_workers, telemetry=None
+                )
+            live.close()
+        else:
+            result = run_sweep(
+                fn, spec, n_workers=n_workers, telemetry=telemetry_spec
+            )
     except ValueError as error:
         print(f"bad sweep options: {error}", file=sys.stderr)
         return 2
@@ -82,6 +138,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"  worker {timing.worker}: {timing.n_units} unit(s) in "
             f"{timing.n_chunks} chunk(s), {timing.busy_s:.2f}s busy"
+        )
+    if args.metrics_out:
+        if live is not None:
+            aggregate = TelemetryAggregate.from_chunks(
+                [live.chunk_snapshot()]
+            )
+        else:
+            aggregate = result.telemetry
+        _write_metrics_payload(aggregate.as_dict(), args.metrics_out)
+    if live is not None:
+        print(
+            f"wrote trace ({live.writer.records_written} records) to "
+            f"{args.trace_out}"
         )
     return 0
 
@@ -135,19 +204,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ("system", batch_session.system.counters),
         ("error_model", batch_session.system.error_model.counters),
     ):
-        timings = counters.as_dict()
-        for stage, entry in sorted(
-            timings.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        for stage, seconds, calls, per_call_us in (
+            counters.as_rows_with_rate()
         ):
-            stages.add_row(
-                [
-                    group,
-                    stage,
-                    entry["seconds"],
-                    int(entry["calls"]),
-                    counters.per_call_us(stage),
-                ]
-            )
+            stages.add_row([group, stage, seconds, calls, per_call_us])
     print(stages.render())
     payload = bench_payload(result)
     entry = record_bench_trajectory(args.trajectory, payload)
@@ -187,6 +247,243 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
+    if args.metrics_out or args.trace_out:
+        # One extra instrumented session-batch run; the bench numbers
+        # above stay un-instrumented so baselines are comparable.
+        from .bench import timed_session
+        from .obs import (
+            Telemetry,
+            TelemetryAggregate,
+            TraceSampler,
+            TraceWriter,
+        )
+
+        try:
+            telemetry = Telemetry(
+                metrics=bool(args.metrics_out),
+                writer=(
+                    TraceWriter(args.trace_out) if args.trace_out else None
+                ),
+                sampler=TraceSampler(every_n=args.trace_every_n),
+            )
+        except (OSError, ValueError) as error:
+            print(f"bad telemetry options: {error}", file=sys.stderr)
+            return 2
+        capture = timed_session(
+            args.queries,
+            distance_m=args.distance,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+        telemetry.close()
+        print(
+            f"telemetry capture run: {capture['queries_per_s']:.0f} "
+            "queries/s instrumented"
+        )
+        if args.metrics_out:
+            aggregate = TelemetryAggregate.from_chunks(
+                [telemetry.chunk_snapshot()]
+            )
+            _write_metrics_payload(aggregate.as_dict(), args.metrics_out)
+        if args.trace_out:
+            print(
+                f"wrote trace ({telemetry.writer.records_written} "
+                f"records) to {args.trace_out}"
+            )
+    return 0
+
+
+def _metrics_table(snapshot: dict, title: str) -> Table:
+    """Render a metrics snapshot as a one-row-per-series table."""
+    table = Table(title, ["metric", "labels", "type", "value"])
+    for name, family in snapshot["metrics"].items():
+        for entry in family["series"]:
+            labels = ",".join(
+                f"{key}={value}"
+                for key, value in entry["labels"].items()
+            )
+            if family["type"] == "histogram":
+                value = (
+                    f"count={int(entry['count'])} "
+                    f"sum={entry['sum']:.6g}"
+                )
+            else:
+                value = entry["value"]
+            table.add_row([name, labels or "-", family["type"], value])
+    return table
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Collect (or re-render) an aggregated metrics payload."""
+    import json
+
+    from .obs import render_prometheus
+
+    if args.input:
+        try:
+            with open(args.input, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"bad --input: {error}", file=sys.stderr)
+            return 2
+    else:
+        from .runner import SessionSpec, TelemetrySpec, run_sessions
+
+        try:
+            result = run_sessions(
+                SessionSpec(distance_m=args.distance),
+                args.sessions,
+                queries=args.queries,
+                seed=args.seed,
+                n_workers=args.workers,
+                chunk_size=args.chunk,
+                telemetry=TelemetrySpec(metrics=True),
+            )
+        except ValueError as error:
+            print(f"bad metrics options: {error}", file=sys.stderr)
+            return 2
+        payload = result.telemetry.as_dict()
+    snapshot = payload.get("metrics")
+    if not isinstance(snapshot, dict) or "schema" not in snapshot:
+        print(
+            "payload holds no metrics snapshot (collected with metrics "
+            "disabled?)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "json":
+        text = json.dumps(payload, indent=2)
+    elif args.format == "prometheus":
+        try:
+            text = render_prometheus(snapshot)
+        except ValueError as error:
+            print(f"bad snapshot: {error}", file=sys.stderr)
+            return 2
+    else:
+        text = _metrics_table(
+            snapshot,
+            f"aggregated metrics ({payload.get('chunks', '?')} chunk(s), "
+            f"repro {payload.get('version', '?')})",
+        ).render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    """Run one traced LOS session, writing a JSONL trace file."""
+    from .obs import (
+        Telemetry,
+        TelemetryAggregate,
+        TraceSampler,
+        TraceWriter,
+    )
+
+    if args.queries < 1:
+        print("--queries must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        telemetry = Telemetry(
+            metrics=bool(args.metrics_out),
+            writer=TraceWriter(args.out),
+            sampler=TraceSampler(
+                every_n=args.every_n, head=args.head, tail=args.tail
+            ),
+        )
+    except (OSError, ValueError) as error:
+        print(f"bad trace options: {error}", file=sys.stderr)
+        return 2
+    system, info = los_scenario(args.distance, seed=args.seed)
+    telemetry.attach(system)
+    session = MeasurementSession(
+        system, rng=np.random.default_rng(args.seed + 1)
+    )
+    stats = session.run_queries(args.queries)
+    telemetry.close()
+    print(
+        f"{info.name}: {stats.queries} queries, BER {stats.ber:.4g}, "
+        f"{telemetry.writer.records_written} trace record(s) -> {args.out}"
+    )
+    if args.metrics_out:
+        aggregate = TelemetryAggregate.from_chunks(
+            [telemetry.chunk_snapshot()]
+        )
+        _write_metrics_payload(aggregate.as_dict(), args.metrics_out)
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    """Validate and aggregate one or more JSONL trace files."""
+    import json
+
+    from .obs import summarize_trace
+
+    try:
+        summary = summarize_trace(*args.paths)
+    except (OSError, ValueError) as error:
+        print(f"bad trace: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    queries = summary["queries"]
+    table = Table(
+        f"trace summary: {', '.join(args.paths)}",
+        ["field", "value"],
+    )
+    for kind in ("header", "query", "session"):
+        table.add_row(
+            [f"{kind} records", summary["records"].get(kind, 0)]
+        )
+    table.add_row(["producer versions", ", ".join(summary["versions"])])
+    for key in (
+        "count",
+        "bits_sent",
+        "bit_errors",
+        "ber",
+        "subframes",
+        "subframes_failed",
+        "missed_triggers",
+    ):
+        table.add_row([f"queries.{key}", queries[key]])
+    print(table.render())
+    for i, session in enumerate(summary["sessions"]):
+        print(
+            f"  session {i}: {session['queries']} queries, "
+            f"BER {session['ber']:.4g}, "
+            f"{session['bits_sent']} bits / {session['bit_errors']} "
+            f"errors, {session['missed_triggers']} missed trigger(s)"
+        )
+    return 0
+
+
+def _cmd_trace_tail(args: argparse.Namespace) -> int:
+    """Print the last N records of a trace as JSON lines."""
+    import json
+    from collections import deque
+
+    from .obs import read_trace
+
+    try:
+        stream = read_trace(*args.paths, validate=not args.no_validate)
+        if args.kind:
+            stream = (
+                record
+                for record in stream
+                if record.get("kind") == args.kind
+            )
+        records = deque(stream, maxlen=args.records)
+    except (OSError, ValueError) as error:
+        print(f"bad trace: {error}", file=sys.stderr)
+        return 2
+    for record in records:
+        print(json.dumps(record, separators=(",", ":")))
     return 0
 
 
@@ -349,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="WiTAG (HotNets 2018) reproduction experiments",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser(
@@ -365,6 +665,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument(
         "--chunk", type=int, default=None, help="work units per task"
+    )
+    sweep.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write the aggregated telemetry payload (JSON) here",
+    )
+    sweep.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="write a JSONL query/session trace here (forces serial)",
+    )
+    sweep.add_argument(
+        "--trace-every-n",
+        type=int,
+        default=1,
+        help="keep every Nth query record in the trace",
     )
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -402,7 +720,125 @@ def build_parser() -> argparse.ArgumentParser:
         default="benchmarks/baselines.json",
         help="baselines file updated by --update-baseline",
     )
+    bench.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="run one extra instrumented session and write its "
+        "aggregated metrics (JSON) here",
+    )
+    bench.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        help="run one extra instrumented session and write its JSONL "
+        "trace here",
+    )
+    bench.add_argument(
+        "--trace-every-n",
+        type=int,
+        default=100,
+        help="keep every Nth query record in the bench trace",
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="collect or re-render aggregated telemetry metrics",
+    )
+    metrics.add_argument("--sessions", type=int, default=4)
+    metrics.add_argument("--queries", type=int, default=50)
+    metrics.add_argument("--distance", type=float, default=4.0)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--workers", type=int, default=1)
+    metrics.add_argument(
+        "--chunk",
+        type=int,
+        default=1,
+        help="sessions per chunk; the default of 1 makes serial and "
+        "parallel runs aggregate identically",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+    )
+    metrics.add_argument(
+        "--input",
+        type=str,
+        default=None,
+        help="re-render an existing payload (from --metrics-out) "
+        "instead of running sessions",
+    )
+    metrics.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="write the rendered output here instead of stdout",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="query/session JSONL trace tooling"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_run = trace_sub.add_parser(
+        "run", help="run one traced LOS session"
+    )
+    trace_run.add_argument("out", type=str, help="JSONL output path")
+    trace_run.add_argument("--queries", type=int, default=200)
+    trace_run.add_argument("--distance", type=float, default=4.0)
+    trace_run.add_argument("--seed", type=int, default=0)
+    trace_run.add_argument(
+        "--every-n",
+        type=int,
+        default=1,
+        help="keep every Nth query record",
+    )
+    trace_run.add_argument(
+        "--head",
+        type=int,
+        default=0,
+        help="always keep the first N query records",
+    )
+    trace_run.add_argument(
+        "--tail",
+        type=int,
+        default=0,
+        help="also keep the last N dropped query records per session",
+    )
+    trace_run.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="also write the run's aggregated metrics (JSON) here",
+    )
+    trace_run.set_defaults(func=_cmd_trace_run)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="validate and aggregate trace files"
+    )
+    trace_summary.add_argument("paths", nargs="+", type=str)
+    trace_summary.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    trace_summary.set_defaults(func=_cmd_trace_summary)
+    trace_tail = trace_sub.add_parser(
+        "tail", help="print the last records of a trace"
+    )
+    trace_tail.add_argument("paths", nargs="+", type=str)
+    trace_tail.add_argument("--records", type=int, default=10)
+    trace_tail.add_argument(
+        "--kind",
+        choices=("header", "query", "session"),
+        default=None,
+        help="only show records of this kind",
+    )
+    trace_tail.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip per-record schema validation",
+    )
+    trace_tail.set_defaults(func=_cmd_trace_tail)
 
     fig5 = sub.add_parser("fig5", help="BER/throughput vs tag position")
     fig5.add_argument("--seconds", type=float, default=1.0)

@@ -114,22 +114,29 @@ class MeasurementSession:
                 while elapsed < duration_s:
                     elapsed += cycle_s
                     count += 1
-                return self.stats(self._run_batch(count))
+                return self._finish(self.stats(self._run_batch(count)))
         elapsed = 0.0
         while elapsed < duration_s:
             elapsed += self._one_cycle()
-        return self.stats(elapsed)
+        return self._finish(self.stats(elapsed))
 
     def run_queries(self, count: int) -> SessionStats:
         """Run a fixed number of query cycles."""
         if count < 1:
             raise ValueError("count must be >= 1")
         if self.session_fast_path:
-            return self.stats(self._run_batch(count))
+            return self._finish(self.stats(self._run_batch(count)))
         elapsed = 0.0
         for _ in range(count):
             elapsed += self._one_cycle()
-        return self.stats(elapsed)
+        return self._finish(self.stats(elapsed))
+
+    def _finish(self, stats: SessionStats) -> SessionStats:
+        """Emit the end-of-run session telemetry record, if attached."""
+        telemetry = self.system.telemetry
+        if telemetry is not None:
+            telemetry.on_session(stats, self.stage_timings())
+        return stats
 
     def _one_cycle(self) -> float:
         self._ensure_tag_bits()

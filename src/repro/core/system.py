@@ -24,9 +24,12 @@ minute-long BER/throughput experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 from ..mac.addresses import MacAddress
 from ..mac.block_ack import BlockAck, BlockAckScoreboard, build_block_ack
@@ -113,6 +116,11 @@ class WiTagSystem:
             — the equivalence suites run with this enabled.
         counters: cumulative per-stage wall-clock of the query cycle
             (``query-build``, ``tag-fsm``, ``phy-decode``, ``mac-ba``).
+        telemetry: optional :class:`repro.obs.Telemetry`.  Usually wired
+            via :meth:`repro.obs.Telemetry.attach` (which also hooks the
+            error model, tag FSM and scoreboard); passing one at
+            construction attaches it for you.  ``None`` (the default)
+            costs one ``is None`` check per query.
     """
 
     config: WiTagConfig
@@ -129,6 +137,9 @@ class WiTagSystem:
     phy_fast_path: bool = True
     phy_exact_coding: bool = False
     counters: StageCounters = field(default_factory=StageCounters, repr=False)
+    telemetry: "Telemetry | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.builder = QueryBuilder(self.config, self.client, self.ap)
@@ -139,6 +150,8 @@ class WiTagSystem:
             self.error_model.channel.geometry.tx_tag_m, wavelength
         )
         self._rx_at_tag_dbm = self.error_model.tx_power_dbm - loss_db
+        if self.telemetry is not None:
+            self.telemetry.attach(self)
 
     @property
     def rx_power_at_tag_dbm(self) -> float:
@@ -234,7 +247,7 @@ class WiTagSystem:
             + block_ack_airtime_s()
         )
         self._last_cycle_s = cycle_s
-        return QueryResult(
+        result = QueryResult(
             query=query,
             block_ack=block_ack,
             detected=transmission.detected,
@@ -243,6 +256,14 @@ class WiTagSystem:
             cycle_s=cycle_s,
             rx_power_at_tag_dbm=self._rx_at_tag_dbm,
         )
+        if self.telemetry is not None:
+            self.telemetry.on_query(
+                result,
+                n_failed=int(len(outcomes)) - int(sum(outcomes)),
+                states=states,
+                fading=fading,
+            )
+        return result
 
     def run_queries(self, count: int) -> list[QueryResult]:
         """Run ``count`` consecutive query cycles."""
@@ -353,6 +374,10 @@ class WiTagSystem:
             # past the trigger subframes — slice it directly instead of
             # re-extracting 64 bits from the bitmap per query.
             raw_rows = outcome_matrix.astype(np.uint8).tolist()
+            tel = self.telemetry
+            if tel is not None:
+                row_true = outcome_matrix.sum(axis=1)
+                n_subframes = outcome_matrix.shape[1]
             for q, frame in enumerate(frames):
                 bitmap = int.from_bytes(packed[q].tobytes(), "little")
                 block_ack = BlockAck(
@@ -367,21 +392,37 @@ class WiTagSystem:
                 cycle_s = (
                     access[q] + frame.airtime_s + sifs + ba_airtime_s
                 )
-                results.append(
-                    QueryResult(
-                        query=frame,
-                        block_ack=block_ack,
-                        detected=transmission.detected,
-                        sent_bits=transmission.bits_loaded,
-                        received_bits=tuple(raw[:n_sent]),
-                        cycle_s=cycle_s,
-                        rx_power_at_tag_dbm=self._rx_at_tag_dbm,
-                    )
+                result = QueryResult(
+                    query=frame,
+                    block_ack=block_ack,
+                    detected=transmission.detected,
+                    sent_bits=transmission.bits_loaded,
+                    received_bits=tuple(raw[:n_sent]),
+                    cycle_s=cycle_s,
+                    rx_power_at_tag_dbm=self._rx_at_tag_dbm,
                 )
+                results.append(result)
+                if tel is not None:
+                    tel.on_query(
+                        result,
+                        n_failed=int(n_subframes - row_true[q]),
+                        states=state_rows[q],
+                        fading=fading.sample(q),
+                    )
 
         # Leave the mutable MAC state exactly as the scalar loop would:
         # the scoreboard holds the last query's outcomes, and the next
-        # fading advance uses the last cycle duration.
+        # fading advance uses the last cycle duration.  The trailing
+        # replay fires the scoreboard's own telemetry hooks for the last
+        # query; the bulk hook accounts for the count-1 resets and the
+        # records of the earlier queries the batch path elides, so
+        # scoreboard counters match the scalar loop exactly.
+        if self.telemetry is not None:
+            total_true = int(outcome_matrix.sum())
+            last_true = int(outcome_matrix[-1].sum())
+            self.telemetry.on_scoreboard_bulk(
+                records=total_true - last_true, resets=count - 1
+            )
         last_frame = frames[-1]
         self._scoreboard.reset(last_frame.ssn)
         for index, ok in enumerate(outcomes[-1]):

@@ -14,9 +14,13 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .addresses import MacAddress
 from .crc import fcs_bytes, verify_fcs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 #: Bitmap width of a compressed block ACK.
 BLOCK_ACK_WINDOW = 64
@@ -42,6 +46,12 @@ class BlockAckScoreboard:
 
     ssn: int = 0
     _received: set[int] = field(default_factory=set)
+    # Private on purpose: the scoreboard's public surface must stay
+    # exactly that of a standard recipient (asserted structurally in
+    # tests/test_integration_end_to_end.py).
+    _telemetry: "Telemetry | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0 <= self.ssn < SEQUENCE_MODULUS:
@@ -57,6 +67,8 @@ class BlockAckScoreboard:
             raise ValueError(f"sequence must be 0-4095, got {sequence}")
         if seq_offset(self.ssn, sequence) < BLOCK_ACK_WINDOW:
             self._received.add(sequence)
+            if self._telemetry is not None:
+                self._telemetry.on_scoreboard_record()
 
     def bitmap(self) -> int:
         """The 64-bit bitmap: bit k set iff MPDU ssn+k was received."""
@@ -71,6 +83,8 @@ class BlockAckScoreboard:
             raise ValueError(f"SSN must be 0-4095, got {ssn}")
         self.ssn = ssn
         self._received.clear()
+        if self._telemetry is not None:
+            self._telemetry.on_scoreboard_reset()
 
 
 @dataclass(frozen=True)

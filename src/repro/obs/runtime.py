@@ -1,0 +1,59 @@
+"""Process-local active telemetry.
+
+Worker entry points (:mod:`repro.runner.workers`) build simulators deep
+inside picklable work functions, where the caller cannot reach in to
+wire a :class:`~repro.obs.telemetry.Telemetry` by hand.  The engine
+instead *activates* a telemetry object for the duration of a chunk, and
+the work functions call :func:`attach_active` on each system they build.
+
+This is module-level (not thread-local) state: the runner's process
+pool forks one chunk at a time per worker process, and the serial
+executor runs chunks sequentially, so a single active slot suffices.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.system import WiTagSystem
+    from .telemetry import Telemetry
+
+__all__ = ["activate", "active", "attach_active", "deactivate"]
+
+_active: "Telemetry | None" = None
+
+
+def active() -> "Telemetry | None":
+    """The telemetry currently activated in this process, if any."""
+    return _active
+
+
+def attach_active(system: "WiTagSystem") -> "WiTagSystem":
+    """Attach the active telemetry (if any) to ``system``; returns it."""
+    if _active is not None:
+        _active.attach(system)
+    return system
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def activate(telemetry: "Telemetry | None") -> Iterator["Telemetry | None"]:
+    """Make ``telemetry`` the process-local active telemetry.
+
+    Restores the previous active telemetry on exit, so nested engine
+    runs (e.g. a traced session inside a sweep) compose.  ``None`` is
+    accepted and simply leaves telemetry inactive for the scope.
+    """
+    global _active
+    previous = _active
+    _active = telemetry
+    try:
+        yield telemetry
+    finally:
+        _active = previous

@@ -86,11 +86,25 @@ class StageCounters:
             return 0.0
         return 1e6 * self.seconds.get(stage, 0.0) / calls
 
-    def rows(self) -> list[list]:
-        """Table rows ``[stage, seconds, calls]`` sorted by cost."""
+    def as_rows_with_rate(self) -> list[list]:
+        """Table rows ``[stage, seconds, calls, per_call_us]`` by cost.
+
+        The one place per-call rate math lives: :meth:`rows` and the
+        ``repro bench`` stage table both derive from this, and the rate
+        column inherits :meth:`per_call_us`'s ``calls > 0`` guard.
+        """
         return [
-            [stage, self.seconds[stage], self.calls.get(stage, 0)]
+            [
+                stage,
+                self.seconds[stage],
+                self.calls.get(stage, 0),
+                self.per_call_us(stage),
+            ]
             for stage in sorted(
                 self.seconds, key=self.seconds.get, reverse=True
             )
         ]
+
+    def rows(self) -> list[list]:
+        """Table rows ``[stage, seconds, calls]`` sorted by cost."""
+        return [row[:3] for row in self.as_rows_with_rate()]

@@ -47,9 +47,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 from ..perf import StageCounters
 from ..seeding import component_rng
@@ -192,6 +195,11 @@ class LinkErrorModel:
             once per A-MPDU, so the instrumentation overhead is a few
             microseconds per query.  The scalar reference methods are
             deliberately left un-instrumented.
+        telemetry: optional :class:`repro.obs.Telemetry`; when attached,
+            every effective-SINR evaluation feeds the
+            ``phy_effective_sinr`` histogram.  All three tiers (scalar,
+            per-query vectorized, session-batch 2-D) observe the same
+            values in the same order, so histograms are tier-invariant.
     """
 
     channel: BackscatterChannel
@@ -203,6 +211,9 @@ class LinkErrorModel:
         default_factory=lambda: component_rng("error-model")
     )
     counters: StageCounters = field(default_factory=StageCounters, repr=False)
+    telemetry: "Telemetry | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._tx_ref_snr = (
@@ -377,6 +388,8 @@ class LinkErrorModel:
             sinr_rows.reshape(n_q * k, n), self.mcs.modulation
         ).reshape(n_q, k)
         self.counters.add("eesm", time.perf_counter() - start, n_q * k)
+        if self.telemetry is not None:
+            self.telemetry.observe_sinrs(effective)
         return effective
 
     def subframe_success_probabilities_batch2d(
@@ -481,7 +494,10 @@ class LinkErrorModel:
         est_mismatch = np.abs(h_preamble - estimate) ** 2 / safe_est_sq
         noise = 1.0 / (self._tx_ref_snr * safe_est_sq)
         sinrs = 1.0 / (tag_mismatch + est_mismatch + noise)
-        return eesm_effective_sinr(sinrs, self.mcs.modulation)
+        effective = eesm_effective_sinr(sinrs, self.mcs.modulation)
+        if self.telemetry is not None:
+            self.telemetry.observe_sinr(effective)
+        return effective
 
     def subframe_effective_sinrs(
         self,
@@ -574,6 +590,8 @@ class LinkErrorModel:
                 sinr_rows, self.mcs.modulation
             )[row]
             self.counters.add("eesm", time.perf_counter() - start, k)
+            if self.telemetry is not None:
+                self.telemetry.observe_sinrs(effective)
             return effective
 
         start = time.perf_counter()
@@ -600,6 +618,8 @@ class LinkErrorModel:
         start = time.perf_counter()
         effective = eesm_effective_sinr_batch(sinr_rows, self.mcs.modulation)
         self.counters.add("eesm", time.perf_counter() - start, k)
+        if self.telemetry is not None:
+            self.telemetry.observe_sinrs(effective)
         return effective
 
     def subframe_success_probabilities(

@@ -15,6 +15,8 @@ contract, and :mod:`repro.runner.workers` for ready-made picklable
 work functions.
 """
 
+from ..obs.aggregate import TelemetryAggregate
+from ..obs.telemetry import TelemetrySpec
 from .engine import (
     SweepError,
     SweepResult,
@@ -34,6 +36,8 @@ __all__ = [
     "SweepError",
     "SweepResult",
     "SweepSpec",
+    "TelemetryAggregate",
+    "TelemetrySpec",
     "UnitContext",
     "WorkUnitError",
     "WorkerTiming",

@@ -40,6 +40,9 @@ import numpy as np
 
 from ..analysis.reporting import Table
 from ..analysis.sweep import SweepPoint
+from ..obs.aggregate import TelemetryAggregate
+from ..obs.runtime import activate as _activate_telemetry
+from ..obs.telemetry import TelemetrySpec
 from ..seeding import derived_seed
 
 __all__ = [
@@ -213,6 +216,12 @@ class SweepResult:
     executor: str
     wall_s: float
     worker_timings: tuple[WorkerTiming, ...]
+    #: Merged worker telemetry (metric snapshots + stage counters) when
+    #: the run was launched with a :class:`repro.obs.TelemetrySpec`;
+    #: ``None`` otherwise.  Merging happens in chunk-index order, so two
+    #: runs with the same units and ``chunk_size`` — serial or parallel,
+    #: any worker count — expose identical aggregated metric values.
+    telemetry: TelemetryAggregate | None = None
 
     @property
     def values(self) -> list[Any]:
@@ -271,37 +280,61 @@ class _ChunkOutcome:
     failure: _UnitFailure | None
     worker: int
     busy_s: float
+    telemetry: dict[str, Any] | None = None
 
 
 def _run_chunk(
-    fn: Callable[[UnitContext], Any], units: list[UnitContext]
+    fn: Callable[[UnitContext], Any],
+    units: list[UnitContext],
+    telemetry_spec: TelemetrySpec | None = None,
 ) -> _ChunkOutcome:
     """Execute one chunk of units; never raises (failures are data).
 
     Returning failures instead of raising keeps tracebacks readable
     across the process boundary and lets the coordinator attribute the
     error to a specific unit.
+
+    When a :class:`TelemetrySpec` is given, a fresh per-chunk
+    :class:`repro.obs.Telemetry` is activated around the unit loop
+    (work functions pick it up via
+    :func:`repro.obs.runtime.attach_active`) and its snapshot rides
+    back on the outcome — this is the cross-process telemetry channel.
+    A spec of ``None`` leaves any caller-activated live telemetry in
+    place (the serial tracing flow).
     """
     start = time.perf_counter()
     values: list[Any] = []
     failure = None
-    for ctx in units:
-        try:
-            values.append(fn(ctx))
-        except Exception as exc:  # noqa: BLE001 - crossing process boundary
-            failure = _UnitFailure(
-                index=ctx.index,
-                parameters=ctx.parameters,
-                cause=f"{type(exc).__name__}: {exc}",
-                remote_traceback=traceback.format_exc(),
-            )
-            break
+
+    def run() -> None:
+        nonlocal failure
+        for ctx in units:
+            try:
+                values.append(fn(ctx))
+            except Exception as exc:  # noqa: BLE001 - crossing processes
+                failure = _UnitFailure(
+                    index=ctx.index,
+                    parameters=ctx.parameters,
+                    cause=f"{type(exc).__name__}: {exc}",
+                    remote_traceback=traceback.format_exc(),
+                )
+                break
+
+    snapshot = None
+    if telemetry_spec is None:
+        run()
+    else:
+        telemetry = telemetry_spec.build()
+        with _activate_telemetry(telemetry):
+            run()
+        snapshot = telemetry.chunk_snapshot()
     return _ChunkOutcome(
         first_index=units[0].index,
         values=values,
         failure=failure,
         worker=os.getpid(),
         busy_s=time.perf_counter() - start,
+        telemetry=snapshot,
     )
 
 
@@ -356,9 +389,10 @@ def _collect_outcomes(
     chunks: list[list[UnitContext]],
     executor_kind: str,
     n_workers: int,
+    telemetry_spec: TelemetrySpec | None = None,
 ) -> list[_ChunkOutcome]:
     if executor_kind == "serial":
-        return [_run_chunk(fn, chunk) for chunk in chunks]
+        return [_run_chunk(fn, chunk, telemetry_spec) for chunk in chunks]
     methods = multiprocessing.get_all_start_methods()
     method = "fork" if "fork" in methods else methods[0]
     context = multiprocessing.get_context(method)
@@ -366,7 +400,10 @@ def _collect_outcomes(
     with ProcessPoolExecutor(
         max_workers=n_workers, mp_context=context
     ) as pool:
-        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        futures = [
+            pool.submit(_run_chunk, fn, chunk, telemetry_spec)
+            for chunk in chunks
+        ]
         wait(futures, return_when=FIRST_EXCEPTION)
         for future in futures:
             try:
@@ -390,6 +427,7 @@ def run_units(
     n_workers: int = 1,
     chunk_size: int | None = None,
     executor: str = "auto",
+    telemetry: TelemetrySpec | None = None,
 ) -> SweepResult:
     """Execute arbitrary work units; the primitive under :func:`run_sweep`.
 
@@ -401,9 +439,19 @@ def run_units(
         units: the units to execute; results come back in this order.
         seed: recorded in the result (the units already carry theirs).
         n_workers: worker processes; 1 means in-process serial.
-        chunk_size: units per task; ``None`` auto-sizes.
+        chunk_size: units per task; ``None`` auto-sizes.  Telemetry
+            callers comparing serial vs. parallel aggregates should pin
+            this: the auto size depends on ``n_workers``, and chunking
+            decides how worker registries partition before the merge.
         executor: "auto" (process pool when possible), "serial", or
             "process" (force a pool even for one worker).
+        telemetry: optional :class:`repro.obs.TelemetrySpec`; each chunk
+            then runs with a fresh activated telemetry whose snapshot is
+            shipped back and merged (in chunk order) into
+            ``result.telemetry``.  Work functions opt in by calling
+            :func:`repro.obs.runtime.attach_active` on the systems they
+            build — the bundled :mod:`repro.runner.workers` functions
+            and :func:`repro.runner.run_sessions` already do.
 
     Returns:
         A :class:`SweepResult`; ``values`` are in unit order.
@@ -423,7 +471,9 @@ def run_units(
 
     start = time.perf_counter()
     chunks = _chunked(units, chunk_size)
-    outcomes = _collect_outcomes(fn, chunks, executor_kind, n_workers)
+    outcomes = _collect_outcomes(
+        fn, chunks, executor_kind, n_workers, telemetry
+    )
     wall_s = time.perf_counter() - start
 
     failures = [o.failure for o in outcomes if o.failure is not None]
@@ -459,6 +509,13 @@ def run_units(
         )
         for worker, worker_outcomes in sorted(by_worker.items())
     )
+    aggregate = None
+    if telemetry is not None:
+        aggregate = TelemetryAggregate.from_chunks(
+            outcome.telemetry
+            for outcome in sorted(outcomes, key=lambda o: o.first_index)
+            if outcome.telemetry is not None
+        )
     return SweepResult(
         points=points,
         seed=seed,
@@ -467,6 +524,7 @@ def run_units(
         executor=executor_kind,
         wall_s=wall_s,
         worker_timings=timings,
+        telemetry=aggregate,
     )
 
 
@@ -477,6 +535,7 @@ def run_sweep(
     n_workers: int = 1,
     chunk_size: int | None = None,
     executor: str = "auto",
+    telemetry: TelemetrySpec | None = None,
 ) -> SweepResult:
     """Evaluate ``measure`` at every grid point of ``spec``.
 
@@ -492,4 +551,5 @@ def run_sweep(
         n_workers=n_workers,
         chunk_size=chunk_size if chunk_size is not None else spec.chunk_size,
         executor=executor,
+        telemetry=telemetry,
     )

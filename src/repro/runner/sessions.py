@@ -15,11 +15,18 @@ import functools
 from typing import Any, Callable
 
 from ..core.session import MeasurementSession, SessionStats
+from ..obs.runtime import attach_active
+from ..obs.telemetry import TelemetrySpec
 from .engine import SweepResult, UnitContext, run_units
 
 __all__ = ["run_sessions"]
 
 SessionBuilder = Callable[[UnitContext], MeasurementSession]
+
+#: Default telemetry for session runs: no metric families, but stage
+#: counters are always snapshotted and merged, so ``result.telemetry``
+#: can answer "where did worker time go?" after a parallel run.
+_STAGE_COUNTERS_ONLY = TelemetrySpec(metrics=False)
 
 
 def _session_unit(
@@ -30,6 +37,7 @@ def _session_unit(
     session_fast_path: bool | None,
 ) -> SessionStats:
     session = build(ctx)
+    attach_active(session.system)
     if session_fast_path is not None:
         session.session_fast_path = session_fast_path
     if queries is not None:
@@ -50,6 +58,7 @@ def run_sessions(
     chunk_size: int | None = None,
     executor: str = "auto",
     session_fast_path: bool | None = None,
+    telemetry: TelemetrySpec | None = _STAGE_COUNTERS_ONLY,
 ) -> SweepResult:
     """Run ``n_sessions`` independent sessions; values are SessionStats.
 
@@ -77,6 +86,12 @@ def run_sessions(
             result points; defaults to ``{"session": i}``.
         n_workers / chunk_size / executor: see
             :func:`repro.runner.engine.run_units`.
+        telemetry: per-chunk :class:`repro.obs.TelemetrySpec`.  The
+            default collects stage counters only (near-zero cost) so
+            ``result.telemetry.stage_timings()`` reports merged worker
+            time after parallel runs; pass ``TelemetrySpec()`` for full
+            metrics, or ``None`` to leave a caller-activated live
+            telemetry (e.g. a tracing one) in charge.
     """
     if n_sessions < 0:
         raise ValueError("n_sessions must be >= 0")
@@ -108,4 +123,5 @@ def run_sessions(
         n_workers=n_workers,
         chunk_size=chunk_size,
         executor=executor,
+        telemetry=telemetry,
     )

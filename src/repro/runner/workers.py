@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.session import MeasurementSession
+from ..obs.runtime import attach_active
 from ..sim.scenario import los_scenario, nlos_scenario
 from .engine import UnitContext
 
@@ -104,6 +105,7 @@ def los_ber_point(
     system, info = los_scenario(
         distance_m, seed=ctx.seed, phy_fast_path=phy_fast_path
     )
+    attach_active(system)
     session = MeasurementSession(
         system, rng=ctx.rng(1), session_fast_path=session_fast_path
     )
@@ -124,6 +126,7 @@ def nlos_session_stats(
     """One Figure-6-style NLOS run at ``ctx.parameters["location"]``."""
     location = str(ctx.parameters["location"])
     system, info = nlos_scenario(location, seed=ctx.seed)
+    attach_active(system)
     session = MeasurementSession(system, rng=ctx.rng(1))
     stats = session.run_for(sim_seconds)
     return {

@@ -19,8 +19,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.telemetry import Telemetry
 
 from ..phy.channel import TagState
 from ..seeding import component_rng
@@ -101,6 +105,10 @@ class TagStateMachine:
         oscillator: local clock.
         data_queue: bits waiting to be transmitted, consumed FIFO.
         rng: randomness for detection/timing draws.
+        telemetry: optional :class:`repro.obs.Telemetry`; counts trigger
+            outcomes, consumed bits and toggle alignment.  Both
+            :meth:`process_query` and :meth:`process_query_fast` emit
+            the same hook values for the same physics.
     """
 
     design: TagDesign = field(default_factory=phase_flip_design)
@@ -111,6 +119,9 @@ class TagStateMachine:
         default_factory=lambda: component_rng("tag")
     )
     phase: TagPhase = TagPhase.IDLE
+    telemetry: "Telemetry | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def load_bits(self, bits: list[int]) -> None:
         """Queue data bits for transmission (e.g. a framed sensor reading)."""
@@ -136,6 +147,8 @@ class TagStateMachine:
         self.phase = TagPhase.DETECTING
         if not self.detector.detect(query.rx_power_dbm, self.rng):
             self.phase = TagPhase.IDLE
+            if self.telemetry is not None:
+                self.telemetry.on_trigger(False)
             return TagTransmission(
                 detected=False,
                 states=(idle_state,) * query.n_subframes,
@@ -166,6 +179,9 @@ class TagStateMachine:
         remaining = query.n_subframes - len(states)
         states.extend([idle_state] * remaining)
         self.phase = TagPhase.IDLE
+        if self.telemetry is not None:
+            self.telemetry.on_trigger(True)
+            self.telemetry.on_tag_bits(n_bits, sum(aligned))
         return TagTransmission(
             detected=True,
             states=tuple(states),
@@ -191,6 +207,8 @@ class TagStateMachine:
         self.phase = TagPhase.DETECTING
         if not self.detector.detect(query.rx_power_dbm, self.rng):
             self.phase = TagPhase.IDLE
+            if self.telemetry is not None:
+                self.telemetry.on_trigger(False)
             return TagTransmission(
                 detected=False,
                 states=(idle_state,) * query.n_subframes,
@@ -222,6 +240,9 @@ class TagStateMachine:
         states.extend([by_bit[bit] for bit in bits])
         states.extend([idle_state] * (query.n_subframes - len(states)))
         self.phase = TagPhase.IDLE
+        if self.telemetry is not None:
+            self.telemetry.on_trigger(True)
+            self.telemetry.on_tag_bits(n_bits, sum(aligned))
         return TagTransmission(
             detected=True,
             states=tuple(states),

@@ -1,0 +1,48 @@
+"""Bench smoke: telemetry overhead on the session-batch fast path.
+
+The telemetry layer's cost contract: a simulator without an attached
+:class:`repro.obs.Telemetry` pays one ``is None`` check per hook site
+(the disabled case is covered by the asserted benchmarks under
+``benchmarks/``, which run without telemetry against
+``benchmarks/baselines.json``), and a fully instrumented run — metrics
+plus a sampled trace at ``every_n=100`` — stays within 15% of the
+uninstrumented wall clock.  Min-of-N wall clocks on both sides plus an
+absolute slack keep the assertion robust on shared machines.
+"""
+
+import pytest
+
+from repro.bench import timed_session
+from repro.obs import Telemetry, TraceSampler, TraceWriter
+
+QUERIES = 150
+REPEATS = 3
+#: Relative regression budget for metrics + every_n=100 tracing.
+MAX_OVERHEAD = 1.15
+#: Absolute slack (s) so scheduler noise on a ~0.1 s run can't flake.
+ABS_SLACK_S = 0.05
+
+
+@pytest.mark.bench_smoke
+def test_instrumented_session_within_overhead_budget(tmp_path):
+    plain = min(
+        timed_session(QUERIES)["wall_s"] for _ in range(REPEATS)
+    )
+    instrumented = []
+    for i in range(REPEATS):
+        telemetry = Telemetry(
+            writer=TraceWriter(str(tmp_path / f"trace{i}.jsonl")),
+            sampler=TraceSampler(every_n=100),
+        )
+        run = timed_session(QUERIES, telemetry=telemetry)
+        telemetry.close()
+        # The capture must actually have instrumented the timed region.
+        snap = telemetry.metrics_snapshot()["metrics"]
+        assert (
+            snap["witag_queries_total"]["series"][0]["value"] == QUERIES
+        )
+        instrumented.append(run["wall_s"])
+    assert min(instrumented) <= plain * MAX_OVERHEAD + ABS_SLACK_S, (
+        f"telemetry overhead too high: {min(instrumented):.4f}s "
+        f"instrumented vs {plain:.4f}s plain"
+    )

@@ -217,6 +217,88 @@ class TestStageTimingsParity:
         assert counters.per_call_us("never-recorded") == 0.0
 
 
+class TestTelemetryEquivalence:
+    """Telemetry is execution-tier invariant: all three tiers emit
+    identical metric snapshots and identical trace streams for the same
+    seed (with ``phy_exact_coding`` pinning the fast tiers to the scalar
+    PHY reference)."""
+
+    def _instrumented(self, tmp_path, name, *, fast, phy_fast):
+        from repro.obs import Telemetry, TraceWriter
+
+        telemetry = Telemetry(
+            writer=TraceWriter(str(tmp_path / f"{name}.jsonl"))
+        )
+        session = _session(fast, phy_fast_path=phy_fast)
+        if phy_fast:
+            session.system.phy_exact_coding = True
+        telemetry.attach(session.system)
+        stats = session.run_queries(QUERIES)
+        telemetry.close()
+        return telemetry, stats, tmp_path / f"{name}.jsonl"
+
+    @staticmethod
+    def _records(path):
+        from repro.obs import read_trace
+
+        queries, sessions = [], []
+        for record in read_trace(str(path), validate=True):
+            if record["kind"] == "query":
+                queries.append(record)
+            elif record["kind"] == "session":
+                # Wall-clock stage timings legitimately differ per run.
+                sessions.append(
+                    {
+                        k: v
+                        for k, v in record.items()
+                        if k != "stage_timings"
+                    }
+                )
+        return queries, sessions
+
+    def test_all_tiers_emit_identical_telemetry(self, tmp_path):
+        scalar = self._instrumented(
+            tmp_path, "scalar", fast=False, phy_fast=False
+        )
+        vector = self._instrumented(
+            tmp_path, "vector", fast=False, phy_fast=True
+        )
+        batch = self._instrumented(
+            tmp_path, "batch", fast=True, phy_fast=True
+        )
+        assert scalar[1] == vector[1] == batch[1]
+        scalar_snap = scalar[0].metrics_snapshot()
+        assert scalar_snap == vector[0].metrics_snapshot()
+        assert scalar_snap == batch[0].metrics_snapshot()
+        scalar_trace = self._records(scalar[2])
+        assert scalar_trace == self._records(vector[2])
+        assert scalar_trace == self._records(batch[2])
+        queries, sessions = scalar_trace
+        assert len(queries) == QUERIES
+        assert len(sessions) == 1
+
+    def test_batch_scoreboard_counters_match_scalar(self, tmp_path):
+        # The batch engine replays only each chunk's final query onto
+        # the real scoreboard; the bulk hook must account for the rest.
+        from repro.obs import Telemetry
+
+        def run(fast):
+            telemetry = Telemetry()
+            session = _session(fast)
+            telemetry.attach(session.system)
+            session.run_queries(QUERIES)
+            snap = telemetry.metrics_snapshot()["metrics"]
+            return {
+                name: snap[name]["series"][0]["value"]
+                for name in (
+                    "mac_scoreboard_records_total",
+                    "mac_scoreboard_resets_total",
+                )
+            }
+
+        assert run(False) == run(True)
+
+
 @pytest.mark.runner
 class TestWorkerInvariance:
     def test_results_independent_of_workers_and_fast_path(self):
