@@ -36,6 +36,7 @@ from .sim.scenario import los_scenario
 
 __all__ = [
     "TIERS",
+    "fault_tolerance_bench",
     "three_tier_bench",
     "timed_session",
     "record_bench_trajectory",
@@ -161,6 +162,85 @@ def three_tier_bench(
             "session_vs_scalar": scalar / session,
             "session_vs_vectorized": vectorized / session,
         },
+    }
+
+
+def fault_tolerance_bench(
+    n_units: int = 64,
+    *,
+    seed: int = 0,
+    chunk_size: int = 8,
+    checkpoint_path: str | None = None,
+) -> dict[str, Any]:
+    """Overhead microbench for the engine's fault-tolerance layer.
+
+    Runs the same cheap physics-free sweep
+    (:func:`repro.runner.workers.rng_probe`) four ways on the serial
+    executor — plain, with a :class:`RetryPolicy` armed (no faults),
+    with chunk checkpointing, and under injected crashes with retries —
+    and reports wall-clock ratios against the plain run plus whether all
+    four produced identical values (they must: the determinism contract
+    covers retried and checkpointed runs).
+
+    ``checkpoint_path`` defaults to a throwaway temporary file; pass a
+    path to inspect the spilled chunks afterwards.
+    """
+    import tempfile
+
+    from .runner import FaultSpec, RetryPolicy, SweepSpec, run_sweep
+    from .runner.workers import rng_probe
+
+    if n_units < 2:
+        raise ValueError("n_units must be >= 2")
+    spec = SweepSpec(
+        axes={"unit": list(range(n_units))},
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+
+    def timed(**kwargs: Any) -> tuple[Any, float]:
+        start = time.perf_counter()
+        result = run_sweep(rng_probe, spec, **kwargs)
+        return result, time.perf_counter() - start
+
+    plain, plain_wall = timed()
+    armed, armed_wall = timed(retry=RetryPolicy(max_attempts=3))
+    cleanup: str | None = None
+    if checkpoint_path is None:
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".ckpt.jsonl", delete=False
+        )
+        handle.close()
+        os.unlink(handle.name)
+        checkpoint_path = cleanup = handle.name
+    try:
+        spilled, spill_wall = timed(checkpoint=checkpoint_path, resume=False)
+    finally:
+        if cleanup is not None and os.path.exists(cleanup):
+            os.unlink(cleanup)
+    faults = FaultSpec(crash=(0, n_units // 2))
+    faulty, faulty_wall = timed(
+        retry=RetryPolicy(max_attempts=3), faults=faults
+    )
+    return {
+        "n_units": n_units,
+        "chunk_size": chunk_size,
+        "seed": seed,
+        "identical": (
+            plain.values == armed.values == spilled.values == faulty.values
+        ),
+        "walls_s": {
+            "plain": plain_wall,
+            "retry_armed": armed_wall,
+            "checkpointed": spill_wall,
+            "faulty_retried": faulty_wall,
+        },
+        "overhead": {
+            "retry_armed": armed_wall / plain_wall,
+            "checkpointed": spill_wall / plain_wall,
+            "faulty_retried": faulty_wall / plain_wall,
+        },
+        "retry_events": faulty.retry_summary(),
     }
 
 

@@ -4,6 +4,9 @@ Usage::
 
     python -m repro sweep [--distances 1,2,...] [--workers 4] [--seed 0]
                           [--metrics-out M.json] [--trace-out T.jsonl]
+                          [--retries 3] [--timeout 30] [--backoff 0.1]
+                          [--inject-faults crash:0] [--checkpoint C.jsonl]
+                          [--resume]
     python -m repro bench [--queries 300] [--distance 4.0] [--json OUT.json]
                           [--update-baseline] [--trajectory PATH.json]
                           [--metrics-out M.json] [--trace-out T.jsonl]
@@ -68,7 +71,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         TraceWriter,
         activate,
     )
-    from .runner import SweepSpec, run_sweep
+    from .runner import (
+        FaultSpec,
+        RetryPolicy,
+        SweepError,
+        SweepSpec,
+        WorkUnitError,
+        run_sweep,
+    )
     from .runner.workers import los_ber_point
 
     try:
@@ -79,6 +89,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not distances:
         print("--distances must name at least one point", file=sys.stderr)
         return 2
+    faults = None
+    if args.inject_faults:
+        try:
+            faults = FaultSpec.parse(
+                args.inject_faults, hang_s=args.hang_seconds
+            )
+        except ValueError as error:
+            print(f"bad --inject-faults: {error}", file=sys.stderr)
+            return 2
+    retry = None
+    if (
+        args.retries is not None
+        or args.timeout is not None
+        or args.backoff is not None
+    ):
+        try:
+            retry = RetryPolicy(
+                max_attempts=(
+                    args.retries if args.retries is not None else 3
+                ),
+                timeout_s=args.timeout,
+                backoff_s=args.backoff if args.backoff is not None else 0.0,
+            )
+        except ValueError as error:
+            print(f"bad retry options: {error}", file=sys.stderr)
+            return 2
     # Tracing needs one live writer, so it forces the serial executor;
     # metrics-only runs stay parallel (snapshots merge across workers).
     live: Telemetry | None = None
@@ -110,19 +146,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             chunk_size=args.chunk,
         )
         fn = functools.partial(los_ber_point, sim_seconds=args.seconds)
+        run = functools.partial(
+            run_sweep,
+            fn,
+            spec,
+            n_workers=n_workers,
+            retry=retry,
+            faults=faults,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         if live is not None:
             with activate(live):
-                result = run_sweep(
-                    fn, spec, n_workers=n_workers, telemetry=None
-                )
+                result = run(telemetry=None)
             live.close()
         else:
-            result = run_sweep(
-                fn, spec, n_workers=n_workers, telemetry=telemetry_spec
-            )
+            result = run(telemetry=telemetry_spec)
     except ValueError as error:
         print(f"bad sweep options: {error}", file=sys.stderr)
         return 2
+    except WorkUnitError as error:
+        summary: dict[str, int] = {}
+        for event in error.retries:
+            summary[event.reason] = summary.get(event.reason, 0) + 1
+        print(
+            f"sweep failed: work unit {error.index} (chunk "
+            f"{error.chunk_index}, parameters {error.parameters}) gave "
+            f"up after {error.attempts} attempt(s): {error.cause}",
+            file=sys.stderr,
+        )
+        if summary:
+            print(
+                "retry summary: "
+                + ", ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(summary.items())
+                ),
+                file=sys.stderr,
+            )
+        if args.checkpoint:
+            print(
+                f"completed chunks are checkpointed in {args.checkpoint}; "
+                f"re-run with --resume to keep them",
+                file=sys.stderr,
+            )
+        return 1
+    except SweepError as error:
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 1
     print(
         result.table(
             f"LOS sweep: {args.seconds:g}s per point, seed {args.seed}, "
@@ -138,6 +209,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"  worker {timing.worker}: {timing.n_units} unit(s) in "
             f"{timing.n_chunks} chunk(s), {timing.busy_s:.2f}s busy"
+        )
+    if result.retries:
+        print(
+            "fault tolerance: "
+            + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(
+                    result.retry_summary().items()
+                )
+            )
+            + f" event(s); finished on the {result.executor} executor"
+        )
+    if args.checkpoint:
+        print(
+            f"checkpoint: {args.checkpoint} "
+            f"({result.resumed_chunks} chunk(s) resumed)"
         )
     if args.metrics_out:
         if live is not None:
@@ -437,11 +524,13 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
         f"trace summary: {', '.join(args.paths)}",
         ["field", "value"],
     )
-    for kind in ("header", "query", "session"):
+    for kind in ("header", "query", "session", "retry"):
         table.add_row(
             [f"{kind} records", summary["records"].get(kind, 0)]
         )
     table.add_row(["producer versions", ", ".join(summary["versions"])])
+    for reason, count in sorted(summary.get("retries", {}).items()):
+        table.add_row([f"retries.{reason}", count])
     for key in (
         "count",
         "bits_sent",
@@ -684,6 +773,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="keep every Nth query record in the trace",
     )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="enable fault tolerance: attempts per chunk (RetryPolicy "
+        "max_attempts)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-chunk deadline in seconds (enables fault tolerance)",
+    )
+    sweep.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        help="base backoff sleep in seconds between chunk retries "
+        "(enables fault tolerance)",
+    )
+    sweep.add_argument(
+        "--inject-faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. 'crash:0,3;corrupt:2' "
+        "(kinds: crash, hang, corrupt, exit; indices are work units)",
+    )
+    sweep.add_argument(
+        "--hang-seconds",
+        type=float,
+        default=0.05,
+        help="how long an injected hang sleeps",
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="spill completed chunks to this JSONL file",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint, skipping completed chunks "
+        "(without this flag an existing checkpoint is overwritten)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -829,7 +964,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_tail.add_argument("--records", type=int, default=10)
     trace_tail.add_argument(
         "--kind",
-        choices=("header", "query", "session"),
+        choices=("header", "query", "session", "retry"),
         default=None,
         help="only show records of this kind",
     )

@@ -55,6 +55,25 @@ class TelemetryAggregate:
                 )
         self.chunks += 1
 
+    def record_retries(self, events: Iterable[Any]) -> None:
+        """Fold scheduler fault-tolerance events into the merged metrics.
+
+        ``events`` are :class:`repro.runner.faults.RetryEvent` objects;
+        each increments ``runner_chunk_retries_total{reason}``.  Retry
+        events are coordinator-side (workers never see them), so the
+        engine folds them in here after the chunk snapshots merge.
+        """
+        counted = False
+        for event in events:
+            self._registry.counter(
+                "runner_chunk_retries_total",
+                "Engine chunk fault-tolerance events by failure reason",
+                labels=("reason",),
+            ).labels(reason=event.reason).inc()
+            counted = True
+        if counted:
+            self.has_metrics = True
+
     def metrics_snapshot(self) -> dict[str, Any] | None:
         """Merged metric snapshot, or ``None`` if no chunk had metrics."""
         return self._registry.snapshot() if self.has_metrics else None

@@ -149,6 +149,11 @@ class Telemetry:
                 "mac_scoreboard_resets_total",
                 "Scoreboard window re-anchors",
             )
+            self._chunk_retries = registry_.counter(
+                "runner_chunk_retries_total",
+                "Engine chunk fault-tolerance events by failure reason",
+                labels=("reason",),
+            )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -262,6 +267,31 @@ class Telemetry:
                         group: dict(stages)
                         for group, stages in stage_timings.items()
                     },
+                }
+            )
+            self.writer.flush()
+
+    def on_chunk_retry(self, event) -> None:
+        """One engine fault-tolerance decision (a ``RetryEvent``).
+
+        Called by the coordinator's scheduler on the *live* telemetry
+        (``repro.obs.runtime.active()``) when a chunk is retried, falls
+        back to the serial executor, or fails terminally.  Counted under
+        ``runner_chunk_retries_total{reason}`` and — when tracing —
+        written as a ``retry`` trace record.
+        """
+        if self.metrics_enabled:
+            self._chunk_retries.labels(reason=event.reason).inc()
+        if self.writer is not None:
+            self.writer.write(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "kind": "retry",
+                    "chunk": int(event.chunk_index),
+                    "first_unit": int(event.first_unit),
+                    "attempt": int(event.attempt),
+                    "reason": str(event.reason),
+                    "action": str(event.action),
                 }
             )
             self.writer.flush()

@@ -16,6 +16,10 @@ Record kinds:
   :class:`repro.core.session.SessionStats`) plus cumulative stage
   timings.  Summing the ``query`` records of an unsampled trace
   reproduces the ``session`` record exactly.
+* ``retry`` — one engine fault-tolerance decision (see
+  :class:`repro.runner.faults.RetryEvent`): which chunk failed, the
+  attempt number, the failure reason, and what the scheduler did about
+  it (retry, serial fallback, or terminal failure).
 
 Sampling (:class:`TraceSampler`) bounds trace cost on long runs:
 ``every_n`` keeps one query in N, ``head`` always keeps the first few,
@@ -229,6 +233,16 @@ _HEADER_FIELDS = {
     "version": str,
 }
 
+_RETRY_FIELDS = {
+    "schema": int,
+    "kind": str,
+    "chunk": int,
+    "first_unit": int,
+    "attempt": int,
+    "reason": str,
+    "action": str,
+}
+
 
 def validate_trace_record(record: Mapping[str, Any]) -> None:
     """Raise ``ValueError`` unless ``record`` matches the trace schema."""
@@ -243,6 +257,7 @@ def validate_trace_record(record: Mapping[str, Any]) -> None:
         "header": _HEADER_FIELDS,
         "query": _QUERY_FIELDS,
         "session": _SESSION_FIELDS,
+        "retry": _RETRY_FIELDS,
     }.get(kind)
     if fields is None:
         raise ValueError(f"unknown trace record kind {kind!r}")
@@ -304,12 +319,14 @@ def summarize_trace(*paths: str) -> dict[str, Any]:
     missed = 0
     versions: list[str] = []
     sessions: list[dict[str, Any]] = []
+    retries: dict[str, int] = {}
     for record in read_trace(*paths, validate=True):
-        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
-        if record["kind"] == "header":
+        kind = record["kind"]
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "header":
             if record["version"] not in versions:
                 versions.append(record["version"])
-        elif record["kind"] == "query":
+        elif kind == "query":
             queries += 1
             bits += record["bits_sent"]
             errors += record["bit_errors"]
@@ -317,7 +334,7 @@ def summarize_trace(*paths: str) -> dict[str, Any]:
             subframes_failed += record["subframes_failed"]
             if not record["detected"]:
                 missed += 1
-        else:
+        elif kind == "session":
             sessions.append(
                 {
                     key: record[key]
@@ -330,6 +347,10 @@ def summarize_trace(*paths: str) -> dict[str, Any]:
                         "ber",
                     )
                 }
+            )
+        elif kind == "retry":
+            retries[record["reason"]] = (
+                retries.get(record["reason"], 0) + 1
             )
     return {
         "records": kinds,
@@ -344,4 +365,5 @@ def summarize_trace(*paths: str) -> dict[str, Any]:
             "missed_triggers": missed,
         },
         "sessions": sessions,
+        "retries": retries,
     }

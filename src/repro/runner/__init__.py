@@ -10,6 +10,16 @@ Public surface:
 * :class:`UnitContext` — per-unit seeding handle (the determinism
   contract lives here: derive *all* randomness from it).
 
+Fault tolerance (see ``docs/fault_tolerance.md``):
+
+* :class:`RetryPolicy` — retries, backoff, chunk deadline, circuit
+  breaker; thread through ``run_units`` / ``run_sweep`` /
+  ``run_sessions`` via ``retry=``.
+* :class:`FaultSpec` — deterministic fault injection for tests and
+  ``repro sweep --inject-faults``.
+* :func:`load_checkpoint` / :func:`checkpoint_fingerprint` — the
+  chunk-granular checkpoint files written by ``checkpoint=``.
+
 See ``docs/running_experiments.md`` for usage and the determinism
 contract, and :mod:`repro.runner.workers` for ready-made picklable
 work functions.
@@ -17,6 +27,12 @@ work functions.
 
 from ..obs.aggregate import TelemetryAggregate
 from ..obs.telemetry import TelemetrySpec
+from .checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    checkpoint_fingerprint,
+    load_checkpoint,
+)
 from .engine import (
     SweepError,
     SweepResult,
@@ -28,10 +44,24 @@ from .engine import (
     run_sweep,
     run_units,
 )
+from .faults import (
+    CorruptPayload,
+    FaultSpec,
+    InjectedFault,
+    RetryEvent,
+    RetryPolicy,
+)
 from .sessions import run_sessions
 from .workers import SessionSpec
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointState",
+    "CorruptPayload",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryEvent",
+    "RetryPolicy",
     "SessionSpec",
     "SweepError",
     "SweepResult",
@@ -41,6 +71,8 @@ __all__ = [
     "UnitContext",
     "WorkUnitError",
     "WorkerTiming",
+    "checkpoint_fingerprint",
+    "load_checkpoint",
     "resolve_executor",
     "run_sessions",
     "run_sweep",

@@ -23,6 +23,16 @@ amortize inter-process pickling overhead; chunking is a pure scheduling
 concern and cannot affect results.  A serial executor runs everything
 in-process for ``n_workers=1``, for platforms without ``fork``-style
 multiprocessing, and for work functions that cannot be pickled.
+
+Fault tolerance extends the contract rather than weakening it.  With a
+:class:`repro.runner.faults.RetryPolicy`, failed chunks are retried
+(exponential backoff, deterministic jitter), hung chunks are cut off by
+an in-worker deadline, corrupt payloads are detected by the
+coordinator's integrity check, and repeated executor breakdowns trip a
+circuit breaker onto the serial executor — and because every unit's
+values are a pure function of its :class:`UnitContext`, a retried,
+resumed (see :mod:`repro.runner.checkpoint`), or serial-fallback run
+produces a bit-identical :class:`SweepResult`.
 """
 
 from __future__ import annotations
@@ -30,11 +40,14 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
@@ -42,8 +55,17 @@ from ..analysis.reporting import Table
 from ..analysis.sweep import SweepPoint
 from ..obs.aggregate import TelemetryAggregate
 from ..obs.runtime import activate as _activate_telemetry
+from ..obs.runtime import active as _active_telemetry
 from ..obs.telemetry import TelemetrySpec
 from ..seeding import derived_seed
+from .checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    CompletedChunk,
+    checkpoint_fingerprint,
+    load_checkpoint,
+)
+from .faults import CorruptPayload, FaultSpec, RetryEvent, RetryPolicy
 
 __all__ = [
     "SweepError",
@@ -66,7 +88,8 @@ class WorkUnitError(SweepError):
     """A work function raised inside a worker.
 
     Carries enough context to debug without the worker's interpreter:
-    the unit index and parameters, plus the formatted remote traceback
+    the unit index and parameters, the number of attempts the retry
+    policy granted the chunk, plus the formatted remote traceback
     (exception objects themselves may not survive pickling).
     """
 
@@ -76,15 +99,26 @@ class WorkUnitError(SweepError):
         parameters: dict[str, Any],
         cause: str,
         remote_traceback: str,
+        attempts: int = 1,
+        chunk_index: int = -1,
+        retries: tuple = (),
     ) -> None:
         self.index = index
         self.parameters = parameters
         self.cause = cause
         self.remote_traceback = remote_traceback
+        self.attempts = attempts
+        self.chunk_index = chunk_index
+        self.retries = retries
         super().__init__(
-            f"work unit {index} (parameters {parameters!r}) failed: "
-            f"{cause}\n--- worker traceback ---\n{remote_traceback}"
+            f"work unit {index} (parameters {parameters!r}) failed after "
+            f"{attempts} attempt(s): {cause}"
+            f"\n--- worker traceback ---\n{remote_traceback}"
         )
+
+
+class _ChunkTimeout(Exception):
+    """Raised inside a worker when a chunk exceeds its deadline."""
 
 
 @dataclass(frozen=True)
@@ -130,7 +164,8 @@ class WorkerTiming:
 
     Attributes:
         worker: OS pid of the worker process ("serial" runs report the
-            coordinator's own pid).
+            coordinator's own pid; resumed chunks report the pid that
+            originally computed them).
         n_chunks: tasks the worker executed.
         n_units: work units the worker executed.
         busy_s: wall-clock the worker spent inside work functions.
@@ -220,8 +255,14 @@ class SweepResult:
     #: the run was launched with a :class:`repro.obs.TelemetrySpec`;
     #: ``None`` otherwise.  Merging happens in chunk-index order, so two
     #: runs with the same units and ``chunk_size`` — serial or parallel,
-    #: any worker count — expose identical aggregated metric values.
+    #: any worker count, with or without retries — expose identical
+    #: aggregated metric values.
     telemetry: TelemetryAggregate | None = None
+    #: Fault-tolerance decisions the scheduler made, in the order they
+    #: happened (empty for a clean run).
+    retries: tuple[RetryEvent, ...] = ()
+    #: Chunks restored from a checkpoint instead of being re-run.
+    resumed_chunks: int = 0
 
     @property
     def values(self) -> list[Any]:
@@ -232,6 +273,13 @@ class SweepResult:
     def busy_s(self) -> float:
         """Total time spent inside work functions, across all workers."""
         return sum(t.busy_s for t in self.worker_timings)
+
+    def retry_summary(self) -> dict[str, int]:
+        """Retry event counts by ``reason`` (empty for a clean run)."""
+        summary: dict[str, int] = {}
+        for event in self.retries:
+            summary[event.reason] = summary.get(event.reason, 0) + 1
+        return summary
 
     def table(self, title: str, value_label: str = "value") -> Table:
         """Render the sweep as a text table.
@@ -271,6 +319,7 @@ class _UnitFailure:
     parameters: dict[str, Any]
     cause: str
     remote_traceback: str
+    reason: str = "unit-error"
 
 
 @dataclass(frozen=True)
@@ -283,10 +332,47 @@ class _ChunkOutcome:
     telemetry: dict[str, Any] | None = None
 
 
+@contextmanager
+def _chunk_deadline(timeout_s: float | None) -> Iterator[None]:
+    """Arm a ``SIGALRM``-based deadline around a chunk's unit loop.
+
+    Enforced *inside* the executing process (worker or serial
+    coordinator), so a hung chunk surfaces as an ordinary
+    :class:`_ChunkTimeout` failure through the normal result channel —
+    no executor-level future babysitting, and the same mechanism covers
+    both executors.  Silently unavailable off the POSIX main thread.
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _ChunkTimeout(
+            f"chunk exceeded its {timeout_s:g}s deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _run_chunk(
     fn: Callable[[UnitContext], Any],
     units: list[UnitContext],
     telemetry_spec: TelemetrySpec | None = None,
+    faults: FaultSpec | None = None,
+    attempt: int = 0,
+    timeout_s: float | None = None,
 ) -> _ChunkOutcome:
     """Execute one chunk of units; never raises (failures are data).
 
@@ -301,6 +387,10 @@ def _run_chunk(
     back on the outcome — this is the cross-process telemetry channel.
     A spec of ``None`` leaves any caller-activated live telemetry in
     place (the serial tracing flow).
+
+    ``faults`` and ``attempt`` drive deterministic fault injection
+    (:class:`repro.runner.faults.FaultSpec`); ``timeout_s`` arms the
+    in-process chunk deadline.
     """
     start = time.perf_counter()
     values: list[Any] = []
@@ -310,7 +400,21 @@ def _run_chunk(
         nonlocal failure
         for ctx in units:
             try:
-                values.append(fn(ctx))
+                if faults is not None:
+                    faults.apply_before(ctx.index, attempt)
+                value = fn(ctx)
+                if faults is not None:
+                    value = faults.apply_after(ctx.index, attempt, value)
+                values.append(value)
+            except _ChunkTimeout as exc:
+                failure = _UnitFailure(
+                    index=ctx.index,
+                    parameters=ctx.parameters,
+                    cause=f"{type(exc).__name__}: {exc}",
+                    remote_traceback=traceback.format_exc(),
+                    reason="timeout",
+                )
+                break
             except Exception as exc:  # noqa: BLE001 - crossing processes
                 failure = _UnitFailure(
                     index=ctx.index,
@@ -320,13 +424,30 @@ def _run_chunk(
                 )
                 break
 
+    def run_with_deadline() -> None:
+        nonlocal failure
+        try:
+            with _chunk_deadline(timeout_s):
+                run()
+        except _ChunkTimeout as exc:
+            # The alarm fired outside the unit loop's try (bookkeeping
+            # between units); attribute it to the chunk's first unit.
+            if failure is None:
+                failure = _UnitFailure(
+                    index=units[0].index,
+                    parameters=units[0].parameters,
+                    cause=f"{type(exc).__name__}: {exc}",
+                    remote_traceback=traceback.format_exc(),
+                    reason="timeout",
+                )
+
     snapshot = None
     if telemetry_spec is None:
-        run()
+        run_with_deadline()
     else:
         telemetry = telemetry_spec.build()
         with _activate_telemetry(telemetry):
-            run()
+            run_with_deadline()
         snapshot = telemetry.chunk_snapshot()
     return _ChunkOutcome(
         first_index=units[0].index,
@@ -384,39 +505,237 @@ def resolve_executor(requested: str, n_workers: int) -> str:
 _pick_executor = resolve_executor
 
 
-def _collect_outcomes(
-    fn: Callable[[UnitContext], Any],
-    chunks: list[list[UnitContext]],
-    executor_kind: str,
-    n_workers: int,
-    telemetry_spec: TelemetrySpec | None = None,
-) -> list[_ChunkOutcome]:
-    if executor_kind == "serial":
-        return [_run_chunk(fn, chunk, telemetry_spec) for chunk in chunks]
-    methods = multiprocessing.get_all_start_methods()
-    method = "fork" if "fork" in methods else methods[0]
-    context = multiprocessing.get_context(method)
-    outcomes: list[_ChunkOutcome] = []
-    with ProcessPoolExecutor(
-        max_workers=n_workers, mp_context=context
-    ) as pool:
-        futures = [
-            pool.submit(_run_chunk, fn, chunk, telemetry_spec)
-            for chunk in chunks
-        ]
-        wait(futures, return_when=FIRST_EXCEPTION)
-        for future in futures:
-            try:
-                outcomes.append(future.result())
-            except Exception as exc:
-                for other in futures:
-                    other.cancel()
-                raise SweepError(
-                    f"executor failed before the work function could "
-                    f"report: {type(exc).__name__}: {exc} (unpicklable "
-                    f"work function or crashed worker process?)"
-                ) from exc
-    return outcomes
+def _first_corrupt(outcome: _ChunkOutcome) -> int | None:
+    """Unit index of the first corrupt payload in a chunk, if any."""
+    for offset, value in enumerate(outcome.values):
+        if isinstance(value, CorruptPayload):
+            return outcome.first_index + offset
+    return None
+
+
+class _ChunkScheduler:
+    """Runs chunks under a retry policy; the fault-tolerance core.
+
+    Process-executor rounds: all unresolved chunks are submitted to a
+    fresh pool, successful outcomes are kept, failed chunks queue for
+    the next round (with backoff), and executor-level failures — a
+    worker killed mid-chunk, an unpicklable work function — count
+    against the circuit breaker, which falls back to the always-correct
+    serial executor when it trips.  Chunk failures (unit errors,
+    timeouts, corrupt payloads) count against the per-chunk
+    ``max_attempts`` budget instead; exhausting it makes the failure
+    terminal.  Without a :class:`RetryPolicy` the scheduler reproduces
+    the engine's historical strict behaviour: one attempt per chunk and
+    an immediate :class:`SweepError` on executor failure.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[UnitContext], Any],
+        chunks: list[list[UnitContext]],
+        executor_kind: str,
+        n_workers: int,
+        telemetry_spec: TelemetrySpec | None,
+        retry: RetryPolicy | None,
+        faults: FaultSpec | None,
+        seed: int,
+        on_complete: Callable[[int, _ChunkOutcome], None] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.chunks = chunks
+        self.executor_kind = executor_kind
+        self.n_workers = n_workers
+        self.telemetry_spec = telemetry_spec
+        self.tolerant = retry is not None
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=1, breaker_failures=1, jitter=0.0
+        )
+        self.faults = faults
+        self.seed = seed
+        self.on_complete = on_complete
+        self.outcomes: dict[int, _ChunkOutcome] = {}
+        self.attempts: dict[int, int] = {}
+        self.terminal: dict[int, _UnitFailure] = {}
+        self.events: list[RetryEvent] = []
+        self.pool_breaks = 0
+
+    # -- event plumbing -------------------------------------------------
+
+    def _emit(
+        self, chunk_index: int, attempt: int, reason: str, action: str
+    ) -> None:
+        first_unit = (
+            self.chunks[chunk_index][0].index if chunk_index >= 0 else -1
+        )
+        event = RetryEvent(
+            chunk_index=chunk_index,
+            first_unit=first_unit,
+            attempt=attempt,
+            reason=reason,
+            action=action,
+        )
+        self.events.append(event)
+        live = _active_telemetry()
+        if live is not None:
+            live.on_chunk_retry(event)
+
+    # -- classification -------------------------------------------------
+
+    def _classify(
+        self, chunk_index: int, outcome: _ChunkOutcome
+    ) -> _UnitFailure | None:
+        """``None`` for a good outcome, else the failure to charge."""
+        if outcome.failure is not None:
+            return outcome.failure
+        corrupt = _first_corrupt(outcome)
+        if corrupt is not None:
+            ctx = self.chunks[chunk_index][
+                corrupt - outcome.first_index
+            ]
+            return _UnitFailure(
+                index=corrupt,
+                parameters=ctx.parameters,
+                cause=(
+                    "corrupt payload detected by the coordinator's "
+                    "integrity check"
+                ),
+                remote_traceback="(payload failed validation; no remote "
+                "traceback)\n",
+                reason="corrupt",
+            )
+        return None
+
+    def _settle(self, chunk_index: int, outcome: _ChunkOutcome) -> bool:
+        """Accept or charge one executed chunk; True when resolved."""
+        failure = self._classify(chunk_index, outcome)
+        if failure is None:
+            self.outcomes[chunk_index] = outcome
+            if self.on_complete is not None:
+                self.on_complete(chunk_index, outcome)
+            return True
+        failed_attempt = self.attempts.get(chunk_index, 0)
+        self.attempts[chunk_index] = failed_attempt + 1
+        if self.attempts[chunk_index] >= self.retry.max_attempts:
+            self.terminal[chunk_index] = failure
+            self._emit(chunk_index, failed_attempt, failure.reason, "failed")
+            return True
+        self._emit(chunk_index, failed_attempt, failure.reason, "retry")
+        return False
+
+    def _backoff(self, chunk_ids: list[int]) -> None:
+        delay = max(
+            (
+                self.retry.backoff_delay(
+                    max(self.attempts.get(i, 0), 1),
+                    seed=self.seed,
+                    chunk_index=i,
+                )
+                for i in chunk_ids
+            ),
+            default=0.0,
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- executors ------------------------------------------------------
+
+    def _run_serial(self, pending: list[int]) -> None:
+        for i in pending:
+            while i not in self.outcomes and i not in self.terminal:
+                outcome = _run_chunk(
+                    self.fn,
+                    self.chunks[i],
+                    self.telemetry_spec,
+                    self.faults,
+                    self.attempts.get(i, 0),
+                    self.retry.timeout_s,
+                )
+                if not self._settle(i, outcome):
+                    self._backoff([i])
+
+    def _run_process_round(self, pending: list[int]) -> list[int]:
+        """One pool round; returns the chunks still unresolved."""
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(method)
+        collected: dict[int, _ChunkOutcome] = {}
+        broken: Exception | None = None
+        with ProcessPoolExecutor(
+            max_workers=self.n_workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _run_chunk,
+                    self.fn,
+                    self.chunks[i],
+                    self.telemetry_spec,
+                    self.faults,
+                    self.attempts.get(i, 0),
+                    self.retry.timeout_s,
+                ): i
+                for i in pending
+            }
+            for future, i in futures.items():
+                try:
+                    collected[i] = future.result()
+                except Exception as exc:  # pool break / unpicklable fn
+                    broken = exc
+                    if not self.tolerant:
+                        for other in futures:
+                            other.cancel()
+                        raise SweepError(
+                            f"executor failed before the work function "
+                            f"could report: {type(exc).__name__}: {exc} "
+                            f"(unpicklable work function or crashed "
+                            f"worker process?)"
+                        ) from exc
+        unresolved: list[int] = []
+        for i in pending:
+            if i in collected:
+                if not self._settle(i, collected[i]):
+                    unresolved.append(i)
+            else:
+                # The executor ate this chunk (its worker died, or the
+                # pool broke before it ran).  That is an executor
+                # failure, not the chunk's: it does not spend the
+                # chunk's retry budget, only the circuit breaker's.
+                self._emit(
+                    i, self.attempts.get(i, 0), "executor", "retry"
+                )
+                unresolved.append(i)
+        if broken is not None:
+            self.pool_breaks += 1
+        return unresolved
+
+    # -- entry point ----------------------------------------------------
+
+    def execute(self) -> str:
+        """Run all chunks; returns the executor the run ended on."""
+        executor_used = self.executor_kind
+        pending = list(range(len(self.chunks)))
+        # Chunks resolved from a checkpoint arrive pre-populated.
+        pending = [i for i in pending if i not in self.outcomes]
+        while pending:
+            if executor_used == "serial":
+                self._run_serial(pending)
+                break
+            pending = self._run_process_round(pending)
+            pending = [
+                i
+                for i in pending
+                if i not in self.outcomes and i not in self.terminal
+            ]
+            if not pending:
+                break
+            if self.pool_breaks >= self.retry.breaker_failures:
+                executor_used = "serial"
+                self._emit(
+                    pending[0], self.pool_breaks, "executor",
+                    "serial-fallback",
+                )
+                continue
+            self._backoff(pending)
+        return executor_used
 
 
 def run_units(
@@ -428,6 +747,10 @@ def run_units(
     chunk_size: int | None = None,
     executor: str = "auto",
     telemetry: TelemetrySpec | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultSpec | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Execute arbitrary work units; the primitive under :func:`run_sweep`.
 
@@ -437,12 +760,15 @@ def run_units(
             function or :func:`functools.partial` of one) to run on the
             process executor.
         units: the units to execute; results come back in this order.
-        seed: recorded in the result (the units already carry theirs).
+        seed: recorded in the result (the units already carry theirs);
+            also keys backoff jitter and the checkpoint fingerprint.
         n_workers: worker processes; 1 means in-process serial.
         chunk_size: units per task; ``None`` auto-sizes.  Telemetry
             callers comparing serial vs. parallel aggregates should pin
             this: the auto size depends on ``n_workers``, and chunking
             decides how worker registries partition before the merge.
+            Checkpoint users resuming under a different worker count
+            must pin it too (the fingerprint refuses a resize).
         executor: "auto" (process pool when possible), "serial", or
             "process" (force a pool even for one worker).
         telemetry: optional :class:`repro.obs.TelemetrySpec`; each chunk
@@ -452,14 +778,33 @@ def run_units(
             :func:`repro.obs.runtime.attach_active` on the systems they
             build — the bundled :mod:`repro.runner.workers` functions
             and :func:`repro.runner.run_sessions` already do.
+        retry: optional :class:`repro.runner.faults.RetryPolicy`
+            enabling chunk retries, the in-worker chunk deadline, and
+            the circuit-breaker serial fallback.  ``None`` preserves the
+            strict historical behaviour (one attempt, executor failures
+            raise immediately).
+        faults: optional :class:`repro.runner.faults.FaultSpec`
+            injecting deterministic crash/hang/corrupt/exit faults —
+            the test harness behind ``repro sweep --inject-faults``.
+        checkpoint: optional JSONL path; every completed chunk spills
+            here (values + telemetry snapshot), and a restart with
+            ``resume=True`` skips the chunks the file already holds.
+        resume: when a checkpoint file exists, load it (default) rather
+            than truncating and starting over.  A checkpoint written
+            for a different ``(seed, n_units, chunk_size)`` raises
+            :class:`SweepError` instead of silently mixing runs.
 
     Returns:
-        A :class:`SweepResult`; ``values`` are in unit order.
+        A :class:`SweepResult`; ``values`` are in unit order and
+        bit-identical whether or not chunks were retried, resumed from
+        a checkpoint, or finished on the circuit breaker's serial
+        fallback.
 
     Raises:
-        WorkUnitError: a work function raised; the earliest failing unit
-            is reported and remaining work is abandoned.
-        SweepError: the executor itself failed (e.g. unpicklable fn).
+        WorkUnitError: a work function raised (or kept failing past the
+            retry budget); the earliest failing unit is reported.
+        SweepError: the executor itself failed (e.g. unpicklable fn)
+            with no retry policy, or the checkpoint refused to resume.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
@@ -471,19 +816,109 @@ def run_units(
 
     start = time.perf_counter()
     chunks = _chunked(units, chunk_size)
-    outcomes = _collect_outcomes(
-        fn, chunks, executor_kind, n_workers, telemetry
-    )
-    wall_s = time.perf_counter() - start
 
-    failures = [o.failure for o in outcomes if o.failure is not None]
-    if failures:
-        first = min(failures, key=lambda f: f.index)
-        raise WorkUnitError(
-            first.index, first.parameters, first.cause,
-            first.remote_traceback,
+    checkpoint_writer: CheckpointWriter | None = None
+    resumed: dict[int, _ChunkOutcome] = {}
+    if checkpoint is not None:
+        checkpoint = os.fspath(checkpoint)
+        fingerprint = checkpoint_fingerprint(
+            seed, len(units), chunk_size
+        )
+        exists = (
+            os.path.exists(checkpoint)
+            and os.path.getsize(checkpoint) > 0
+        )
+        if exists and resume:
+            try:
+                state = load_checkpoint(checkpoint)
+            except CheckpointError as error:
+                raise SweepError(str(error)) from error
+            if state.fingerprint() != fingerprint:
+                raise SweepError(
+                    f"checkpoint {checkpoint} was written for a "
+                    f"different run (seed/units/chunking changed); "
+                    f"refusing to resume from it"
+                )
+            for chunk_index, done in state.chunks.items():
+                if chunk_index >= len(chunks):
+                    continue
+                expected = chunks[chunk_index]
+                if (
+                    done.first_index != expected[0].index
+                    or done.n_units != len(expected)
+                ):
+                    continue
+                resumed[chunk_index] = _ChunkOutcome(
+                    first_index=done.first_index,
+                    values=done.values,
+                    failure=None,
+                    worker=done.worker,
+                    busy_s=done.busy_s,
+                    telemetry=done.telemetry,
+                )
+        elif exists and not resume:
+            os.remove(checkpoint)
+        checkpoint_writer = CheckpointWriter(
+            checkpoint,
+            {
+                "seed": seed,
+                "n_units": len(units),
+                "chunk_size": chunk_size,
+                "fingerprint": fingerprint,
+            },
         )
 
+    def spill(chunk_index: int, outcome: _ChunkOutcome) -> None:
+        if checkpoint_writer is not None:
+            checkpoint_writer.record_chunk(
+                CompletedChunk(
+                    chunk_index=chunk_index,
+                    first_index=outcome.first_index,
+                    n_units=len(outcome.values),
+                    worker=outcome.worker,
+                    busy_s=outcome.busy_s,
+                    values=outcome.values,
+                    telemetry=outcome.telemetry,
+                )
+            )
+
+    scheduler = _ChunkScheduler(
+        fn,
+        chunks,
+        executor_kind,
+        n_workers,
+        telemetry,
+        retry,
+        faults,
+        seed,
+        on_complete=spill,
+    )
+    scheduler.outcomes.update(resumed)
+    try:
+        executor_used = scheduler.execute()
+    finally:
+        if checkpoint_writer is not None:
+            checkpoint_writer.close()
+    wall_s = time.perf_counter() - start
+
+    events = tuple(scheduler.events)
+    if scheduler.terminal:
+        chunk_index, first = min(
+            scheduler.terminal.items(), key=lambda item: item[1].index
+        )
+        raise WorkUnitError(
+            first.index,
+            first.parameters,
+            first.cause,
+            first.remote_traceback,
+            attempts=scheduler.attempts.get(chunk_index, 1),
+            chunk_index=chunk_index,
+            retries=events,
+        )
+
+    outcomes = [
+        scheduler.outcomes[i] for i in sorted(scheduler.outcomes)
+    ]
     values: dict[int, Any] = {}
     for outcome in outcomes:
         for offset, value in enumerate(outcome.values):
@@ -516,15 +951,19 @@ def run_units(
             for outcome in sorted(outcomes, key=lambda o: o.first_index)
             if outcome.telemetry is not None
         )
+        if events:
+            aggregate.record_retries(events)
     return SweepResult(
         points=points,
         seed=seed,
         n_workers=n_workers,
         chunk_size=chunk_size,
-        executor=executor_kind,
+        executor=executor_used,
         wall_s=wall_s,
         worker_timings=timings,
         telemetry=aggregate,
+        retries=events,
+        resumed_chunks=len(resumed),
     )
 
 
@@ -536,13 +975,19 @@ def run_sweep(
     chunk_size: int | None = None,
     executor: str = "auto",
     telemetry: TelemetrySpec | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultSpec | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Evaluate ``measure`` at every grid point of ``spec``.
 
     ``measure`` receives one :class:`UnitContext` per point and must
     take all randomness from it (``ctx.rng(...)`` / ``ctx.seed``); under
     that discipline the result is bit-identical for any ``n_workers``,
-    ``chunk_size`` and ``executor`` choice.
+    ``chunk_size`` and ``executor`` choice — and, with ``retry`` /
+    ``checkpoint``, identical again under retries, serial fallback, and
+    checkpoint resume (see ``docs/fault_tolerance.md``).
     """
     return run_units(
         measure,
@@ -552,4 +997,8 @@ def run_sweep(
         chunk_size=chunk_size if chunk_size is not None else spec.chunk_size,
         executor=executor,
         telemetry=telemetry,
+        retry=retry,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume=resume,
     )

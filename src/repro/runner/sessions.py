@@ -12,12 +12,14 @@ process boundary.
 from __future__ import annotations
 
 import functools
+import os
 from typing import Any, Callable
 
 from ..core.session import MeasurementSession, SessionStats
 from ..obs.runtime import attach_active
 from ..obs.telemetry import TelemetrySpec
 from .engine import SweepResult, UnitContext, run_units
+from .faults import FaultSpec, RetryPolicy
 
 __all__ = ["run_sessions"]
 
@@ -59,6 +61,10 @@ def run_sessions(
     executor: str = "auto",
     session_fast_path: bool | None = None,
     telemetry: TelemetrySpec | None = _STAGE_COUNTERS_ONLY,
+    retry: RetryPolicy | None = None,
+    faults: FaultSpec | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Run ``n_sessions`` independent sessions; values are SessionStats.
 
@@ -92,6 +98,12 @@ def run_sessions(
             time after parallel runs; pass ``TelemetrySpec()`` for full
             metrics, or ``None`` to leave a caller-activated live
             telemetry (e.g. a tracing one) in charge.
+        retry / faults / checkpoint / resume: fault tolerance, fault
+            injection and chunk-granular checkpoint/resume — see
+            :func:`repro.runner.engine.run_units` and
+            ``docs/fault_tolerance.md``.  Session results resume
+            bit-identically because each session rebuilds from its
+            unit's seed.
     """
     if n_sessions < 0:
         raise ValueError("n_sessions must be >= 0")
@@ -124,4 +136,8 @@ def run_sessions(
         chunk_size=chunk_size,
         executor=executor,
         telemetry=telemetry,
+        retry=retry,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume=resume,
     )

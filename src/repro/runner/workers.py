@@ -17,7 +17,12 @@ from ..obs.runtime import attach_active
 from ..sim.scenario import los_scenario, nlos_scenario
 from .engine import UnitContext
 
-__all__ = ["SessionSpec", "los_ber_point", "nlos_session_stats"]
+__all__ = [
+    "SessionSpec",
+    "los_ber_point",
+    "nlos_session_stats",
+    "rng_probe",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,24 @@ class SessionSpec:
             session_fast_path=self.session_fast_path,
             batch_queries=self.batch_queries,
         )
+
+
+def rng_probe(ctx: UnitContext) -> dict[str, Any]:
+    """A cheap physics-free unit: the unit's first few substream draws.
+
+    Useful wherever a sweep's *execution* is under test rather than its
+    physics — fault-injection suites, checkpoint/resume roundtrips, the
+    engine-overhead benchmark.  The values are a pure function of
+    ``(root_seed, index)``, so any retried, resumed or rescheduled run
+    must reproduce them bit-for-bit; any drift is an engine bug, not a
+    simulator change.
+    """
+    draws = ctx.rng(0).random(4)
+    return {
+        "index": ctx.index,
+        "seed": ctx.seed,
+        "draws": [float(d) for d in draws],
+    }
 
 
 def los_ber_point(

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+The ``chaos`` fixture is the reusable fault-injection harness: any
+suite can run an engine call under deterministic injected
+crash/hang/corruption/worker-exit faults and assert the determinism
+contract survived (see ``docs/fault_tolerance.md``).
+"""
+
+import pytest
+
+from repro.runner import FaultSpec, RetryPolicy, run_units
+
+
+class ChaosHarness:
+    """Run engine calls under deterministic injected faults.
+
+    Thin convenience wrapper over :class:`repro.runner.FaultSpec` and
+    :class:`repro.runner.RetryPolicy`: build fault plans, run
+    ``run_units`` with them, and assert that a faulty-but-tolerated run
+    reproduces the fault-free result bit-for-bit.
+    """
+
+    #: Default tolerance for injected single-failure faults.
+    default_retry = RetryPolicy(max_attempts=3)
+
+    def faults(self, **kwargs) -> FaultSpec:
+        """A :class:`FaultSpec` (keyword passthrough)."""
+        return FaultSpec(**kwargs)
+
+    def seeded(self, seed: int, n_units: int, **rates) -> FaultSpec:
+        """A reproducible random fault plan (``FaultSpec.seeded``)."""
+        return FaultSpec.seeded(seed, n_units, **rates)
+
+    def run(self, fn, units, *, faults=None, retry=default_retry, **kwargs):
+        """``run_units`` with faults injected and (by default) tolerated."""
+        return run_units(fn, units, faults=faults, retry=retry, **kwargs)
+
+    def check_bit_identical(
+        self, fn, units, *, faults, retry=default_retry, **kwargs
+    ):
+        """Assert a tolerated chaotic run matches the fault-free run.
+
+        Returns ``(baseline, chaotic)`` for further assertions (retry
+        events, executor used, telemetry...).
+        """
+        baseline = run_units(fn, list(units), **kwargs)
+        chaotic = self.run(
+            fn, list(units), faults=faults, retry=retry, **kwargs
+        )
+        assert chaotic.values == baseline.values, (
+            "injected faults changed sweep values despite retries"
+        )
+        assert [p.seed for p in chaotic.points] == [
+            p.seed for p in baseline.points
+        ]
+        return baseline, chaotic
+
+
+@pytest.fixture
+def chaos() -> ChaosHarness:
+    """Deterministic fault-injection harness for engine calls."""
+    return ChaosHarness()

@@ -134,22 +134,37 @@ class TestSerialFallback:
 
 
 class TestErrorPropagation:
-    def test_raising_unit_surfaces_serial(self):
+    def test_raising_unit_surfaces_serial(self, chaos):
+        with pytest.raises(WorkUnitError) as excinfo:
+            chaos.run(
+                echo, units(5),
+                faults=chaos.faults(crash=(2,)), retry=None,
+                n_workers=1,
+            )
+        assert excinfo.value.index == 2
+        assert excinfo.value.parameters == {"x": 2}
+        assert "injected crash" in str(excinfo.value)
+        assert "InjectedFault" in excinfo.value.cause
+        assert excinfo.value.attempts == 1
+
+    def test_raising_unit_surfaces_parallel(self, chaos):
+        with pytest.raises(WorkUnitError) as excinfo:
+            chaos.run(
+                echo, units(5),
+                faults=chaos.faults(crash=(2,)), retry=None,
+                n_workers=3, executor="process", chunk_size=1,
+            )
+        assert excinfo.value.index == 2
+        assert excinfo.value.chunk_index == 2
+        assert "worker traceback" in str(excinfo.value)
+
+    def test_user_exception_reaches_coordinator(self):
+        # Non-injected failures take the same path as chaos faults.
         with pytest.raises(WorkUnitError) as excinfo:
             run_units(boom, units(5), n_workers=1)
         assert excinfo.value.index == 2
-        assert excinfo.value.parameters == {"x": 2}
         assert "synthetic failure" in str(excinfo.value)
         assert "ValueError" in excinfo.value.cause
-
-    def test_raising_unit_surfaces_parallel(self):
-        with pytest.raises(WorkUnitError) as excinfo:
-            run_units(
-                boom, units(5), n_workers=3, executor="process",
-                chunk_size=1,
-            )
-        assert excinfo.value.index == 2
-        assert "worker traceback" in str(excinfo.value)
 
     def test_unpicklable_fn_on_process_pool_is_clear(self):
         def closure(ctx):
