@@ -23,6 +23,7 @@ Usage::
     python -m repro throughput [--subframes 64] [--clock-khz 50]
     python -m repro interference [--rate 600]
     python -m repro pcap OUTPUT.pcap [--queries 3]
+    python -m repro serve [--port 8750] [--slots 2] [--spill-dir DIR]
 
 Each subcommand prints the same tables the corresponding benchmark
 produces; see benchmarks/ for the asserted versions.
@@ -729,6 +730,39 @@ def _cmd_pcap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeConfig, SweepService
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            slots=args.slots,
+            spill_dir=args.spill_dir,
+            max_jobs=args.max_jobs,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.print_config:
+        print(json.dumps(config.to_json(), sort_keys=True))
+        return 0
+    service = SweepService(config)
+    spill = config.spill_dir or "(ephemeral: no resume across restarts)"
+    print(
+        f"repro serve: {config.host}:{config.port} "
+        f"slots={config.slots} spill={spill}",
+        file=sys.stderr,
+    )
+    try:
+        service.run_forever()
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -1015,6 +1049,37 @@ def build_parser() -> argparse.ArgumentParser:
     pcap.add_argument("--distance", type=float, default=2.0)
     pcap.add_argument("--seed", type=int, default=0)
     pcap.set_defaults(func=_cmd_pcap)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async sweep job service (HTTP + SSE)",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--slots", type=int, default=2, help="concurrent job slots"
+    )
+    serve.add_argument(
+        "--spill-dir",
+        type=str,
+        default=None,
+        help="directory for job state + engine checkpoints "
+        "(enables restart resume)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=1024,
+        help="cap on active (non-terminal) jobs",
+    )
+    serve.add_argument(
+        "--print-config",
+        action="store_true",
+        help="print the resolved config as JSON and exit",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

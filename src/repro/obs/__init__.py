@@ -33,6 +33,7 @@ from .metrics import (
     render_prometheus,
 )
 from .runtime import activate, active, attach_active, deactivate
+from .serve import CHUNK_LATENCY_BUCKETS, ServerMetrics
 from .telemetry import Telemetry, TelemetrySpec
 from .trace import (
     TRACE_SCHEMA,
@@ -47,12 +48,14 @@ from .trace import (
 
 __all__ = [
     "BER_BUCKETS",
+    "CHUNK_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SINR_LINEAR_BUCKETS",
     "SNAPSHOT_SCHEMA",
+    "ServerMetrics",
     "TRACE_SCHEMA",
     "Telemetry",
     "TelemetryAggregate",

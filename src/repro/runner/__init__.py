@@ -34,6 +34,7 @@ from .checkpoint import (
     load_checkpoint,
 )
 from .engine import (
+    ChunkProgress,
     SweepError,
     SweepResult,
     SweepSpec,
@@ -56,6 +57,7 @@ from .workers import SessionSpec
 
 __all__ = [
     "CheckpointError",
+    "ChunkProgress",
     "CheckpointState",
     "CorruptPayload",
     "FaultSpec",

@@ -68,6 +68,7 @@ from .checkpoint import (
 from .faults import CorruptPayload, FaultSpec, RetryEvent, RetryPolicy
 
 __all__ = [
+    "ChunkProgress",
     "SweepError",
     "SweepResult",
     "SweepSpec",
@@ -175,6 +176,44 @@ class WorkerTiming:
     n_chunks: int
     n_units: int
     busy_s: float
+
+
+@dataclass(frozen=True)
+class ChunkProgress:
+    """One chunk's completion, as reported to an ``on_chunk`` observer.
+
+    The coordinator invokes the observer on its own thread, once per
+    resolved chunk: first for every chunk restored from a checkpoint
+    (``resumed=True``, in chunk order, before any execution starts),
+    then for each freshly executed chunk in completion order.  This is
+    the hook that makes the engine drivable from an event loop — a
+    server can forward each report into an ``asyncio`` queue and stream
+    live progress without polling (see :mod:`repro.serve`).
+
+    An exception raised by the observer aborts the run and propagates
+    to the caller; completed chunks stay spilled in the checkpoint, so
+    observers may raise deliberately to implement cooperative
+    cancellation at chunk granularity.
+
+    Attributes:
+        chunk_index: position in the run's chunk list.
+        n_chunks: total chunks in the run.
+        chunks_done: chunks resolved so far, this one included.
+        first_index: the chunk's first unit index.
+        n_units: units the chunk holds.
+        worker: pid that computed the chunk (original pid for resumed).
+        busy_s: wall-clock spent inside the chunk's work functions.
+        resumed: the chunk came from a checkpoint, not execution.
+    """
+
+    chunk_index: int
+    n_chunks: int
+    chunks_done: int
+    first_index: int
+    n_units: int
+    worker: int
+    busy_s: float
+    resumed: bool = False
 
 
 @dataclass(frozen=True)
@@ -751,6 +790,7 @@ def run_units(
     faults: FaultSpec | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = True,
+    on_chunk: Callable[[ChunkProgress], None] | None = None,
 ) -> SweepResult:
     """Execute arbitrary work units; the primitive under :func:`run_sweep`.
 
@@ -793,6 +833,12 @@ def run_units(
             than truncating and starting over.  A checkpoint written
             for a different ``(seed, n_units, chunk_size)`` raises
             :class:`SweepError` instead of silently mixing runs.
+        on_chunk: optional observer called on the coordinator thread
+            with one :class:`ChunkProgress` per resolved chunk (resumed
+            chunks first, then executed chunks in completion order).
+            Raising from the observer aborts the run — the cooperative
+            cancellation point for callers driving the engine from an
+            event loop.
 
     Returns:
         A :class:`SweepResult`; ``values`` are in unit order and
@@ -868,6 +914,28 @@ def run_units(
             },
         )
 
+    n_chunks = len(chunks)
+    chunks_done = 0
+
+    def report(
+        chunk_index: int, outcome: _ChunkOutcome, was_resumed: bool
+    ) -> None:
+        nonlocal chunks_done
+        chunks_done += 1
+        if on_chunk is not None:
+            on_chunk(
+                ChunkProgress(
+                    chunk_index=chunk_index,
+                    n_chunks=n_chunks,
+                    chunks_done=chunks_done,
+                    first_index=outcome.first_index,
+                    n_units=len(outcome.values),
+                    worker=outcome.worker,
+                    busy_s=outcome.busy_s,
+                    resumed=was_resumed,
+                )
+            )
+
     def spill(chunk_index: int, outcome: _ChunkOutcome) -> None:
         if checkpoint_writer is not None:
             checkpoint_writer.record_chunk(
@@ -881,6 +949,7 @@ def run_units(
                     telemetry=outcome.telemetry,
                 )
             )
+        report(chunk_index, outcome, False)
 
     scheduler = _ChunkScheduler(
         fn,
@@ -895,6 +964,8 @@ def run_units(
     )
     scheduler.outcomes.update(resumed)
     try:
+        for chunk_index in sorted(resumed):
+            report(chunk_index, resumed[chunk_index], True)
         executor_used = scheduler.execute()
     finally:
         if checkpoint_writer is not None:
@@ -979,6 +1050,7 @@ def run_sweep(
     faults: FaultSpec | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = True,
+    on_chunk: Callable[[ChunkProgress], None] | None = None,
 ) -> SweepResult:
     """Evaluate ``measure`` at every grid point of ``spec``.
 
@@ -1001,4 +1073,5 @@ def run_sweep(
         faults=faults,
         checkpoint=checkpoint,
         resume=resume,
+        on_chunk=on_chunk,
     )

@@ -18,7 +18,7 @@ from typing import Any, Callable
 from ..core.session import MeasurementSession, SessionStats
 from ..obs.runtime import attach_active
 from ..obs.telemetry import TelemetrySpec
-from .engine import SweepResult, UnitContext, run_units
+from .engine import ChunkProgress, SweepResult, UnitContext, run_units
 from .faults import FaultSpec, RetryPolicy
 
 __all__ = ["run_sessions"]
@@ -65,6 +65,7 @@ def run_sessions(
     faults: FaultSpec | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = True,
+    on_chunk: Callable[[ChunkProgress], None] | None = None,
 ) -> SweepResult:
     """Run ``n_sessions`` independent sessions; values are SessionStats.
 
@@ -104,6 +105,9 @@ def run_sessions(
             ``docs/fault_tolerance.md``.  Session results resume
             bit-identically because each session rebuilds from its
             unit's seed.
+        on_chunk: per-chunk progress observer
+            (:class:`repro.runner.engine.ChunkProgress`); see
+            :func:`repro.runner.engine.run_units`.
     """
     if n_sessions < 0:
         raise ValueError("n_sessions must be >= 0")
@@ -140,4 +144,5 @@ def run_sessions(
         faults=faults,
         checkpoint=checkpoint,
         resume=resume,
+        on_chunk=on_chunk,
     )

@@ -1,0 +1,78 @@
+"""Async sweep job service: HTTP job submission, SSE progress, resume.
+
+``repro serve`` turns the deterministic sweep engine into a
+long-running service.  Clients POST :class:`~repro.serve.schema.JobRequest`
+JSON bodies describing a :class:`~repro.runner.SweepSpec` or
+:class:`~repro.runner.SessionSpec` job; a priority queue feeds an
+executor pool that runs each job through the unchanged engine
+(checkpoints, retries, fault tolerance included), and clients follow
+progress live over Server-Sent Events.  Results served over HTTP are
+bit-identical to a direct :func:`repro.runner.run_sweep` call with the
+same spec and seed — the service adds scheduling and transport, never
+arithmetic.
+
+See ``docs/service.md`` for the HTTP contract and durability story.
+"""
+
+from .app import ServeConfig, SweepService
+from .jobs import (
+    TERMINAL_STATES,
+    ExecutorPool,
+    Job,
+    JobCancelled,
+    JobEvent,
+    JobNotFound,
+    JobQueue,
+    JobStateError,
+    JobStore,
+    JobStoreFull,
+    execute_request,
+)
+from .schema import (
+    JOB_SCHEMA,
+    WORK_FUNCTIONS,
+    JobRequest,
+    SchemaError,
+    job_request_from_json,
+    job_request_to_json,
+    result_to_json,
+    retry_policy_from_json,
+    retry_policy_to_json,
+    session_spec_from_json,
+    session_spec_to_json,
+    sweep_spec_from_json,
+    sweep_spec_to_json,
+)
+from .sse import SSEvent, format_event, parse_events
+
+__all__ = [
+    "JOB_SCHEMA",
+    "TERMINAL_STATES",
+    "WORK_FUNCTIONS",
+    "ExecutorPool",
+    "Job",
+    "JobCancelled",
+    "JobEvent",
+    "JobNotFound",
+    "JobQueue",
+    "JobRequest",
+    "JobStateError",
+    "JobStore",
+    "JobStoreFull",
+    "SSEvent",
+    "SchemaError",
+    "ServeConfig",
+    "SweepService",
+    "execute_request",
+    "format_event",
+    "job_request_from_json",
+    "job_request_to_json",
+    "parse_events",
+    "result_to_json",
+    "retry_policy_from_json",
+    "retry_policy_to_json",
+    "session_spec_from_json",
+    "session_spec_to_json",
+    "sweep_spec_from_json",
+    "sweep_spec_to_json",
+]

@@ -1,0 +1,103 @@
+"""Server-Sent Events framing (a WHATWG-conformant subset).
+
+The service streams job progress as ``text/event-stream``:
+
+.. code-block:: text
+
+    id: 3
+    event: chunk
+    data: {"chunk_index": 2, ...}
+
+    id: 4
+    event: state
+    data: {"state": "completed", "error": null}
+
+    event: done
+    data: {}
+
+Each frame carries the job-local event id, so a client that reconnects
+with ``Last-Event-ID`` (or ``?after=N``) replays exactly the events it
+missed.  :func:`parse_events` is the inverse used by the test harness —
+framing correctness is pinned down as ``parse(format(e)) == e``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SSEvent", "format_event", "parse_events"]
+
+
+@dataclass(frozen=True)
+class SSEvent:
+    """One parsed SSE frame."""
+
+    event: str
+    data: dict[str, Any]
+    id: int | None = None
+
+
+def format_event(
+    event: str, data: dict[str, Any], *, id: int | None = None
+) -> bytes:
+    """Render one SSE frame (trailing blank line included)."""
+    lines = []
+    if id is not None:
+        lines.append(f"id: {id}")
+    lines.append(f"event: {event}")
+    payload = json.dumps(data, separators=(",", ":"), sort_keys=True)
+    lines.append(f"data: {payload}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def parse_events(stream: bytes) -> list[SSEvent]:
+    """Parse a ``text/event-stream`` body back into events.
+
+    Tolerates the optional ``\\r`` line endings the spec allows and
+    ignores comment lines (``:`` prefix) and unknown fields, which is
+    exactly what a browser ``EventSource`` does.
+    """
+    events: list[SSEvent] = []
+    event_name = "message"
+    event_id: int | None = None
+    data_lines: list[str] = []
+    text = stream.decode("utf-8")
+    for raw in text.split("\n"):
+        line = raw.rstrip("\r")
+        if not line:
+            if data_lines:
+                events.append(
+                    SSEvent(
+                        event=event_name,
+                        data=json.loads("\n".join(data_lines)),
+                        id=event_id,
+                    )
+                )
+            event_name = "message"
+            event_id = None
+            data_lines = []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if field == "event":
+            event_name = value
+        elif field == "data":
+            data_lines.append(value)
+        elif field == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = None
+    if data_lines:
+        events.append(
+            SSEvent(
+                event=event_name,
+                data=json.loads("\n".join(data_lines)),
+                id=event_id,
+            )
+        )
+    return events

@@ -8,7 +8,13 @@ contract survived (see ``docs/fault_tolerance.md``).
 
 import pytest
 
-from repro.runner import FaultSpec, RetryPolicy, run_units
+from repro.runner import (
+    FaultSpec,
+    RetryPolicy,
+    WorkUnitError,
+    run_sweep,
+    run_units,
+)
 
 
 class ChaosHarness:
@@ -54,6 +60,33 @@ class ChaosHarness:
             p.seed for p in baseline.points
         ]
         return baseline, chaotic
+
+    def partial_checkpoint(self, fn, spec, checkpoint, *, crash_unit):
+        """Leave a partial checkpoint behind, as a killed run would.
+
+        Runs ``run_sweep(fn, spec)`` against ``checkpoint`` with a
+        *permanent* crash injected at ``crash_unit`` and no retry
+        budget, so the run dies mid-sweep with every chunk completed
+        before the crash already spilled.  Restart/resume tests (the
+        job service's kill-and-restart scenario included) then resume
+        from exactly this state.  Pick ``crash_unit`` at least one
+        chunk into the sweep or there is nothing to resume.
+        """
+        faults = FaultSpec(crash=(crash_unit,), failures=10**6)
+        try:
+            run_sweep(
+                fn,
+                spec,
+                faults=faults,
+                retry=RetryPolicy(max_attempts=1),
+                checkpoint=checkpoint,
+                resume=True,
+            )
+        except WorkUnitError:
+            return
+        raise AssertionError(
+            "injected permanent crash did not abort the run"
+        )
 
 
 @pytest.fixture

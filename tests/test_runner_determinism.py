@@ -188,3 +188,161 @@ class TestDeterminismBroad:
             session_unit, spec, n_workers=4, executor="process"
         )
         assert serial.values == parallel.values
+
+
+# -- wire-schema round trips (hypothesis) --------------------------------
+#
+# The job service ships these specs over HTTP, so the determinism
+# contract extends to the wire: object -> JSON -> object -> JSON must
+# be the identity for every valid spec, or a served sweep could drift
+# from the direct run it must reproduce bit-for-bit.
+
+import json as _json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import RetryPolicy
+from repro.runner.workers import SessionSpec
+from repro.serve import (
+    WORK_FUNCTIONS,
+    JobRequest,
+    job_request_from_json,
+    job_request_to_json,
+    retry_policy_from_json,
+    retry_policy_to_json,
+    session_spec_from_json,
+    session_spec_to_json,
+    sweep_spec_from_json,
+    sweep_spec_to_json,
+)
+
+json_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+
+sweep_specs = st.builds(
+    SweepSpec,
+    axes=st.dictionaries(
+        st.text(min_size=1, max_size=6),
+        st.lists(json_scalars, min_size=1, max_size=4),
+        min_size=1,
+        max_size=3,
+    ),
+    seed=st.integers(min_value=-(2**62), max_value=2**62),
+    chunk_size=st.one_of(st.none(), st.integers(1, 64)),
+)
+
+retry_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(1, 10),
+    timeout_s=st.one_of(
+        st.none(),
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    ),
+    backoff_s=st.floats(min_value=0.0, max_value=10.0),
+    backoff_factor=st.floats(min_value=1.0, max_value=8.0),
+    backoff_max_s=st.floats(min_value=0.0, max_value=100.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    breaker_failures=st.integers(1, 5),
+)
+
+session_specs = st.builds(
+    SessionSpec,
+    kind=st.sampled_from(["los", "nlos"]),
+    distance_m=st.floats(allow_nan=False, allow_infinity=False),
+    location=st.text(min_size=1, max_size=8),
+    phy_fast_path=st.booleans(),
+    session_fast_path=st.booleans(),
+    batch_queries=st.integers(1, 128),
+    data_stream=st.integers(1, 8),
+)
+
+sweep_job_requests = st.builds(
+    JobRequest,
+    kind=st.just("sweep"),
+    fn=st.sampled_from(sorted(WORK_FUNCTIONS)),
+    fn_kwargs=st.dictionaries(
+        st.text(min_size=1, max_size=6), json_scalars, max_size=2
+    ),
+    sweep=sweep_specs,
+    n_workers=st.integers(1, 8),
+    priority=st.integers(-5, 5),
+    retry=st.one_of(st.none(), retry_policies),
+)
+
+
+@st.composite
+def session_job_requests(draw):
+    by_queries = draw(st.booleans())
+    return JobRequest(
+        kind="sessions",
+        sessions=draw(session_specs),
+        n_sessions=draw(st.integers(1, 16)),
+        queries=draw(st.integers(1, 100)) if by_queries else None,
+        duration_s=(
+            None
+            if by_queries
+            else draw(st.floats(min_value=1e-3, max_value=10.0))
+        ),
+        seed=draw(st.integers(min_value=-(2**62), max_value=2**62)),
+        n_workers=draw(st.integers(1, 8)),
+        chunk_size=draw(st.one_of(st.none(), st.integers(1, 32))),
+        priority=draw(st.integers(-5, 5)),
+        retry=draw(st.one_of(st.none(), retry_policies)),
+    )
+
+
+def wire(payload):
+    """One HTTP hop: serialize and re-parse the JSON payload."""
+    return _json.loads(_json.dumps(payload))
+
+
+class TestWireSchemaRoundTrips:
+    @settings(max_examples=50, deadline=None)
+    @given(spec=sweep_specs)
+    def test_sweep_spec_identity(self, spec):
+        payload = sweep_spec_to_json(spec)
+        assert sweep_spec_from_json(wire(payload)) == spec
+        assert sweep_spec_to_json(sweep_spec_from_json(payload)) == (
+            payload
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec=session_specs)
+    def test_session_spec_identity(self, spec):
+        payload = session_spec_to_json(spec)
+        assert session_spec_from_json(wire(payload)) == spec
+        assert session_spec_to_json(
+            session_spec_from_json(payload)
+        ) == payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(policy=retry_policies)
+    def test_retry_policy_identity(self, policy):
+        payload = retry_policy_to_json(policy)
+        assert retry_policy_from_json(wire(payload)) == policy
+        assert retry_policy_to_json(
+            retry_policy_from_json(payload)
+        ) == payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(request=sweep_job_requests)
+    def test_sweep_job_request_identity(self, request):
+        payload = job_request_to_json(request)
+        assert job_request_from_json(wire(payload)) == request
+        assert job_request_to_json(
+            job_request_from_json(payload)
+        ) == payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(request=session_job_requests())
+    def test_session_job_request_identity(self, request):
+        payload = job_request_to_json(request)
+        assert job_request_from_json(wire(payload)) == request
+        assert job_request_to_json(
+            job_request_from_json(payload)
+        ) == payload

@@ -267,3 +267,103 @@ class TestRunSessionsValidation:
     def test_parameters_arity_checked(self):
         with pytest.raises(ValueError, match="one entry per session"):
             run_sessions(echo, 2, queries=1, parameters=[{}])
+
+
+class TestChunkProgressObserver:
+    """The ``on_chunk`` hook: the engine's event-loop drivability."""
+
+    def test_called_once_per_chunk_in_completion_order(self):
+        seen = []
+        result = run_units(
+            double_x,
+            units(10),
+            chunk_size=3,
+            on_chunk=seen.append,
+        )
+        assert len(seen) == 4  # chunks of 3,3,3,1
+        assert [p.chunks_done for p in seen] == [1, 2, 3, 4]
+        assert all(p.n_chunks == 4 for p in seen)
+        assert sum(p.n_units for p in seen) == 10
+        assert not any(p.resumed for p in seen)
+        # serial executor resolves chunks in submission order
+        assert [p.chunk_index for p in seen] == [0, 1, 2, 3]
+        assert [p.first_index for p in seen] == [0, 3, 6, 9]
+        assert result.values == [x * 2 for x in range(10)]
+
+    def test_resumed_chunks_reported_first_and_flagged(self, tmp_path):
+        checkpoint = tmp_path / "run.ckpt.jsonl"
+        run_units(
+            double_x,
+            units(8),
+            chunk_size=2,
+            checkpoint=checkpoint,
+            on_chunk=lambda p: None,
+        )
+        seen = []
+        resumed_run = run_units(
+            double_x,
+            units(8),
+            chunk_size=2,
+            checkpoint=checkpoint,
+            resume=True,
+            on_chunk=seen.append,
+        )
+        assert resumed_run.resumed_chunks == 4
+        assert [p.resumed for p in seen] == [True] * 4
+        # resumed chunks replay in chunk order before any execution
+        assert [p.chunk_index for p in seen] == [0, 1, 2, 3]
+        assert [p.chunks_done for p in seen] == [1, 2, 3, 4]
+
+    def test_observer_exception_aborts_but_keeps_checkpoint(
+        self, tmp_path
+    ):
+        """Raising from the observer = cooperative cancellation."""
+        checkpoint = tmp_path / "cancel.ckpt.jsonl"
+
+        class Stop(Exception):
+            pass
+
+        def cancel_after_two(progress):
+            if progress.chunks_done == 2:
+                raise Stop()
+
+        with pytest.raises(Stop):
+            run_units(
+                double_x,
+                units(10),
+                chunk_size=2,
+                checkpoint=checkpoint,
+                on_chunk=cancel_after_two,
+            )
+        # the two completed chunks survived; a resume skips them and
+        # still produces the full, bit-identical result
+        seen = []
+        resumed = run_units(
+            double_x,
+            units(10),
+            chunk_size=2,
+            checkpoint=checkpoint,
+            resume=True,
+            on_chunk=seen.append,
+        )
+        assert resumed.resumed_chunks == 2
+        baseline = run_units(double_x, units(10), chunk_size=2)
+        assert resumed.values == baseline.values
+        assert sum(1 for p in seen if p.resumed) == 2
+
+    def test_run_sweep_and_run_sessions_pass_through(self):
+        from repro.runner.workers import SessionSpec
+
+        seen = []
+        spec = SweepSpec(axes={"x": [1, 2, 3, 4]}, chunk_size=2)
+        run_sweep(double_x, spec, on_chunk=seen.append)
+        assert [p.chunks_done for p in seen] == [1, 2]
+        seen.clear()
+        run_sessions(
+            SessionSpec(kind="los"),
+            2,
+            queries=1,
+            chunk_size=1,
+            on_chunk=seen.append,
+        )
+        assert [p.chunks_done for p in seen] == [1, 2]

@@ -706,12 +706,15 @@ class TestTelemetryUnderRetry:
 
 class TestRunParallelSessionsWarning:
     def test_small_query_count_warns_and_goes_serial(self):
-        from repro.core.session import run_parallel_sessions
+        from repro.core.session import (
+            reset_small_query_warnings,
+            run_parallel_sessions,
+        )
 
-        build = SessionSpec(distance_m=3.0)
+        reset_small_query_warnings()
         with pytest.warns(RuntimeWarning, match="falling back"):
             result = run_parallel_sessions(
-                build,
+                SessionSpec(distance_m=3.0),
                 2,
                 queries=2,
                 seed=0,
@@ -721,6 +724,43 @@ class TestRunParallelSessionsWarning:
             )
         assert result.executor == "serial"
         assert len(result.values) == 2
+
+    def test_warning_fires_once_per_job_across_redispatches(self):
+        # Satellite bugfix: a resumed/retried job used to warn on every
+        # re-dispatch of the same small-query configuration; the
+        # warning now dedups per warn_key while the serial fallback
+        # itself still applies every time.
+        import warnings
+
+        from repro.core.session import (
+            reset_small_query_warnings,
+            run_parallel_sessions,
+        )
+
+        reset_small_query_warnings()
+        kwargs = dict(
+            queries=2, seed=0, n_workers=2, chunk_size=8,
+            executor="process", warn_key="job-000042",
+        )
+        build = SessionSpec(distance_m=3.0)
+        with pytest.warns(RuntimeWarning) as record:
+            first = run_parallel_sessions(build, 2, **kwargs)
+        fallback = [
+            w for w in record if "falling back" in str(w.message)
+        ]
+        assert len(fallback) == 1
+        # Same job re-dispatching (e.g. after a checkpoint resume):
+        # silent, but still serial and bit-identical.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            again = run_parallel_sessions(build, 2, **kwargs)
+        assert again.executor == "serial"
+        assert again.values == first.values
+        # A different job warns on its own first dispatch.
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            run_parallel_sessions(
+                build, 2, **{**kwargs, "warn_key": "job-000043"}
+            )
 
     def test_ample_queries_do_not_warn(self):
         import warnings

@@ -331,6 +331,9 @@ class TestWorkerInvariance:
     def test_small_batch_falls_back_to_serial_with_warning(self):
         # Satellite bugfix: queries < chunk_size used to raise inside
         # the engine; now it warns and runs serially, like run_units.
+        from repro.core.session import reset_small_query_warnings
+
+        reset_small_query_warnings()
         with pytest.warns(RuntimeWarning, match="chunk_size"):
             result = run_parallel_sessions(
                 SessionSpec(),
