@@ -35,14 +35,23 @@ from .core.session import MeasurementSession
 from .sim.scenario import los_scenario
 
 __all__ = [
+    "BENCH_SCHEMA",
     "TIERS",
     "fault_tolerance_bench",
     "three_tier_bench",
+    "tier4_bench",
+    "tier4_leg",
+    "tier4_payload",
     "timed_session",
     "record_bench_trajectory",
     "load_baseline",
     "update_baseline",
 ]
+
+#: Version stamp of the ``bench_payload`` / trajectory-entry layout.
+#: Schema 2 added the optional ``tier4`` block (PR 7); readers must
+#: tolerate entries of either schema in one trajectory file.
+BENCH_SCHEMA = 2
 
 #: (label, phy_fast_path, session_fast_path) for each execution tier,
 #: slowest first.
@@ -165,6 +174,220 @@ def three_tier_bench(
     }
 
 
+def _values_digest(values: list) -> str:
+    """Stable digest of a result's values for cross-leg bit-identity."""
+    import hashlib
+    import pickle
+
+    raw = pickle.dumps(list(values), protocol=4)
+    return hashlib.blake2b(raw, digest_size=16).hexdigest()
+
+
+def tier4_leg(
+    mode: str,
+    *,
+    jobs: int = 8,
+    sessions: int = 4,
+    queries: int = 16,
+    seed: int = 0,
+    n_workers: int = 2,
+) -> dict[str, Any]:
+    """Run one leg of the tier-4 benchmark in *this* process.
+
+    Both legs model a serve-style workload: ``jobs`` identical requests,
+    each running ``sessions`` sessions of ``queries`` queries through
+    the parallel engine.
+
+    * ``mode="session-batch"`` — the tier-3 reference: every job spins
+      up a fresh process pool (``executor="process"``) and ships chunks
+      with the pickle codec, the way the engine worked before the
+      zero-copy transport landed.
+    * ``mode="tier4"`` — one persistent :class:`repro.runner.WarmPool`
+      shared by every job (its startup is *inside* the timed region),
+      shared-memory chunk transport, warm session specs and the
+      compiled-kernel tier resolved by ``"auto"``.
+
+    Returns ``{"mode", "wall_s", "jobs_per_s", "sessions_per_s",
+    "transport", "digests"}`` where ``digests`` has one entry per job —
+    the two legs must produce identical digest lists
+    (:func:`tier4_bench` asserts this before it compares any timing).
+    """
+    from .runner import WarmPool, resolve_transport, run_sessions
+    from .runner.workers import SessionSpec
+
+    if mode not in ("session-batch", "tier4"):
+        raise ValueError(f"unknown tier4 leg mode {mode!r}")
+    if min(jobs, sessions, queries) < 1:
+        raise ValueError("jobs, sessions and queries must all be >= 1")
+    common: dict[str, Any] = dict(
+        queries=queries, seed=seed, chunk_size=1
+    )
+    digests: list[str] = []
+    if mode == "tier4":
+        spec = SessionSpec(warm=True)
+        transport = resolve_transport("auto")
+        start = time.perf_counter()
+        with WarmPool(n_workers) as pool:
+            for _ in range(jobs):
+                result = run_sessions(
+                    spec, sessions, pool=pool, transport="auto", **common
+                )
+                digests.append(_values_digest(result.values))
+        wall_s = time.perf_counter() - start
+    else:
+        spec = SessionSpec()
+        transport = "pickle"
+        start = time.perf_counter()
+        for _ in range(jobs):
+            result = run_sessions(
+                spec,
+                sessions,
+                executor="process",
+                n_workers=n_workers,
+                transport="pickle",
+                **common,
+            )
+            digests.append(_values_digest(result.values))
+        wall_s = time.perf_counter() - start
+    return {
+        "mode": mode,
+        "wall_s": wall_s,
+        "jobs_per_s": jobs / wall_s,
+        "sessions_per_s": jobs * sessions / wall_s,
+        "transport": transport,
+        "digests": digests,
+    }
+
+
+def _run_leg_subprocess(params: dict[str, Any]) -> dict[str, Any]:
+    """Run :func:`tier4_leg` in a cold child interpreter.
+
+    A cold parent is the honest harness for this benchmark: the serve
+    and sweep coordinators never execute physics themselves, so every
+    fresh pool worker pays the full first-use cost (coded-BER table,
+    channel caches, frame memo) that the warm pool exists to amortise.
+    Running legs in the *bench* process would let leftover parent state
+    leak into the fork-based reference leg and understate that cost.
+    """
+    import json as json_mod
+    import subprocess
+    import sys as sys_mod
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else os.pathsep.join([src_dir, existing])
+    )
+    code = (
+        "import sys, json\n"
+        "from repro.bench import tier4_leg\n"
+        "print(json.dumps(tier4_leg(**json.loads(sys.argv[1]))))\n"
+    )
+    proc = subprocess.run(
+        [sys_mod.executable, "-c", code, json_mod.dumps(params)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"tier4 bench leg failed (rc={proc.returncode}):\n{proc.stderr}"
+        )
+    return json_mod.loads(proc.stdout.splitlines()[-1])
+
+
+def tier4_bench(
+    jobs: int = 8,
+    sessions: int = 4,
+    queries: int = 16,
+    *,
+    seed: int = 0,
+    n_workers: int = 2,
+    repeats: int = 1,
+    cold_parent: bool = True,
+) -> dict[str, Any]:
+    """Time the tier-4 fast path against the tier-3 parallel reference.
+
+    Runs both :func:`tier4_leg` modes (``repeats`` times each, keeping
+    the fastest), asserts their per-job value digests are identical —
+    a faster-but-wrong pool fails before any timing compares — and
+    reports the wall-clock ratio.
+
+    ``cold_parent=True`` (the default, used by ``repro bench --tier4``
+    and the gated benchmark) executes each leg in a fresh child
+    interpreter; see :func:`_run_leg_subprocess` for why.  The
+    ``bench_smoke`` twin sets it to ``False`` to keep tier-1 cheap
+    while exercising the same code path in-process.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    params = dict(
+        jobs=jobs,
+        sessions=sessions,
+        queries=queries,
+        seed=seed,
+        n_workers=n_workers,
+    )
+    legs: dict[str, dict[str, Any]] = {}
+    for mode in ("session-batch", "tier4"):
+        best: dict[str, Any] | None = None
+        for _ in range(repeats):
+            if cold_parent:
+                run = _run_leg_subprocess({"mode": mode, **params})
+            else:
+                run = tier4_leg(mode, **params)
+            if best is None or run["wall_s"] < best["wall_s"]:
+                best = run
+        legs[mode] = best
+    identical = legs["session-batch"]["digests"] == legs["tier4"]["digests"]
+    if not identical:
+        raise AssertionError(
+            "tier4 leg produced different results than the session-batch "
+            "reference — digests diverge"
+        )
+    return {
+        **params,
+        "cold_parent": cold_parent,
+        "legs": legs,
+        "identical": identical,
+        "speedup_tier4_vs_session_batch": (
+            legs["session-batch"]["wall_s"] / legs["tier4"]["wall_s"]
+        ),
+    }
+
+
+def tier4_payload(result: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe view of a :func:`tier4_bench` result (drops digests)."""
+    return {
+        key: result[key]
+        for key in (
+            "jobs",
+            "sessions",
+            "queries",
+            "seed",
+            "n_workers",
+            "cold_parent",
+            "identical",
+            "speedup_tier4_vs_session_batch",
+        )
+    } | {
+        "legs": {
+            mode: {
+                k: leg[k]
+                for k in (
+                    "wall_s",
+                    "jobs_per_s",
+                    "sessions_per_s",
+                    "transport",
+                )
+            }
+            for mode, leg in result["legs"].items()
+        }
+    }
+
+
 def fault_tolerance_bench(
     n_units: int = 64,
     *,
@@ -258,9 +481,19 @@ def _json_safe_tier(tier: dict[str, Any]) -> dict[str, Any]:
     }
 
 
-def bench_payload(result: dict[str, Any]) -> dict[str, Any]:
-    """JSON-serializable view of a :func:`three_tier_bench` result."""
-    return {
+def bench_payload(
+    result: dict[str, Any], *, tier4: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """JSON-serializable view of a :func:`three_tier_bench` result.
+
+    ``tier4`` optionally attaches a :func:`tier4_bench` result as a
+    fourth-tier block (stored via :func:`tier4_payload`).  Entries
+    without the block remain valid — trajectory readers must treat
+    ``tier4`` as optional, and schema-1 entries (no ``schema`` field)
+    as equivalent to ``schema: 1``.
+    """
+    payload = {
+        "schema": BENCH_SCHEMA,
         "queries": result["queries"],
         "distance_m": result["distance_m"],
         "seed": result["seed"],
@@ -270,6 +503,9 @@ def bench_payload(result: dict[str, Any]) -> dict[str, Any]:
             for label, tier in result["tiers"].items()
         },
     }
+    if tier4 is not None:
+        payload["tier4"] = tier4_payload(tier4)
+    return payload
 
 
 def record_bench_trajectory(

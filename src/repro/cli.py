@@ -77,6 +77,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         RetryPolicy,
         SweepError,
         SweepSpec,
+        WarmPool,
         WorkUnitError,
         run_sweep,
     )
@@ -140,13 +141,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return 2
     elif args.metrics_out:
         telemetry_spec = TelemetrySpec(metrics=True)
+    pool = None
     try:
         spec = SweepSpec(
             axes={"distance_m": distances},
             seed=args.seed,
             chunk_size=args.chunk,
         )
-        fn = functools.partial(los_ber_point, sim_seconds=args.seconds)
+        fn = functools.partial(
+            los_ber_point,
+            sim_seconds=args.seconds,
+            kernel_tier=args.kernel_tier,
+            warm=args.warm_workers > 0,
+        )
+        if args.warm_workers > 0:
+            pool = WarmPool(args.warm_workers)
         run = functools.partial(
             run_sweep,
             fn,
@@ -156,6 +165,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             faults=faults,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            transport=args.transport,
+            pool=pool,
         )
         if live is not None:
             with activate(live):
@@ -195,6 +206,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except SweepError as error:
         print(f"sweep failed: {error}", file=sys.stderr)
         return 1
+    finally:
+        if pool is not None:
+            pool.close()
     print(
         result.table(
             f"LOS sweep: {args.seconds:g}s per point, seed {args.seed}, "
@@ -252,6 +266,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         bench_payload,
         record_bench_trajectory,
         three_tier_bench,
+        tier4_bench,
         update_baseline,
     )
 
@@ -297,7 +312,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ):
             stages.add_row([group, stage, seconds, calls, per_call_us])
     print(stages.render())
-    payload = bench_payload(result)
+    t4 = None
+    if args.tier4:
+        t4 = tier4_bench(
+            args.tier4_jobs,
+            args.tier4_sessions,
+            args.tier4_queries,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        t4_table = Table(
+            f"tier-4 fast path: {t4['jobs']} jobs x {t4['sessions']} "
+            f"sessions x {t4['queries']} queries, "
+            f"{t4['n_workers']} warm worker(s)",
+            ["mode", "wall (s)", "jobs/s", "sessions/s", "transport"],
+        )
+        for mode in ("session-batch", "tier4"):
+            leg = t4["legs"][mode]
+            t4_table.add_row(
+                [
+                    mode,
+                    leg["wall_s"],
+                    leg["jobs_per_s"],
+                    leg["sessions_per_s"],
+                    leg["transport"],
+                ]
+            )
+        print(t4_table.render())
+        print(
+            f"speedup tier4/session-batch: "
+            f"{t4['speedup_tier4_vs_session_batch']:.2f}x "
+            f"(per-job digests identical: {t4['identical']})"
+        )
+    payload = bench_payload(result, tier4=t4)
     entry = record_bench_trajectory(args.trajectory, payload)
     print(f"recorded trajectory entry ({entry['recorded_at']}) in "
           f"{args.trajectory}")
@@ -331,6 +378,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             args.baselines,
         )
         print(f"updated session_batch baseline in {args.baselines}")
+        if t4 is not None:
+            update_baseline(
+                "tier4",
+                {
+                    "recorded": entry["recorded_at"],
+                    "jobs": t4["jobs"],
+                    "sessions": t4["sessions"],
+                    "queries": t4["queries"],
+                    "seed": args.seed,
+                    "n_workers": t4["n_workers"],
+                    "speedup_tier4_vs_session_batch": t4[
+                        "speedup_tier4_vs_session_batch"
+                    ],
+                    "note": (
+                        "Reference machine numbers from `repro bench "
+                        "--tier4 --update-baseline`. "
+                        "benchmarks/test_tier4.py asserts tier-4 >= "
+                        "max(2.5, 0.8 * speedup_tier4_vs_session_batch) "
+                        "over the session-batch reference; absolute "
+                        "rates are trajectory data only."
+                    ),
+                },
+                args.baselines,
+            )
+            print(f"updated tier4 baseline in {args.baselines}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -439,20 +511,39 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # Chunk-transport metrics (payload bytes / encode times) ride in a
+    # separate operational snapshot so they never perturb the
+    # deterministic physics aggregate; fold them into the human-facing
+    # renderings here.
+    transport = payload.get("transport")
+    if not (isinstance(transport, dict) and "schema" in transport):
+        transport = None
     if args.format == "json":
         text = json.dumps(payload, indent=2)
     elif args.format == "prometheus":
+        from .obs import merge_metric_snapshots
+
         try:
-            text = render_prometheus(snapshot)
+            exposed = (
+                merge_metric_snapshots([snapshot, transport])
+                if transport is not None
+                else snapshot
+            )
+            text = render_prometheus(exposed)
         except ValueError as error:
             print(f"bad snapshot: {error}", file=sys.stderr)
             return 2
     else:
-        text = _metrics_table(
+        table = _metrics_table(
             snapshot,
             f"aggregated metrics ({payload.get('chunks', '?')} chunk(s), "
             f"repro {payload.get('version', '?')})",
-        ).render()
+        )
+        text = table.render()
+        if transport is not None:
+            text += "\n\n" + _metrics_table(
+                transport, "chunk transport (coordinator-side)"
+            ).render()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -742,6 +833,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slots=args.slots,
             spill_dir=args.spill_dir,
             max_jobs=args.max_jobs,
+            transport=args.transport,
+            warm_workers=args.warm_workers,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -753,7 +846,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     spill = config.spill_dir or "(ephemeral: no resume across restarts)"
     print(
         f"repro serve: {config.host}:{config.port} "
-        f"slots={config.slots} spill={spill}",
+        f"slots={config.slots} spill={spill} "
+        f"transport={config.transport} warm_workers={config.warm_workers}",
         file=sys.stderr,
     )
     try:
@@ -853,6 +947,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint, skipping completed chunks "
         "(without this flag an existing checkpoint is overwritten)",
     )
+    sweep.add_argument(
+        "--transport",
+        choices=("auto", "pickle", "shm"),
+        default="auto",
+        help="chunk payload codec: shared-memory segments (shm) or "
+        "pickle-over-pipe; auto picks shm when available "
+        "(bit-identical results either way)",
+    )
+    sweep.add_argument(
+        "--warm-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run on a persistent warm worker pool of N processes "
+        "(tier-4 fast path; 0 = classic per-run executors)",
+    )
+    sweep.add_argument(
+        "--kernel-tier",
+        choices=("auto", "numpy", "numba"),
+        default="auto",
+        help="decode kernel implementation; numba requires the "
+        "optional fast extra and falls back bitwise-verified",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     bench = sub.add_parser(
@@ -870,6 +987,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--json", type=str, default=None, help="write results to this file"
+    )
+    bench.add_argument(
+        "--tier4",
+        action="store_true",
+        help="also benchmark the tier-4 fast path (warm pool + shm "
+        "transport) against the tier-3 parallel reference",
+    )
+    bench.add_argument(
+        "--tier4-jobs",
+        type=int,
+        default=8,
+        help="serve-style identical jobs per tier-4 leg",
+    )
+    bench.add_argument(
+        "--tier4-sessions", type=int, default=4, help="sessions per job"
+    )
+    bench.add_argument(
+        "--tier4-queries", type=int, default=16, help="queries per session"
     )
     bench.add_argument(
         "--trajectory",
@@ -1073,6 +1208,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-jobs", type=int, default=1024,
         help="cap on active (non-terminal) jobs",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("auto", "pickle", "shm"),
+        default="auto",
+        help="chunk payload codec for job execution (bit-identical "
+        "results either way)",
+    )
+    serve.add_argument(
+        "--warm-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="persistent warm worker pool size per slot (tier-4 fast "
+        "path; 0 = classic per-job executors)",
     )
     serve.add_argument(
         "--print-config",

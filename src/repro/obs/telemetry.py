@@ -31,7 +31,12 @@ from .metrics import (
     BER_BUCKETS,
     SINR_LINEAR_BUCKETS,
     MetricsRegistry,
+    log_buckets,
 )
+
+#: Per-chunk transport encode times: tens of microseconds (small pickle
+#: payloads) up to seconds (huge shared-memory arrays).
+ENCODE_SECONDS_BUCKETS = log_buckets(1e-5, 10.0, 13)
 from .trace import (
     TRACE_SCHEMA,
     TailBuffer,
@@ -153,6 +158,16 @@ class Telemetry:
                 "runner_chunk_retries_total",
                 "Engine chunk fault-tolerance events by failure reason",
                 labels=("reason",),
+            )
+            self._chunk_bytes = registry_.counter(
+                "runner_chunk_bytes_total",
+                "Encoded chunk payload bytes by transport codec",
+                labels=("codec",),
+            )
+            self._chunk_encode = registry_.histogram(
+                "runner_chunk_encode_seconds",
+                ENCODE_SECONDS_BUCKETS,
+                "Per-chunk transport encode wall-clock seconds",
             )
 
     # ------------------------------------------------------------------
@@ -292,6 +307,33 @@ class Telemetry:
                     "attempt": int(event.attempt),
                     "reason": str(event.reason),
                     "action": str(event.action),
+                }
+            )
+            self.writer.flush()
+
+    def on_chunk_transport(self, event) -> None:
+        """One chunk payload crossing the process boundary.
+
+        Called by the coordinator's scheduler on the *live* telemetry
+        with a :class:`repro.runner.transport.TransportEvent` after it
+        decodes a chunk.  Counted under
+        ``runner_chunk_bytes_total{codec}`` and
+        ``runner_chunk_encode_seconds``; when tracing, written as a
+        ``transport`` trace record.
+        """
+        if self.metrics_enabled:
+            self._chunk_bytes.labels(codec=event.codec).inc(event.nbytes)
+            self._chunk_encode.observe(event.encode_s)
+        if self.writer is not None:
+            self.writer.write(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "kind": "transport",
+                    "chunk": int(event.chunk_index),
+                    "codec": str(event.codec),
+                    "nbytes": int(event.nbytes),
+                    "encode_s": float(event.encode_s),
+                    "decode_s": float(event.decode_s),
                 }
             )
             self.writer.flush()

@@ -20,6 +20,9 @@ Record kinds:
   :class:`repro.runner.faults.RetryEvent`): which chunk failed, the
   attempt number, the failure reason, and what the scheduler did about
   it (retry, serial fallback, or terminal failure).
+* ``transport`` — one chunk payload crossing the process boundary (see
+  :class:`repro.runner.transport.TransportEvent`): the codec, encoded
+  size, and encode/decode wall-clock.
 
 Sampling (:class:`TraceSampler`) bounds trace cost on long runs:
 ``every_n`` keeps one query in N, ``head`` always keeps the first few,
@@ -243,6 +246,16 @@ _RETRY_FIELDS = {
     "action": str,
 }
 
+_TRANSPORT_FIELDS = {
+    "schema": int,
+    "kind": str,
+    "chunk": int,
+    "codec": str,
+    "nbytes": int,
+    "encode_s": float,
+    "decode_s": float,
+}
+
 
 def validate_trace_record(record: Mapping[str, Any]) -> None:
     """Raise ``ValueError`` unless ``record`` matches the trace schema."""
@@ -258,6 +271,7 @@ def validate_trace_record(record: Mapping[str, Any]) -> None:
         "query": _QUERY_FIELDS,
         "session": _SESSION_FIELDS,
         "retry": _RETRY_FIELDS,
+        "transport": _TRANSPORT_FIELDS,
     }.get(kind)
     if fields is None:
         raise ValueError(f"unknown trace record kind {kind!r}")

@@ -57,18 +57,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..perf import StageCounters
 from ..seeding import component_rng
 from .channel import BackscatterChannel, TagState
-from .coding import (
-    coded_bit_error_rate,
-    coded_bit_error_rate_batch,
-    packet_error_rate,
-    packet_error_rate_batch,
-)
+from .coding import coded_bit_error_rate, packet_error_rate
 from .csi import (
     csi_noise_scale,
     eesm_effective_sinr,
-    eesm_effective_sinr_batch,
     estimate_csi,
 )
+from .kernels import KernelSet, get_kernels
 from .mcs import Mcs
 from .noise import ReceiverNoise, dbm_to_watts
 
@@ -99,6 +94,7 @@ def mpdu_success_probabilities(
     effective_sinrs_linear,
     *,
     exact: bool = False,
+    kernels: KernelSet | None = None,
 ) -> np.ndarray:
     """Vectorized :func:`mpdu_success_probability` over many subframes.
 
@@ -112,6 +108,10 @@ def mpdu_success_probabilities(
             and the interpolated coded-BER table — accurate to ~1e-3
             relative on the coded BER, which is far below anything
             observable at packet level.
+        kernels: the :class:`repro.phy.kernels.KernelSet` evaluating the
+            fast path; defaults to the numpy reference tier.  Every tier
+            is probe-verified bitwise against the reference, so the
+            choice never changes results.
 
     Returns:
         Array of success probabilities in [0, 1].
@@ -128,9 +128,9 @@ def mpdu_success_probabilities(
                 for b, s in zip(bits_by_subframe.ravel(), sinrs.ravel())
             ]
         ).reshape(sinrs.shape)
-    uncoded = mcs.modulation.bit_error_rate_array(np.maximum(sinrs, 0.0))
-    coded = coded_bit_error_rate_batch(mcs.coding_rate, uncoded)
-    return 1.0 - packet_error_rate_batch(coded, bits)
+    if kernels is None:
+        kernels = get_kernels("numpy")
+    return kernels.mpdu_success(mcs, bits, sinrs)
 
 
 @dataclass(frozen=True)
@@ -200,6 +200,12 @@ class LinkErrorModel:
             ``phy_effective_sinr`` histogram.  All three tiers (scalar,
             per-query vectorized, session-batch 2-D) observe the same
             values in the same order, so histograms are tier-invariant.
+        kernel_tier: which :mod:`repro.phy.kernels` implementation the
+            vectorized decode stages run on — ``"numpy"``, ``"numba"``
+            or ``"auto"`` (the default: compiled when numba is
+            installed, reference otherwise).  Every tier is
+            probe-verified bitwise against the numpy reference at
+            resolution time, so this knob changes speed, never results.
     """
 
     channel: BackscatterChannel
@@ -214,12 +220,23 @@ class LinkErrorModel:
     telemetry: "Telemetry | None" = field(
         default=None, repr=False, compare=False
     )
+    kernel_tier: str = "auto"
 
     def __post_init__(self) -> None:
         self._tx_ref_snr = (
             dbm_to_watts(self.tx_power_dbm) / self.receiver.noise_floor_w
         )
         self._mismatch_gain = 10.0 ** (self.mismatch_gain_db / 10.0)
+        # Kernel resolution is lazy: "auto" with numba installed JIT-
+        # compiles on first use, which scalar-only consumers never pay.
+        self._kernel_set: KernelSet | None = None
+
+    @property
+    def kernels(self) -> KernelSet:
+        """The resolved (cached) decode kernel set for this model."""
+        if self._kernel_set is None:
+            self._kernel_set = get_kernels(self.kernel_tier)
+        return self._kernel_set
 
     @property
     def tx_referred_snr_linear(self) -> float:
@@ -384,7 +401,7 @@ class LinkErrorModel:
         self.counters.add("csi", time.perf_counter() - start, n_q * k)
 
         start = time.perf_counter()
-        effective = eesm_effective_sinr_batch(
+        effective = self.kernels.eesm(
             sinr_rows.reshape(n_q * k, n), self.mcs.modulation
         ).reshape(n_q, k)
         self.counters.add("eesm", time.perf_counter() - start, n_q * k)
@@ -412,7 +429,8 @@ class LinkErrorModel:
         )
         start = time.perf_counter()
         probabilities = mpdu_success_probabilities(
-            self.mcs, mpdu_bits, sinrs, exact=exact_coding
+            self.mcs, mpdu_bits, sinrs, exact=exact_coding,
+            kernels=self.kernels,
         )
         self.counters.add("coding", time.perf_counter() - start, sinrs.size)
         return probabilities
@@ -445,7 +463,7 @@ class LinkErrorModel:
             exact_coding=exact_coding,
             _uniforms=uniforms,
         )
-        return uniforms < probabilities
+        return self.kernels.sample_outcomes(uniforms, probabilities)
 
     def subframe_effective_sinr(
         self,
@@ -586,7 +604,7 @@ class LinkErrorModel:
             sinr_rows = 1.0 / (tag_mismatch + est_mismatch + noise)
             self.counters.add("csi", time.perf_counter() - start, k)
             start = time.perf_counter()
-            effective = eesm_effective_sinr_batch(
+            effective = self.kernels.eesm(
                 sinr_rows, self.mcs.modulation
             )[row]
             self.counters.add("eesm", time.perf_counter() - start, k)
@@ -616,7 +634,7 @@ class LinkErrorModel:
         sinr_rows = 1.0 / (tag_mismatch + est_mismatch + noise)
         self.counters.add("csi", time.perf_counter() - start, k)
         start = time.perf_counter()
-        effective = eesm_effective_sinr_batch(sinr_rows, self.mcs.modulation)
+        effective = self.kernels.eesm(sinr_rows, self.mcs.modulation)
         self.counters.add("eesm", time.perf_counter() - start, k)
         if self.telemetry is not None:
             self.telemetry.observe_sinrs(effective)
@@ -646,7 +664,8 @@ class LinkErrorModel:
         )
         start = time.perf_counter()
         probabilities = mpdu_success_probabilities(
-            self.mcs, mpdu_bits, sinrs, exact=exact_coding
+            self.mcs, mpdu_bits, sinrs, exact=exact_coding,
+            kernels=self.kernels,
         )
         self.counters.add("coding", time.perf_counter() - start, sinrs.size)
         return probabilities

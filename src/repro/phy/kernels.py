@@ -1,0 +1,451 @@
+"""Optional compiled kernels for the session-batch decode hot path.
+
+The three stages that dominate session-batch decode wall-clock — the
+EESM effective-SINR reduction, the uncoded+coded BER evaluation, and
+the outcome sampling comparison — are pure array math with no object
+state.  This module packages each as a swappable *kernel* behind a
+``kernel_tier`` selector:
+
+* ``"numpy"`` — the reference tier.  Each kernel delegates to (or
+  replicates operation-for-operation) the existing numpy code in
+  :mod:`repro.phy.csi`, :mod:`repro.phy.modulation` and
+  :mod:`repro.phy.coding`, so it is bitwise identical to today's fast
+  path by construction.
+* ``"numba"`` — ``@njit``-compiled loops (no ``fastmath``).  Requires
+  the optional ``numba`` dependency (``pip install .[fast]``).
+* ``"auto"`` — the default: ``"numba"`` when importable, else
+  ``"numpy"``.  Code that threads ``kernel_tier`` through never needs
+  to know whether the accelerator is installed.
+
+Bitwise safety is enforced at *resolution time*, not assumed: when the
+numba tier is built, every compiled kernel is checked bitwise against
+its numpy twin on a deterministic probe battery covering all supported
+modulations and coding rates.  A kernel whose compiled output differs
+by even one ULP (libm vs. numpy SIMD transcendentals can do that) is
+individually replaced by its numpy twin and listed in
+:attr:`KernelSet.fallbacks` — the tier degrades per-kernel, never
+per-module, and results stay bit-identical to the reference no matter
+what the local numba/LLVM build produces.
+
+Resolution is cached process-wide: probe verification and JIT
+compilation run once per process, after which kernel dispatch is a
+plain attribute access.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable
+
+import numpy as np
+
+from .coding import (
+    TABLE_P_MIN,
+    coded_bit_error_rate_batch,
+    packet_error_rate_batch,
+)
+from .csi import EESM_BETA, eesm_effective_sinr_batch
+from .mcs import Mcs, vht_mcs
+from .modulation import Modulation
+
+__all__ = ["HAVE_NUMBA", "KERNEL_TIERS", "KernelSet", "get_kernels"]
+
+#: Valid values for the ``kernel_tier`` knob.
+KERNEL_TIERS = ("auto", "numpy", "numba")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    numba = None
+    HAVE_NUMBA = False
+
+
+@dataclass(frozen=True)
+class KernelSet:
+    """A resolved set of decode kernels.
+
+    Attributes:
+        tier: the tier that actually ran resolution — ``"numpy"`` or
+            ``"numba"`` (``"auto"`` resolves to one of the two).
+        eesm: ``(sinrs_2d, modulation) -> (k,) effective SINRs`` — the
+            row-wise EESM reduction
+            (:func:`repro.phy.csi.eesm_effective_sinr_batch`).
+        mpdu_success: ``(mcs, mpdu_bits, sinrs) -> success probs`` —
+            uncoded BER, coded-BER table interpolation and packet error
+            rate fused into one call (the fast path of
+            :func:`repro.phy.error_model.mpdu_success_probabilities`).
+        sample_outcomes: ``(uniforms, probabilities) -> bool array`` —
+            the outcome sampling comparison.
+        fallbacks: names of kernels that failed the bitwise probe check
+            and were replaced by their numpy twins (empty for the numpy
+            tier; diagnostics only, results are unaffected).
+    """
+
+    tier: str
+    eesm: Callable[[np.ndarray, Modulation], np.ndarray]
+    mpdu_success: Callable[[Mcs, Any, np.ndarray], np.ndarray]
+    sample_outcomes: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    fallbacks: tuple[str, ...] = field(default=(), compare=False)
+
+
+# --------------------------------------------------------------------------
+# numpy tier: delegate to the existing reference implementations.
+
+
+def _numpy_eesm(
+    sinrs_2d: np.ndarray, modulation: Modulation
+) -> np.ndarray:
+    return eesm_effective_sinr_batch(sinrs_2d, modulation)
+
+
+def _numpy_mpdu_success(mcs: Mcs, mpdu_bits, sinrs) -> np.ndarray:
+    # Operation-for-operation the fast path of
+    # error_model.mpdu_success_probabilities (which dispatches here).
+    sinrs = np.asarray(sinrs, dtype=float)
+    uncoded = mcs.modulation.bit_error_rate_array(np.maximum(sinrs, 0.0))
+    coded = coded_bit_error_rate_batch(mcs.coding_rate, uncoded)
+    return 1.0 - packet_error_rate_batch(coded, np.asarray(mpdu_bits))
+
+
+def _numpy_sample_outcomes(
+    uniforms: np.ndarray, probabilities: np.ndarray
+) -> np.ndarray:
+    return uniforms < probabilities
+
+
+_NUMPY_KERNELS = KernelSet(
+    tier="numpy",
+    eesm=_numpy_eesm,
+    mpdu_success=_numpy_mpdu_success,
+    sample_outcomes=_numpy_sample_outcomes,
+)
+
+
+# --------------------------------------------------------------------------
+# numba tier: @njit loop kernels wrapped with the reference validation.
+#
+# The jitted reductions replicate numpy's pairwise summation blocking
+# (naive <= 8 elements, 8-way unrolled <= 128, recursive halving above)
+# so the only remaining bitwise hazard is the transcendental library;
+# the probe battery decides per kernel whether that hazard is real on
+# this build.
+
+
+def _pairwise_sum_spec():
+    """Plain-Python source of the pairwise summation helper.
+
+    Mirrors numpy's reduction blocking so the jitted EESM mean has a
+    real chance of matching the reference bitwise; returned as source
+    so the numba build can compile it without importing numba here.
+    """
+
+    def pairwise(values, lo, hi):
+        n = hi - lo
+        if n < 8:
+            acc = 0.0
+            for i in range(lo, hi):
+                acc += values[i]
+            return acc
+        if n <= 128:
+            r0 = values[lo]
+            r1 = values[lo + 1]
+            r2 = values[lo + 2]
+            r3 = values[lo + 3]
+            r4 = values[lo + 4]
+            r5 = values[lo + 5]
+            r6 = values[lo + 6]
+            r7 = values[lo + 7]
+            i = lo + 8
+            while i < lo + (n - n % 8):
+                r0 += values[i]
+                r1 += values[i + 1]
+                r2 += values[i + 2]
+                r3 += values[i + 3]
+                r4 += values[i + 4]
+                r5 += values[i + 5]
+                r6 += values[i + 6]
+                r7 += values[i + 7]
+                i += 8
+            acc = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+            while i < hi:
+                acc += values[i]
+                i += 1
+            return acc
+        half = n // 2
+        half -= half % 8
+        return pairwise(values, lo, lo + half) + pairwise(
+            values, lo + half, hi
+        )
+
+    return pairwise
+
+
+def _build_numba_impls():  # pragma: no cover - requires numba
+    """Compile the @njit kernel bodies (once per process)."""
+    njit = numba.njit
+
+    pairwise = njit(cache=False)(_pairwise_sum_spec())
+
+    @njit(cache=False)
+    def eesm_jit(sinrs, beta):
+        k, n = sinrs.shape
+        out = np.empty(k)
+        shifted = np.empty(n)
+        for i in range(k):
+            minimum = sinrs[i, 0]
+            for j in range(1, n):
+                if sinrs[i, j] < minimum:
+                    minimum = sinrs[i, j]
+            for j in range(n):
+                shifted[j] = math.exp(-(sinrs[i, j] - minimum) / beta)
+            out[i] = minimum - beta * math.log(pairwise(shifted, 0, n) / n)
+        return out
+
+    @njit(cache=False)
+    def mpdu_success_jit(
+        sinrs,
+        bits,
+        kind,
+        m,
+        bits_per_symbol,
+        log_p_grid,
+        log_coded_grid,
+        table_p_min,
+    ):
+        # kind: 0 = BPSK, 1 = QPSK, 2 = square QAM.
+        n = sinrs.size
+        out = np.empty(n)
+        inv_sqrt2 = 1.0 / math.sqrt(2.0)
+        grid_n = log_p_grid.size
+        grid_lo = log_p_grid[0]
+        grid_step = (log_p_grid[grid_n - 1] - grid_lo) / (grid_n - 1)
+        for i in range(n):
+            snr = sinrs[i]
+            if snr < 0.0:
+                snr = 0.0
+            # Uncoded BER (same closed forms as bit_error_rate_array).
+            if snr == 0.0:
+                uncoded = 0.5
+            elif kind == 0:
+                uncoded = 0.5 * math.erfc(math.sqrt(2.0 * snr) * inv_sqrt2)
+            elif kind == 1:
+                uncoded = 0.5 * math.erfc(math.sqrt(snr) * inv_sqrt2)
+            else:
+                arg = math.sqrt(3.0 * snr / (m - 1.0))
+                ser_factor = (
+                    4.0
+                    * (1.0 - 1.0 / math.sqrt(m))
+                    * (0.5 * math.erfc(arg * inv_sqrt2))
+                )
+                uncoded = min(0.5, ser_factor / bits_per_symbol)
+            # Coded BER via the log-log union-bound table.
+            if uncoded > table_p_min:
+                x = math.log(uncoded)
+                pos = (x - grid_lo) / grid_step
+                j = int(pos)
+                if j < 0:
+                    j = 0
+                elif j > grid_n - 2:
+                    j = grid_n - 2
+                x0 = log_p_grid[j]
+                x1 = log_p_grid[j + 1]
+                y0 = log_coded_grid[j]
+                y1 = log_coded_grid[j + 1]
+                slope = (y1 - y0) / (x1 - x0)
+                coded = min(0.5, math.exp(y0 + slope * (x - x0)))
+            else:
+                coded = 0.0
+            # Packet error rate (log1p/expm1 formulation).
+            if coded <= 0.0:
+                per = 0.0
+            elif coded >= 0.5:
+                per = 1.0
+            else:
+                per = -math.expm1(bits[i] * math.log1p(-coded))
+            out[i] = 1.0 - per
+        return out
+
+    return eesm_jit, mpdu_success_jit
+
+
+def _modulation_kind(modulation: Modulation) -> int:
+    if modulation is Modulation.BPSK:
+        return 0
+    if modulation is Modulation.QPSK:
+        return 1
+    return 2
+
+
+def _make_numba_kernels():  # pragma: no cover - requires numba
+    """Wrap the jitted bodies with the reference validation/shaping."""
+    from .coding import _WEIGHT_SPECTRA, _coded_ber_table
+
+    eesm_jit, mpdu_success_jit = _build_numba_impls()
+
+    def numba_eesm(sinrs_2d, modulation):
+        sinrs = np.ascontiguousarray(sinrs_2d, dtype=float)
+        if sinrs.ndim != 2 or sinrs.shape[1] == 0:
+            raise ValueError(
+                f"need a (k, n_subcarriers) matrix, got shape {sinrs.shape}"
+            )
+        if np.any(sinrs < 0):
+            raise ValueError("SINRs must be non-negative")
+        return eesm_jit(sinrs, EESM_BETA[modulation])
+
+    def numba_mpdu_success(mcs, mpdu_bits, sinrs):
+        sinrs = np.asarray(sinrs, dtype=float)
+        key = (mcs.coding_rate.numerator, mcs.coding_rate.denominator)
+        if key not in _WEIGHT_SPECTRA:
+            raise ValueError(f"unsupported coding rate {mcs.coding_rate}")
+        log_p_grid, log_coded_grid = _coded_ber_table(key)
+        bits = np.broadcast_to(
+            np.asarray(mpdu_bits, dtype=float), sinrs.shape
+        )
+        flat = mpdu_success_jit(
+            np.ascontiguousarray(sinrs.ravel()),
+            np.ascontiguousarray(bits.ravel()),
+            _modulation_kind(mcs.modulation),
+            float(mcs.modulation.constellation_size),
+            float(mcs.modulation.bits_per_symbol),
+            log_p_grid,
+            log_coded_grid,
+            TABLE_P_MIN,
+        )
+        return flat.reshape(sinrs.shape)
+
+    return numba_eesm, numba_mpdu_success
+
+
+# --------------------------------------------------------------------------
+# Probe battery: deterministic inputs that exercise every supported
+# modulation / coding rate across the SINR ranges the simulator visits.
+
+
+def _probe_sinr_matrix() -> np.ndarray:
+    rng = np.random.default_rng(0x5EED_CAFE)
+    # Mix of realistic linear SINRs: deep fades, mid-range, very strong.
+    base = rng.uniform(0.0, 40.0, size=(17, 56))
+    base[3] *= 1e-6
+    base[5] *= 1e4
+    base[7, :] = 0.0
+    base[11, ::3] = 0.0
+    return base
+
+
+_PROBE_MCS = tuple(vht_mcs(i) for i in range(10))
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+def _verify_eesm(candidate) -> bool:
+    probe = _probe_sinr_matrix()
+    for modulation in EESM_BETA:
+        if not _bitwise_equal(
+            candidate(probe, modulation), _numpy_eesm(probe, modulation)
+        ):
+            return False
+    return True
+
+
+def _verify_mpdu_success(candidate) -> bool:
+    probe = _probe_sinr_matrix()
+    bits = np.full(probe.shape, 12000.0)
+    bits[::2] = 288.0
+    for mcs in _PROBE_MCS:
+        if not _bitwise_equal(
+            candidate(mcs, bits, probe),
+            _numpy_mpdu_success(mcs, bits, probe),
+        ):
+            return False
+        # Scalar-bits broadcasting path.
+        if not _bitwise_equal(
+            candidate(mcs, 8000, probe[0]),
+            _numpy_mpdu_success(mcs, 8000, probe[0]),
+        ):
+            return False
+    return True
+
+
+@lru_cache(maxsize=1)
+def _resolve_numba_kernels() -> KernelSet:  # pragma: no cover
+    """Build, probe-verify and (where needed) fall back, once."""
+    fallbacks = []
+    try:
+        numba_eesm, numba_mpdu_success = _make_numba_kernels()
+    except Exception:
+        # Compilation itself failed (broken LLVM, unsupported numba
+        # version): the whole tier degrades to the numpy twins.
+        return KernelSet(
+            tier="numba",
+            eesm=_numpy_eesm,
+            mpdu_success=_numpy_mpdu_success,
+            sample_outcomes=_numpy_sample_outcomes,
+            fallbacks=("eesm", "mpdu_success"),
+        )
+    try:
+        eesm_ok = _verify_eesm(numba_eesm)
+    except Exception:
+        eesm_ok = False
+    if not eesm_ok:
+        numba_eesm = _numpy_eesm
+        fallbacks.append("eesm")
+    try:
+        success_ok = _verify_mpdu_success(numba_mpdu_success)
+    except Exception:
+        success_ok = False
+    if not success_ok:
+        numba_mpdu_success = _numpy_mpdu_success
+        fallbacks.append("mpdu_success")
+    return KernelSet(
+        tier="numba",
+        eesm=numba_eesm,
+        mpdu_success=numba_mpdu_success,
+        # The comparison kernel is a single vectorized `<`; there is
+        # nothing to fuse, so every tier shares the numpy form.
+        sample_outcomes=_numpy_sample_outcomes,
+        fallbacks=tuple(fallbacks),
+    )
+
+
+def get_kernels(tier: str = "auto") -> KernelSet:
+    """Resolve a ``kernel_tier`` value to a verified :class:`KernelSet`.
+
+    Args:
+        tier: ``"numpy"`` (reference), ``"numba"`` (compiled; raises
+            when numba is not importable), or ``"auto"`` (compiled when
+            available, reference otherwise).
+
+    Returns:
+        A cached, probe-verified kernel set.  All tiers produce bitwise
+        identical outputs; the probe gate enforces this at resolution
+        time (see module docstring).
+
+    Raises:
+        ValueError: for an unknown tier name.
+        RuntimeError: for ``tier="numba"`` without numba installed.
+    """
+    if tier not in KERNEL_TIERS:
+        raise ValueError(
+            f"kernel_tier must be one of {KERNEL_TIERS}, got {tier!r}"
+        )
+    if tier == "numpy":
+        return _NUMPY_KERNELS
+    if tier == "numba":
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                "kernel_tier='numba' requires the optional numba "
+                "dependency (pip install 'repro[fast]')"
+            )
+        return _resolve_numba_kernels()
+    # auto
+    if HAVE_NUMBA:  # pragma: no cover - requires numba
+        return _resolve_numba_kernels()
+    return _NUMPY_KERNELS

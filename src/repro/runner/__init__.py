@@ -53,6 +53,13 @@ from .faults import (
     RetryPolicy,
 )
 from .sessions import run_sessions
+from .transport import (
+    EncodedChunk,
+    TransportError,
+    TransportEvent,
+    resolve_transport,
+)
+from .warm import WarmPool
 from .workers import SessionSpec
 
 __all__ = [
@@ -60,6 +67,7 @@ __all__ = [
     "ChunkProgress",
     "CheckpointState",
     "CorruptPayload",
+    "EncodedChunk",
     "FaultSpec",
     "InjectedFault",
     "RetryEvent",
@@ -70,12 +78,16 @@ __all__ = [
     "SweepSpec",
     "TelemetryAggregate",
     "TelemetrySpec",
+    "TransportError",
+    "TransportEvent",
     "UnitContext",
+    "WarmPool",
     "WorkUnitError",
     "WorkerTiming",
     "checkpoint_fingerprint",
     "load_checkpoint",
     "resolve_executor",
+    "resolve_transport",
     "run_sessions",
     "run_sweep",
     "run_units",

@@ -17,11 +17,16 @@ File format (one JSON object per line):
   seed, grid, or chunking refuses to resume rather than silently
   mixing results.
 * ``chunk`` — one completed chunk: its index, unit span, worker pid,
-  busy seconds, and a base64 pickle of ``(values, telemetry_snapshot)``
-  guarded by a BLAKE2b digest.  Values are pickled (not JSON) because
-  work functions return arbitrary Python objects (``SessionStats``,
-  numpy scalars, dataclasses) and resume must reproduce them
-  bit-identically.
+  busy seconds, and a base64 chunk stream of ``(values,
+  telemetry_snapshot)`` guarded by a BLAKE2b digest.  The stream is
+  encoded by :mod:`repro.runner.transport` — the *same* codec that
+  carried the chunk across the process boundary, so spilling reuses
+  the worker's bytes instead of re-pickling (schema 2 records carry
+  the ``codec`` name and the stream's ``payload_bytes``; schema 1
+  records, plain base64 pickles, still load).  Values are serialized
+  (not JSON) because work functions return arbitrary Python objects
+  (``SessionStats``, numpy scalars, dataclasses) and resume must
+  reproduce them bit-identically.
 
 Torn writes — a run killed mid-line — are expected: loading skips any
 line that fails to parse or whose payload digest mismatches, so a
@@ -39,6 +44,13 @@ import pickle
 from dataclasses import dataclass
 from typing import Any
 
+from .transport import (
+    TransportError,
+    decode_payload,
+    encode_chunk,
+    payload_digest,
+)
+
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "CheckpointError",
@@ -50,7 +62,12 @@ __all__ = [
 ]
 
 #: Checkpoint record schema version (the ``schema`` field of each line).
-CHECKPOINT_SCHEMA = 1
+#: Schema 2 added the per-chunk ``codec`` and ``payload_bytes`` fields;
+#: schema-1 files (implicit pickle codec) remain loadable.
+CHECKPOINT_SCHEMA = 2
+
+#: Schemas :func:`load_checkpoint` accepts.
+_COMPATIBLE_SCHEMAS = (1, 2)
 
 _DIGEST_BYTES = 16
 
@@ -76,7 +93,13 @@ def checkpoint_fingerprint(
 
 @dataclass(frozen=True)
 class CompletedChunk:
-    """One chunk restored from (or recorded to) a checkpoint."""
+    """One chunk restored from (or recorded to) a checkpoint.
+
+    ``codec`` names the :mod:`repro.runner.transport` codec the spilled
+    stream used and ``payload_bytes`` its encoded size — the
+    measurability hook for the one-codec spill path (schema-1 records
+    load as ``codec="pickle"`` with ``payload_bytes=0``).
+    """
 
     chunk_index: int
     first_index: int
@@ -85,6 +108,8 @@ class CompletedChunk:
     busy_s: float
     values: list[Any]
     telemetry: dict[str, Any] | None
+    codec: str = "pickle"
+    payload_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,22 +125,32 @@ class CheckpointState:
 
 
 def _encode_payload(
-    values: list[Any], telemetry: dict[str, Any] | None
-) -> tuple[str, str]:
-    raw = pickle.dumps((values, telemetry), protocol=pickle.HIGHEST_PROTOCOL)
-    digest = hashlib.blake2b(raw, digest_size=_DIGEST_BYTES).hexdigest()
-    return base64.b64encode(raw).decode("ascii"), digest
+    values: list[Any],
+    telemetry: dict[str, Any] | None,
+    codec: str = "pickle",
+) -> tuple[str, str, int]:
+    """Encode a payload for spilling; returns (base64, digest, nbytes).
+
+    Delegates to :func:`repro.runner.transport.encode_chunk` so the
+    spill format is the transport format — one codec for both
+    boundaries.
+    """
+    encoded = encode_chunk(values, telemetry, codec)
+    raw = encoded.payload
+    return (
+        base64.b64encode(raw).decode("ascii"),
+        encoded.digest,
+        encoded.nbytes,
+    )
 
 
 def _decode_payload(
-    encoded: str, digest: str
+    encoded: str, digest: str, codec: str = "pickle"
 ) -> tuple[list[Any], dict[str, Any] | None]:
     raw = base64.b64decode(encoded.encode("ascii"), validate=True)
-    actual = hashlib.blake2b(raw, digest_size=_DIGEST_BYTES).hexdigest()
-    if actual != digest:
+    if payload_digest(raw) != digest:
         raise ValueError("chunk payload digest mismatch")
-    values, telemetry = pickle.loads(raw)
-    return values, telemetry
+    return decode_payload(raw, codec)
 
 
 class CheckpointWriter:
@@ -166,9 +201,29 @@ class CheckpointWriter:
         self._handle.flush()
         self.records_written += 1
 
-    def record_chunk(self, chunk: CompletedChunk) -> None:
-        """Persist one completed chunk (values + telemetry snapshot)."""
-        payload, digest = _encode_payload(chunk.values, chunk.telemetry)
+    def record_chunk(
+        self,
+        chunk: CompletedChunk,
+        encoded: tuple[str, bytes | bytearray] | None = None,
+    ) -> None:
+        """Persist one completed chunk (values + telemetry snapshot).
+
+        ``encoded`` is the fix for the historical double-encoding: when
+        the chunk already crossed the process boundary as a
+        ``(codec, stream)`` pair, the coordinator hands those bytes in
+        verbatim and the writer spills them without re-serializing the
+        values.  Serial runs (no boundary crossed) encode here, once.
+        """
+        if encoded is not None:
+            codec, raw = encoded
+            payload = base64.b64encode(raw).decode("ascii")
+            digest = payload_digest(raw)
+            nbytes = len(raw)
+        else:
+            codec = chunk.codec
+            payload, digest, nbytes = _encode_payload(
+                chunk.values, chunk.telemetry, codec
+            )
         self._write_line(
             {
                 "schema": CHECKPOINT_SCHEMA,
@@ -178,6 +233,8 @@ class CheckpointWriter:
                 "n_units": chunk.n_units,
                 "worker": chunk.worker,
                 "busy_s": chunk.busy_s,
+                "codec": codec,
+                "payload_bytes": nbytes,
                 "payload": payload,
                 "digest": digest,
             }
@@ -220,7 +277,7 @@ def load_checkpoint(path: str | os.PathLike) -> CheckpointState:
                 continue
             kind = record.get("kind")
             if kind == "header":
-                if record.get("schema") != CHECKPOINT_SCHEMA:
+                if record.get("schema") not in _COMPATIBLE_SCHEMAS:
                     raise CheckpointError(
                         f"{path}: unsupported checkpoint schema "
                         f"{record.get('schema')!r}"
@@ -232,8 +289,9 @@ def load_checkpoint(path: str | os.PathLike) -> CheckpointState:
                 skipped += 1
                 continue
             try:
+                codec = str(record.get("codec", "pickle"))
                 values, telemetry = _decode_payload(
-                    record["payload"], record["digest"]
+                    record["payload"], record["digest"], codec
                 )
                 chunk = CompletedChunk(
                     chunk_index=int(record["chunk"]),
@@ -243,8 +301,16 @@ def load_checkpoint(path: str | os.PathLike) -> CheckpointState:
                     busy_s=float(record["busy_s"]),
                     values=values,
                     telemetry=telemetry,
+                    codec=codec,
+                    payload_bytes=int(record.get("payload_bytes", 0)),
                 )
-            except (KeyError, ValueError, TypeError, pickle.PickleError):
+            except (
+                KeyError,
+                ValueError,
+                TypeError,
+                pickle.PickleError,
+                TransportError,
+            ):
                 skipped += 1
                 continue
             if len(chunk.values) != chunk.n_units:

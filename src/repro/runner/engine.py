@@ -40,13 +40,14 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import secrets
 import signal
 import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterator
 
 import numpy as np
@@ -66,6 +67,19 @@ from .checkpoint import (
     load_checkpoint,
 )
 from .faults import CorruptPayload, FaultSpec, RetryEvent, RetryPolicy
+from .transport import (
+    EncodedChunk,
+    TransportError,
+    TransportEvent,
+    cleanup_segment,
+    decode_payload,
+    encode_chunk,
+    ensure_tracker,
+    fetch_payload,
+    payload_digest,
+    resolve_transport,
+    segment_name,
+)
 
 __all__ = [
     "ChunkProgress",
@@ -302,6 +316,10 @@ class SweepResult:
     retries: tuple[RetryEvent, ...] = ()
     #: Chunks restored from a checkpoint instead of being re-run.
     resumed_chunks: int = 0
+    #: Transport codec chunk payloads crossed the process boundary
+    #: with ("pickle" or "shm"); "none" for in-process serial runs,
+    #: where values never leave the coordinator.
+    transport: str = "none"
 
     @property
     def values(self) -> list[Any]:
@@ -369,6 +387,14 @@ class _ChunkOutcome:
     worker: int
     busy_s: float
     telemetry: dict[str, Any] | None = None
+    #: Wire form: the payload as encoded by the worker (values and
+    #: telemetry are then empty until the coordinator materializes it).
+    encoded: EncodedChunk | None = None
+    #: Coordinator-side: the decoded payload's ``(codec, raw bytes)``,
+    #: kept alive exactly long enough for the checkpoint writer to
+    #: spill the same stream (the single-encode contract), then
+    #: stripped before the outcome is stored.
+    stream: tuple[str, Any] | None = None
 
 
 @contextmanager
@@ -498,6 +524,50 @@ def _run_chunk(
     )
 
 
+def _run_chunk_wire(
+    fn: Callable[[UnitContext], Any],
+    units: list[UnitContext],
+    telemetry_spec: TelemetrySpec | None = None,
+    faults: FaultSpec | None = None,
+    attempt: int = 0,
+    timeout_s: float | None = None,
+    codec: str | None = None,
+    segment: str | None = None,
+) -> _ChunkOutcome:
+    """Run a chunk and encode its payload for the result channel.
+
+    The worker-side entry point for the pooled executors: the chunk
+    body is :func:`_run_chunk` unchanged, but a successful outcome's
+    ``(values, telemetry)`` payload is encoded *once* here — inline
+    bytes for the ``pickle`` codec, a named shared-memory segment for
+    ``shm`` — instead of riding the executor's own pickler.  Failed
+    chunks return as-is (their partial values are never used).  A
+    failed ``shm`` encode (segment limit, stale name) falls back to
+    inline pickle rather than failing the chunk; the coordinator reads
+    the codec from the outcome, not the request.
+    """
+    outcome = _run_chunk(fn, units, telemetry_spec, faults, attempt, timeout_s)
+    if codec is None or outcome.failure is not None:
+        return outcome
+    start = time.perf_counter()
+    try:
+        encoded = encode_chunk(
+            outcome.values,
+            outcome.telemetry,
+            codec,
+            segment=segment if codec == "shm" else None,
+        )
+    except Exception:  # noqa: BLE001 - shm exhaustion must not kill the chunk
+        encoded = encode_chunk(outcome.values, outcome.telemetry, "pickle")
+    encode_s = time.perf_counter() - start
+    return replace(
+        outcome,
+        values=[],
+        telemetry=None,
+        encoded=replace(encoded, encode_s=encode_s),
+    )
+
+
 def _chunked(
     units: list[UnitContext], chunk_size: int
 ) -> list[list[UnitContext]]:
@@ -523,11 +593,16 @@ def resolve_executor(requested: str, n_workers: int) -> str:
     tests asserting dispatch behaviour — can predict them without
     duplicating the policy.
     """
-    if requested not in ("auto", "serial", "process"):
+    if requested not in ("auto", "serial", "process", "warm"):
         raise ValueError(
-            f"executor must be 'auto', 'serial' or 'process', "
+            f"executor must be 'auto', 'serial', 'process' or 'warm', "
             f"got {requested!r}"
         )
+    if requested == "warm":
+        # A warm pool is explicitly requested persistence: even a
+        # single worker is worth keeping alive across runs, so no
+        # silent serial fallback here.
+        return "warm"
     if requested == "serial" or n_workers == 1:
         return "serial"
     if requested == "auto":
@@ -579,6 +654,9 @@ class _ChunkScheduler:
         faults: FaultSpec | None,
         seed: int,
         on_complete: Callable[[int, _ChunkOutcome], None] | None = None,
+        codec: str | None = None,
+        pool: Any | None = None,
+        token: str = "",
     ) -> None:
         self.fn = fn
         self.chunks = chunks
@@ -597,6 +675,16 @@ class _ChunkScheduler:
         self.terminal: dict[int, _UnitFailure] = {}
         self.events: list[RetryEvent] = []
         self.pool_breaks = 0
+        #: Transport codec for pooled rounds (None = serial, in-process).
+        self.codec = codec
+        #: Optional :class:`repro.runner.warm.WarmPool` ("warm" rounds).
+        self.pool = pool
+        self.token = token
+        self.transport_events: list[TransportEvent] = []
+        #: Segment names issued to in-flight shm chunks, keyed by
+        #: (chunk_index, attempt) — the coordinator can clean these up
+        #: even when the worker that owned them died silently.
+        self.issued_segments: dict[tuple[int, int], str] = {}
 
     # -- event plumbing -------------------------------------------------
 
@@ -617,6 +705,100 @@ class _ChunkScheduler:
         live = _active_telemetry()
         if live is not None:
             live.on_chunk_retry(event)
+
+    # -- transport ------------------------------------------------------
+
+    def _wire_args(self, chunk_index: int) -> tuple:
+        """Positional args of :func:`_run_chunk_wire` for one chunk."""
+        attempt = self.attempts.get(chunk_index, 0)
+        segment = None
+        if self.codec == "shm":
+            segment = segment_name(self.token, chunk_index, attempt)
+            self.issued_segments[(chunk_index, attempt)] = segment
+        return (
+            self.fn,
+            self.chunks[chunk_index],
+            self.telemetry_spec,
+            self.faults,
+            attempt,
+            self.retry.timeout_s,
+            self.codec,
+            segment,
+        )
+
+    def _reclaim_segment(self, chunk_index: int) -> None:
+        """Unlink whatever segment this chunk's current attempt holds.
+
+        Safe in every state: not yet created (worker died early, or the
+        worker's shm encode fell back to pickle), created but orphaned
+        (worker died after writing), or already consumed and unlinked
+        by :func:`fetch_payload` — cleanup is a no-op then.
+        """
+        attempt = self.attempts.get(chunk_index, 0)
+        name = self.issued_segments.pop((chunk_index, attempt), None)
+        if name is not None:
+            cleanup_segment(name)
+
+    def _materialize(
+        self, chunk_index: int, outcome: _ChunkOutcome
+    ) -> _ChunkOutcome:
+        """Decode a wire outcome into a settleable one.
+
+        Fetches the encoded stream (unlinking its segment), verifies
+        the digest, decodes values + telemetry, and records the
+        transport event.  A transport failure becomes an ordinary
+        chunk failure (reason ``transport``) charged against the retry
+        budget — the chunk's work is repeatable, so re-running it is
+        strictly better than dying.
+        """
+        if outcome.encoded is None:
+            return outcome
+        encoded = outcome.encoded
+        start = time.perf_counter()
+        try:
+            try:
+                raw = fetch_payload(encoded)
+                if payload_digest(raw) != encoded.digest:
+                    raise TransportError(
+                        "chunk stream failed its integrity check"
+                    )
+                values, telemetry = decode_payload(raw, encoded.codec)
+            except TransportError as exc:
+                first = self.chunks[chunk_index][0]
+                return replace(
+                    outcome,
+                    encoded=None,
+                    failure=_UnitFailure(
+                        index=first.index,
+                        parameters=first.parameters,
+                        cause=f"{type(exc).__name__}: {exc}",
+                        remote_traceback=(
+                            "(chunk payload could not be fetched or "
+                            "decoded; no remote traceback)\n"
+                        ),
+                        reason="transport",
+                    ),
+                )
+        finally:
+            self._reclaim_segment(chunk_index)
+        event = TransportEvent(
+            chunk_index=chunk_index,
+            codec=encoded.codec,
+            nbytes=encoded.nbytes,
+            encode_s=encoded.encode_s,
+            decode_s=time.perf_counter() - start,
+        )
+        self.transport_events.append(event)
+        live = _active_telemetry()
+        if live is not None:
+            live.on_chunk_transport(event)
+        return replace(
+            outcome,
+            values=values,
+            telemetry=telemetry,
+            encoded=None,
+            stream=(encoded.codec, raw),
+        )
 
     # -- classification -------------------------------------------------
 
@@ -648,9 +830,14 @@ class _ChunkScheduler:
         """Accept or charge one executed chunk; True when resolved."""
         failure = self._classify(chunk_index, outcome)
         if failure is None:
-            self.outcomes[chunk_index] = outcome
             if self.on_complete is not None:
                 self.on_complete(chunk_index, outcome)
+            if outcome.stream is not None:
+                # The spill consumed the encoded bytes; do not keep a
+                # second copy of every chunk's payload for the run's
+                # lifetime.
+                outcome = replace(outcome, stream=None)
+            self.outcomes[chunk_index] = outcome
             return True
         failed_attempt = self.attempts.get(chunk_index, 0)
         self.attempts[chunk_index] = failed_attempt + 1
@@ -703,15 +890,7 @@ class _ChunkScheduler:
             max_workers=self.n_workers, mp_context=context
         ) as pool:
             futures = {
-                pool.submit(
-                    _run_chunk,
-                    self.fn,
-                    self.chunks[i],
-                    self.telemetry_spec,
-                    self.faults,
-                    self.attempts.get(i, 0),
-                    self.retry.timeout_s,
-                ): i
+                pool.submit(_run_chunk_wire, *self._wire_args(i)): i
                 for i in pending
             }
             for future, i in futures.items():
@@ -728,21 +907,54 @@ class _ChunkScheduler:
                             f"(unpicklable work function or crashed "
                             f"worker process?)"
                         ) from exc
+        unresolved = self._resolve_round(pending, collected)
+        if broken is not None:
+            self.pool_breaks += 1
+        return unresolved
+
+    def _resolve_round(
+        self, pending: list[int], collected: dict[int, _ChunkOutcome]
+    ) -> list[int]:
+        """Settle a pooled round's outcomes; returns unresolved chunks."""
         unresolved: list[int] = []
         for i in pending:
             if i in collected:
-                if not self._settle(i, collected[i]):
+                if not self._settle(i, self._materialize(i, collected[i])):
                     unresolved.append(i)
             else:
                 # The executor ate this chunk (its worker died, or the
                 # pool broke before it ran).  That is an executor
                 # failure, not the chunk's: it does not spend the
                 # chunk's retry budget, only the circuit breaker's.
+                # The worker may have died *after* creating the chunk's
+                # shm segment, so reclaim it before the retry reissues.
+                self._reclaim_segment(i)
                 self._emit(
                     i, self.attempts.get(i, 0), "executor", "retry"
                 )
                 unresolved.append(i)
-        if broken is not None:
+        return unresolved
+
+    def _run_warm_round(self, pending: list[int]) -> list[int]:
+        """One round on the persistent warm pool (see ``warm.py``)."""
+        jobs = {i: self._wire_args(i) for i in pending}
+        try:
+            collected, died = self.pool.run_round(jobs)
+        except Exception as exc:  # pool torn down / coordinator-side error
+            if not self.tolerant:
+                raise SweepError(
+                    f"warm pool failed before the work function could "
+                    f"report: {type(exc).__name__}: {exc}"
+                ) from exc
+            collected, died = {}, True
+        if died and not self.tolerant:
+            eaten = [i for i in pending if i not in collected]
+            raise SweepError(
+                f"warm worker died while executing chunk(s) {eaten} "
+                f"(crashed worker process?)"
+            )
+        unresolved = self._resolve_round(pending, collected)
+        if died:
             self.pool_breaks += 1
         return unresolved
 
@@ -758,7 +970,10 @@ class _ChunkScheduler:
             if executor_used == "serial":
                 self._run_serial(pending)
                 break
-            pending = self._run_process_round(pending)
+            if executor_used == "warm":
+                pending = self._run_warm_round(pending)
+            else:
+                pending = self._run_process_round(pending)
             pending = [
                 i
                 for i in pending
@@ -791,6 +1006,8 @@ def run_units(
     checkpoint: str | os.PathLike | None = None,
     resume: bool = True,
     on_chunk: Callable[[ChunkProgress], None] | None = None,
+    transport: str = "auto",
+    pool: Any | None = None,
 ) -> SweepResult:
     """Execute arbitrary work units; the primitive under :func:`run_sweep`.
 
@@ -839,6 +1056,21 @@ def run_units(
             Raising from the observer aborts the run — the cooperative
             cancellation point for callers driving the engine from an
             event loop.
+        transport: chunk payload codec for pooled executors — "auto"
+            (zero-copy shared memory where available), "pickle", or
+            "shm" (see :mod:`repro.runner.transport`).  A pure
+            scheduling concern: results are bit-identical across
+            codecs, and the checkpoint spills whichever stream carried
+            the chunk, so values are encoded once per chunk.  Serial
+            runs never encode (but still spill with the resolved
+            codec).
+        pool: optional :class:`repro.runner.warm.WarmPool` of
+            persistent workers to dispatch on instead of a fresh
+            process pool — the caller owns its lifetime, so session
+            caches built by warm work functions (e.g.
+            ``SessionSpec(warm=True)``) survive across runs.  Passing a
+            pool forces the "warm" executor; ``executor="warm"`` with
+            no pool spins up a pool for just this run.
 
     Returns:
         A :class:`SweepResult`; ``values`` are in unit order and
@@ -855,6 +1087,18 @@ def run_units(
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     executor_kind = resolve_executor(executor, n_workers)
+    if pool is not None:
+        executor_kind = "warm"
+    resolved_codec = resolve_transport(transport)
+    codec = resolved_codec if executor_kind in ("process", "warm") else None
+    if codec == "shm":
+        ensure_tracker()
+    own_pool = None
+    if executor_kind == "warm" and pool is None:
+        from .warm import WarmPool
+
+        own_pool = WarmPool(n_workers)
+        pool = own_pool
     if chunk_size is None:
         chunk_size = _auto_chunk_size(len(units), n_workers)
     if chunk_size < 1:
@@ -947,7 +1191,16 @@ def run_units(
                     busy_s=outcome.busy_s,
                     values=outcome.values,
                     telemetry=outcome.telemetry,
-                )
+                    codec=(
+                        outcome.stream[0]
+                        if outcome.stream is not None
+                        else resolved_codec
+                    ),
+                ),
+                # Reuse the exact bytes that crossed the process
+                # boundary; only serial chunks (no boundary) encode
+                # here.
+                encoded=outcome.stream,
             )
         report(chunk_index, outcome, False)
 
@@ -961,6 +1214,9 @@ def run_units(
         faults,
         seed,
         on_complete=spill,
+        codec=codec,
+        pool=pool,
+        token=secrets.token_hex(4),
     )
     scheduler.outcomes.update(resumed)
     try:
@@ -970,6 +1226,13 @@ def run_units(
     finally:
         if checkpoint_writer is not None:
             checkpoint_writer.close()
+        # Belt and braces: no shm segment outlives the run, even when
+        # the scheduler raised with chunks in flight.
+        for name in scheduler.issued_segments.values():
+            cleanup_segment(name)
+        scheduler.issued_segments.clear()
+        if own_pool is not None:
+            own_pool.close()
     wall_s = time.perf_counter() - start
 
     events = tuple(scheduler.events)
@@ -1024,6 +1287,8 @@ def run_units(
         )
         if events:
             aggregate.record_retries(events)
+        if scheduler.transport_events:
+            aggregate.record_transport(scheduler.transport_events)
     return SweepResult(
         points=points,
         seed=seed,
@@ -1035,6 +1300,7 @@ def run_units(
         telemetry=aggregate,
         retries=events,
         resumed_chunks=len(resumed),
+        transport=codec if codec is not None else "none",
     )
 
 
@@ -1051,6 +1317,8 @@ def run_sweep(
     checkpoint: str | os.PathLike | None = None,
     resume: bool = True,
     on_chunk: Callable[[ChunkProgress], None] | None = None,
+    transport: str = "auto",
+    pool: Any | None = None,
 ) -> SweepResult:
     """Evaluate ``measure`` at every grid point of ``spec``.
 
@@ -1074,4 +1342,6 @@ def run_sweep(
         checkpoint=checkpoint,
         resume=resume,
         on_chunk=on_chunk,
+        transport=transport,
+        pool=pool,
     )

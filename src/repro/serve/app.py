@@ -75,6 +75,11 @@ class ServeConfig:
         spill_dir: directory for job sidecars + engine checkpoints;
             ``None`` runs ephemeral (no durability, no resume).
         max_jobs: cap on non-terminal jobs in the store.
+        transport: chunk payload codec for job execution (``"auto"`` /
+            ``"pickle"`` / ``"shm"``; see :mod:`repro.runner.transport`).
+        warm_workers: per-slot persistent warm-pool size; 0 (default)
+            keeps the classic per-job executors.  See
+            :class:`repro.serve.jobs.ExecutorPool`.
     """
 
     host: str = "127.0.0.1"
@@ -82,6 +87,8 @@ class ServeConfig:
     slots: int = 2
     spill_dir: str | None = None
     max_jobs: int = 1024
+    transport: str = "auto"
+    warm_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -90,6 +97,12 @@ class ServeConfig:
             raise ValueError("max_jobs must be >= 1")
         if not (0 <= self.port <= 65535):
             raise ValueError("port must be in [0, 65535]")
+        if self.warm_workers < 0:
+            raise ValueError("warm_workers must be >= 0")
+        if self.transport not in ("auto", "pickle", "shm"):
+            raise ValueError(
+                f"transport must be auto/pickle/shm, got {self.transport!r}"
+            )
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -98,6 +111,8 @@ class ServeConfig:
             "slots": self.slots,
             "spill_dir": self.spill_dir,
             "max_jobs": self.max_jobs,
+            "transport": self.transport,
+            "warm_workers": self.warm_workers,
         }
 
 
@@ -132,6 +147,8 @@ class SweepService:
             self.queue,
             slots=self.config.slots,
             metrics=self.metrics,
+            transport=self.config.transport,
+            warm_workers=self.config.warm_workers,
         )
         self._server: asyncio.Server | None = None
 

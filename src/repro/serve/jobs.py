@@ -154,6 +154,8 @@ def execute_request(
     resume: bool = True,
     on_chunk: Callable[[ChunkProgress], None] | None = None,
     warn_key: object | None = None,
+    transport: str = "auto",
+    pool: Any | None = None,
 ) -> SweepResult:
     """Run one validated job request through the engine (synchronous).
 
@@ -161,6 +163,12 @@ def execute_request(
     the executor pool runs exactly this on a worker thread, and tests
     call it directly to assert a served job's values are bit-identical
     to a direct engine run of the same spec.
+
+    ``transport`` selects the chunk payload codec and ``pool`` an
+    optional persistent :class:`repro.runner.WarmPool` the job should
+    run on (the serve tier-4 fast path: one pool per executor slot,
+    reused across jobs).  Neither changes results — the engine's
+    determinism contract covers both knobs.
     """
     if request.kind == "sweep":
         fn: Callable = WORK_FUNCTIONS[request.fn]
@@ -174,6 +182,8 @@ def execute_request(
             checkpoint=checkpoint,
             resume=resume,
             on_chunk=on_chunk,
+            transport=transport,
+            pool=pool,
         )
     return run_parallel_sessions(
         request.sessions,
@@ -188,6 +198,8 @@ def execute_request(
         resume=resume,
         on_chunk=on_chunk,
         warn_key=warn_key,
+        transport=transport,
+        pool=pool,
     )
 
 
@@ -660,18 +672,47 @@ class ExecutorPool:
         *,
         slots: int = 2,
         metrics: ServerMetrics | None = None,
+        transport: str = "auto",
+        warm_workers: int = 0,
     ) -> None:
+        """``transport``/``warm_workers`` opt the pool into the tier-4
+        fast path: chunk payloads move over the selected codec, and a
+        positive ``warm_workers`` gives each slot a persistent
+        :class:`repro.runner.WarmPool` of that many workers, created
+        lazily on the slot's first job and reused across jobs (worker
+        session caches stay warm between requests).  A slot pool
+        overrides each request's ``n_workers``; results remain
+        bit-identical either way.
+        """
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if warm_workers < 0:
+            raise ValueError("warm_workers must be >= 0")
         self.store = store
         self.queue = queue
         self.slots = slots
         self.metrics = metrics
+        self.transport = transport
+        self.warm_workers = warm_workers
         self._tasks: list[asyncio.Task] = []
+        self._slot_pools: dict[int, Any] = {}
+
+    def _slot_pool(self, slot: int) -> Any | None:
+        """The slot's persistent warm pool (created lazily), or None."""
+        if self.warm_workers < 1:
+            return None
+        pool = self._slot_pools.get(slot)
+        if pool is None:
+            from ..runner import WarmPool
+
+            pool = self._slot_pools[slot] = WarmPool(self.warm_workers)
+        return pool
 
     async def start(self) -> None:
         self._tasks = [
-            asyncio.create_task(self._worker(), name=f"serve-slot-{i}")
+            asyncio.create_task(
+                self._worker(i), name=f"serve-slot-{i}"
+            )
             for i in range(self.slots)
         ]
 
@@ -680,6 +721,10 @@ class ExecutorPool:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        pools = list(self._slot_pools.values())
+        self._slot_pools = {}
+        for pool in pools:
+            pool.close()
 
     def _on_chunk(
         self, loop: asyncio.AbstractEventLoop, job: Job
@@ -699,7 +744,7 @@ class ExecutorPool:
 
         return forward
 
-    async def _run_job(self, job: Job) -> None:
+    async def _run_job(self, job: Job, slot: int = 0) -> None:
         loop = asyncio.get_running_loop()
         checkpoint = self.store.checkpoint_path(job.id)
         try:
@@ -710,6 +755,8 @@ class ExecutorPool:
                 resume=True,
                 on_chunk=self._on_chunk(loop, job),
                 warn_key=job.id,
+                transport=self.transport,
+                pool=self._slot_pool(slot),
             )
         except JobCancelled:
             await self.store.advance(job.id, CANCELLED)
@@ -722,7 +769,7 @@ class ExecutorPool:
         else:
             await self.store.complete(job.id, result)
 
-    async def _worker(self) -> None:
+    async def _worker(self, slot: int = 0) -> None:
         while True:
             job_id = await self.queue.get()
             if self.metrics is not None:
@@ -734,4 +781,4 @@ class ExecutorPool:
             if job.state != QUEUED:
                 continue  # cancelled (or deleted) while queued
             await self.store.advance(job_id, RUNNING)
-            await self._run_job(job)
+            await self._run_job(job, slot)

@@ -1,0 +1,221 @@
+"""Decode kernel tiers: selection, twins, and bitwise equivalence.
+
+:mod:`repro.phy.kernels` packages the session-batch decode hot stages
+(EESM reduction, fused MPDU success probability, outcome sampling) as
+swappable kernels behind the ``kernel_tier`` knob.  The numpy tier must
+be operation-for-operation the existing reference code; the numba tier
+(exercised only where numba is installed — the CI matrix leg) must be
+bitwise identical or fall back per-kernel via the probe gate.  This
+suite pins the selection rules, the numpy twins against the originals,
+the pairwise-summation spec the jitted EESM mean relies on, and the
+end-to-end ``kernel_tier`` threading through scenarios and sessions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.coding import (
+    coded_bit_error_rate_batch,
+    packet_error_rate_batch,
+)
+from repro.phy.csi import EESM_BETA, eesm_effective_sinr_batch
+from repro.phy.kernels import (
+    HAVE_NUMBA,
+    KERNEL_TIERS,
+    KernelSet,
+    _pairwise_sum_spec,
+    _probe_sinr_matrix,
+    get_kernels,
+)
+from repro.phy.mcs import vht_mcs
+
+
+def bitwise(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    return a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+class TestSelection:
+    def test_tiers_tuple(self):
+        assert KERNEL_TIERS == ("auto", "numpy", "numba")
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ValueError, match="kernel_tier"):
+            get_kernels("fortran")
+
+    def test_numpy_tier(self):
+        kernels = get_kernels("numpy")
+        assert isinstance(kernels, KernelSet)
+        assert kernels.tier == "numpy"
+        assert kernels.fallbacks == ()
+
+    def test_auto_resolves(self):
+        kernels = get_kernels("auto")
+        assert kernels.tier == ("numba" if HAVE_NUMBA else "numpy")
+
+    def test_default_is_auto(self):
+        assert get_kernels().tier == get_kernels("auto").tier
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_numba_tier_raises_cleanly_without_numba(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            get_kernels("numba")
+
+
+class TestNumpyTwins:
+    """The numpy tier must equal the reference code bitwise."""
+
+    def test_eesm_matches_reference(self):
+        kernels = get_kernels("numpy")
+        probe = _probe_sinr_matrix()
+        for modulation in EESM_BETA:
+            assert bitwise(
+                kernels.eesm(probe, modulation),
+                eesm_effective_sinr_batch(probe, modulation),
+            )
+
+    def test_mpdu_success_matches_composed_reference(self):
+        kernels = get_kernels("numpy")
+        probe = _probe_sinr_matrix()
+        bits = np.full(probe.shape, 12000.0)
+        bits[::2] = 288.0
+        for index in range(10):
+            mcs = vht_mcs(index)
+            uncoded = mcs.modulation.bit_error_rate_array(
+                np.maximum(probe, 0.0)
+            )
+            coded = coded_bit_error_rate_batch(mcs.coding_rate, uncoded)
+            expected = 1.0 - packet_error_rate_batch(coded, bits)
+            assert bitwise(
+                kernels.mpdu_success(mcs, bits, probe), expected
+            )
+
+    def test_mpdu_success_broadcasts_scalar_bits(self):
+        kernels = get_kernels("numpy")
+        row = _probe_sinr_matrix()[0]
+        out = kernels.mpdu_success(vht_mcs(4), 8000, row)
+        assert out.shape == row.shape
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    def test_sample_outcomes_is_strict_comparison(self):
+        kernels = get_kernels("numpy")
+        uniforms = np.array([0.1, 0.5, 0.9])
+        probabilities = np.array([0.5, 0.5, 0.5])
+        out = kernels.sample_outcomes(uniforms, probabilities)
+        assert out.dtype == bool
+        assert out.tolist() == [True, False, False]
+
+    def test_error_model_dispatch_matches_direct_call(self):
+        from repro.phy.error_model import mpdu_success_probabilities
+
+        probe = _probe_sinr_matrix()[1]
+        mcs = vht_mcs(7)
+        direct = mpdu_success_probabilities(mcs, 5000, probe)
+        via_kernels = get_kernels("numpy").mpdu_success(mcs, 5000, probe)
+        assert bitwise(direct, via_kernels)
+
+
+class TestPairwiseSumSpec:
+    """The jitted EESM mean replicates numpy's pairwise summation."""
+
+    @pytest.mark.parametrize(
+        "n",
+        [1, 5, 8, 9, 12, 17, 56, 127, 128, 129, 200, 500, 1024, 4097],
+    )
+    def test_matches_np_sum_bitwise(self, n):
+        pairwise = _pairwise_sum_spec()
+        rng = np.random.default_rng(n)
+        values = rng.uniform(0.0, 1.0, size=n) * rng.choice(
+            [1e-9, 1.0, 1e6], size=n
+        )
+        ours = pairwise(values, 0, n)
+        theirs = float(np.sum(values))
+        assert np.float64(ours).tobytes() == np.float64(theirs).tobytes()
+
+    def test_nonzero_offset_window(self):
+        pairwise = _pairwise_sum_spec()
+        values = np.random.default_rng(3).random(300)
+        window = values[40:260]
+        assert (
+            np.float64(pairwise(values, 40, 260)).tobytes()
+            == np.float64(np.sum(window)).tobytes()
+        )
+
+
+class TestTierThreading:
+    """kernel_tier flows scenario -> LinkErrorModel -> session."""
+
+    def test_scenario_threads_kernel_tier(self):
+        from repro.sim.scenario import los_scenario
+
+        system, _ = los_scenario(3.0, seed=0, kernel_tier="numpy")
+        assert system.error_model.kernel_tier == "numpy"
+        assert system.error_model.kernels.tier == "numpy"
+
+    def test_bad_tier_surfaces_at_first_use(self):
+        from repro.sim.scenario import los_scenario
+
+        system, _ = los_scenario(3.0, seed=0, kernel_tier="quantum")
+        with pytest.raises(ValueError, match="kernel_tier"):
+            system.error_model.kernels
+
+    def test_sessions_bitwise_identical_across_tiers(self):
+        # "auto" and "numpy" must agree bitwise regardless of whether
+        # numba is installed — that is the whole point of the probe
+        # gate.  (Without numba this degenerates to numpy == numpy,
+        # which still pins the threading.)
+        from repro.core.session import MeasurementSession
+        from repro.sim.scenario import los_scenario
+
+        def run(tier):
+            system, _ = los_scenario(2.0, seed=5, kernel_tier=tier)
+            session = MeasurementSession(
+                system, rng=np.random.default_rng(42)
+            )
+            session.run_queries(10)
+            return session.per_query_ber()
+
+        tiers = ["auto", "numpy"] + (["numba"] if HAVE_NUMBA else [])
+        series = [run(tier) for tier in tiers]
+        assert all(s == series[0] for s in series[1:])
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaTier:
+    """CI matrix leg: the compiled tier against the numpy reference."""
+
+    def test_numba_kernels_bitwise_equal_numpy(self):
+        numba_kernels = get_kernels("numba")
+        numpy_kernels = get_kernels("numpy")
+        assert numba_kernels.tier == "numba"
+        probe = _probe_sinr_matrix()
+        for modulation in EESM_BETA:
+            assert bitwise(
+                numba_kernels.eesm(probe, modulation),
+                numpy_kernels.eesm(probe, modulation),
+            )
+        bits = np.full(probe.shape, 12000.0)
+        bits[1::2] = 144.0
+        for index in range(10):
+            mcs = vht_mcs(index)
+            assert bitwise(
+                numba_kernels.mpdu_success(mcs, bits, probe),
+                numpy_kernels.mpdu_success(mcs, bits, probe),
+            )
+
+    def test_fallbacks_are_reported_not_silent(self):
+        kernels = get_kernels("numba")
+        # Either the compiled kernels passed the probe gate (no
+        # fallbacks) or the mismatching ones were replaced by twins and
+        # listed; both are valid resolutions, silence plus divergence
+        # is not.
+        assert set(kernels.fallbacks) <= {"eesm", "mpdu_success"}
+
+    def test_validation_errors_match_reference(self):
+        kernels = get_kernels("numba")
+        with pytest.raises(ValueError):
+            kernels.eesm(np.array([1.0, 2.0]), list(EESM_BETA)[0])
+        with pytest.raises(ValueError):
+            kernels.eesm(
+                -np.ones((2, 4)), list(EESM_BETA)[0]
+            )

@@ -12,6 +12,7 @@ run in the CI chaos job (``pytest -m faults``).
 """
 
 import copy
+import dataclasses
 import json
 import os
 import random
@@ -399,7 +400,11 @@ class TestCheckpointFile:
         state = load_checkpoint(path)
         assert state.fingerprint() == "f" * 32
         assert state.skipped_lines == 0
-        assert state.chunks[1] == chunk
+        loaded = state.chunks[1]
+        assert loaded.payload_bytes > 0
+        assert loaded == dataclasses.replace(
+            chunk, payload_bytes=loaded.payload_bytes
+        )
 
     def test_torn_tail_line_is_skipped(self, tmp_path):
         path = tmp_path / "run.ckpt.jsonl"

@@ -1,0 +1,402 @@
+"""Zero-copy chunk transport: codec roundtrips, leaks, determinism.
+
+The ``shm`` codec moves chunk payloads through named POSIX
+shared-memory segments instead of the executor's pickle pipe; the
+engine's determinism contract requires every codec choice to be
+invisible in the results (bit-identical values for any worker count,
+chunk size, and transport) and invisible in ``/dev/shm`` afterwards
+(no leaked segments — even when workers crash, exit, or the run is
+killed and resumed).  This suite pins both halves, plus the codec
+layer's own invariants: cross-codec equivalence, digest stability
+between the inline and segment forms of a stream, and cleanup
+idempotence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    FaultSpec,
+    RetryPolicy,
+    SweepSpec,
+    UnitContext,
+    run_sweep,
+    run_units,
+)
+from repro.runner.transport import (
+    SEGMENT_PREFIX,
+    TRANSPORT_CODECS,
+    TransportError,
+    cleanup_segment,
+    decode_payload,
+    encode_chunk,
+    fetch_payload,
+    leaked_segments,
+    payload_digest,
+    resolve_transport,
+    segment_name,
+    shm_available,
+)
+from repro.runner.workers import rng_probe
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the image
+    HAVE_HYPOTHESIS = False
+
+pytestmark = pytest.mark.runner
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def units(n, seed=0):
+    return [
+        UnitContext(index=i, parameters={"x": i}, root_seed=seed)
+        for i in range(n)
+    ]
+
+
+def canon(obj):
+    """Canonical form for bitwise value comparison.
+
+    ``pickle.dumps(a) == pickle.dumps(b)`` is too strict across a
+    process boundary: the pickler memoizes *object identity*, so two
+    structurally identical payloads serialize differently when one
+    shares interned key strings and the other was rebuilt by a worker.
+    Arrays compare by dtype/shape/raw bytes; floats by exact equality.
+    """
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.dtype.str, obj.shape, obj.tobytes())
+    if isinstance(obj, dict):
+        return {key: canon(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canon(value) for value in obj]
+    return obj
+
+
+def array_probe(ctx: UnitContext):
+    """A unit whose payload is numpy-heavy (exercises oob buffers)."""
+    rng = ctx.rng(0)
+    return {
+        "index": ctx.index,
+        "draws": rng.random(64),
+        "counts": rng.integers(0, 255, size=33, dtype=np.uint8),
+        "scalar": float(rng.random()),
+    }
+
+
+def payload_values():
+    rng = np.random.default_rng(7)
+    return [
+        {"a": rng.random(17), "b": [1, 2, 3], "c": None},
+        {"a": rng.integers(0, 9, size=5), "empty": np.empty(0)},
+        "plain string",
+        42,
+    ]
+
+
+class TestCodecLayer:
+    def test_pickle_roundtrip(self):
+        values = payload_values()
+        encoded = encode_chunk(values, {"k": 1}, "pickle")
+        assert encoded.codec == "pickle"
+        assert encoded.segment is None
+        raw = fetch_payload(encoded)
+        decoded, telemetry = decode_payload(raw, "pickle")
+        assert telemetry == {"k": 1}
+        assert canon(decoded) == canon(values)
+
+    def test_shm_inline_roundtrip(self):
+        # codec="shm" without a segment name: the checkpoint re-encode
+        # path — same stream layout, carried inline.
+        values = payload_values()
+        encoded = encode_chunk(values, None, "shm")
+        assert encoded.codec == "shm"
+        assert encoded.payload is not None
+        decoded, telemetry = decode_payload(
+            fetch_payload(encoded), "shm"
+        )
+        assert telemetry is None
+        assert canon(decoded) == canon(values)
+
+    @needs_shm
+    def test_shm_segment_roundtrip_and_unlink(self):
+        values = payload_values()
+        name = segment_name("t0ken", 3, 1)
+        encoded = encode_chunk(values, {"m": 2}, "shm", segment=name)
+        assert encoded.payload is None
+        assert encoded.segment == name
+        assert leaked_segments("t0ken") == [name]
+        raw = fetch_payload(encoded)
+        # fetch_payload copies then unlinks: nothing left in /dev/shm.
+        assert leaked_segments("t0ken") == []
+        decoded, telemetry = decode_payload(raw, "shm")
+        assert telemetry == {"m": 2}
+        assert canon(decoded) == canon(values)
+
+    @needs_shm
+    def test_segment_and_inline_streams_share_digest(self):
+        # The two forms of the shm codec must be interchangeable: a
+        # checkpoint records the digest of whichever stream carried the
+        # chunk and must verify against a re-encode.
+        values = payload_values()
+        inline = encode_chunk(values, {"t": 1}, "shm")
+        name = segment_name("d1gest", 0, 0)
+        via_segment = encode_chunk(values, {"t": 1}, "shm", segment=name)
+        raw = fetch_payload(via_segment)
+        assert via_segment.digest == inline.digest
+        assert payload_digest(raw) == inline.digest
+        assert via_segment.nbytes == inline.nbytes
+
+    def test_cross_codec_equivalence(self):
+        values = payload_values()
+        for telemetry in (None, {"chunk": 4}):
+            a = decode_payload(
+                fetch_payload(encode_chunk(values, telemetry, "pickle")),
+                "pickle",
+            )
+            b = decode_payload(
+                fetch_payload(encode_chunk(values, telemetry, "shm")),
+                "shm",
+            )
+            assert canon(a) == canon(b)
+
+    def test_decoded_arrays_are_usable_after_fetch(self):
+        # Decoded arrays alias the coordinator-owned copy, never the
+        # (unlinked) segment; summing must not fault and values match.
+        values = [np.arange(1000, dtype=np.float64)]
+        name = segment_name("al1as", 1, 0) if shm_available() else None
+        encoded = encode_chunk(values, None, "shm", segment=name)
+        decoded, _ = decode_payload(fetch_payload(encoded), "shm")
+        assert float(decoded[0].sum()) == float(values[0].sum())
+
+    def test_resolve_transport(self):
+        assert resolve_transport("pickle") == "pickle"
+        expected = "shm" if shm_available() else "pickle"
+        assert resolve_transport("auto") == expected
+        with pytest.raises(ValueError):
+            resolve_transport("carrier-pigeon")
+
+    def test_segment_names_are_deterministic_and_prefixed(self):
+        name = segment_name("abcd", 7, 2)
+        assert name == segment_name("abcd", 7, 2)
+        assert name.startswith(SEGMENT_PREFIX)
+        assert name != segment_name("abcd", 7, 3)
+        assert name != segment_name("abcd", 8, 2)
+
+    @needs_shm
+    def test_cleanup_segment_is_idempotent(self):
+        name = segment_name("cl3an", 0, 0)
+        assert cleanup_segment(name) is False  # never created
+        encode_chunk([1, 2], None, "shm", segment=name)
+        assert cleanup_segment(name) is True
+        assert cleanup_segment(name) is False  # already gone
+        assert leaked_segments("cl3an") == []
+
+    def test_truncated_stream_raises(self):
+        encoded = encode_chunk(payload_values(), None, "shm")
+        raw = fetch_payload(encoded)
+        with pytest.raises(TransportError):
+            decode_payload(raw[: len(raw) // 2], "shm")
+        with pytest.raises(TransportError):
+            decode_payload(b"XXXX" + bytes(raw[4:]), "shm")
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(ValueError):
+            encode_chunk([1], None, "gzip")
+        with pytest.raises(ValueError):
+            decode_payload(b"", "gzip")
+
+
+if HAVE_HYPOTHESIS:
+
+    json_scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False),
+        st.text(max_size=20),
+    )
+
+    arrays = st.builds(
+        lambda seed, n: np.random.default_rng(seed).random(n),
+        st.integers(0, 2**16),
+        st.integers(0, 64),
+    )
+
+    payloads = st.lists(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(json_scalars, arrays),
+            max_size=4,
+        ),
+        max_size=4,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=payloads, codec=st.sampled_from(TRANSPORT_CODECS))
+    def test_property_roundtrip_any_codec(values, codec):
+        encoded = encode_chunk(values, None, codec)
+        decoded, telemetry = decode_payload(
+            fetch_payload(encoded), codec
+        )
+        assert telemetry is None
+        assert canon(decoded) == canon(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=payloads)
+    def test_property_cross_codec_bitwise_equal(values):
+        legs = [
+            decode_payload(
+                fetch_payload(encode_chunk(values, None, codec)), codec
+            )
+            for codec in TRANSPORT_CODECS
+        ]
+        assert canon(legs[0]) == canon(legs[1])
+
+
+@needs_shm
+class TestEngineTransport:
+    def test_values_identical_across_codecs(self):
+        serial = run_units(array_probe, units(6), seed=1)
+        assert serial.transport == "none"  # serial runs never encode
+        for codec in ("pickle", "shm"):
+            pooled = run_units(
+                array_probe,
+                units(6),
+                seed=1,
+                n_workers=2,
+                executor="process",
+                chunk_size=2,
+                transport=codec,
+            )
+            assert pooled.transport == codec
+            assert canon(pooled.values) == canon(serial.values)
+        assert leaked_segments() == []
+
+    def test_shm_run_with_telemetry_and_arrays(self):
+        from repro.runner import TelemetrySpec
+
+        result = run_units(
+            rng_probe,
+            units(8),
+            seed=3,
+            n_workers=2,
+            executor="process",
+            chunk_size=2,
+            transport="shm",
+            telemetry=TelemetrySpec(metrics=True),
+        )
+        assert result.transport == "shm"
+        assert len(result.values) == 8
+        assert leaked_segments() == []
+
+
+@needs_shm
+class TestChaosNoLeaks:
+    """Worker faults must not leave segments in /dev/shm."""
+
+    def test_crash_faults_leave_no_segments(self, chaos):
+        baseline, chaotic = chaos.check_bit_identical(
+            rng_probe,
+            units(8),
+            faults=chaos.faults(crash=(1, 5)),
+            n_workers=2,
+            executor="process",
+            chunk_size=2,
+            transport="shm",
+        )
+        assert chaotic.retries
+        assert leaked_segments() == []
+
+    def test_worker_exit_faults_leave_no_segments(self, chaos):
+        # os._exit kills the worker after it may have created its
+        # segment; the coordinator must clean the assigned name up.
+        baseline, chaotic = chaos.check_bit_identical(
+            rng_probe,
+            units(8),
+            faults=chaos.faults(exit=(2,)),
+            n_workers=2,
+            executor="process",
+            chunk_size=2,
+            transport="shm",
+        )
+        assert leaked_segments() == []
+
+    def test_permanent_failure_leaves_no_segments(self):
+        from repro.runner import WorkUnitError
+
+        with pytest.raises(WorkUnitError):
+            run_units(
+                rng_probe,
+                units(6),
+                faults=FaultSpec(crash=(3,), failures=10**6),
+                retry=RetryPolicy(max_attempts=2),
+                n_workers=2,
+                executor="process",
+                chunk_size=2,
+                transport="shm",
+            )
+        assert leaked_segments() == []
+
+
+@needs_shm
+class TestResumeWithShm:
+    def test_kill_and_resume_bit_identical(self, tmp_path, chaos):
+        """Killed-run checkpoints written via shm resume bit-identical."""
+        spec = SweepSpec(
+            axes={"x": list(range(8))}, seed=5, chunk_size=2
+        )
+        clean = run_sweep(rng_probe, spec, transport="shm")
+        path = tmp_path / "ckpt.jsonl"
+        chaos.partial_checkpoint(
+            rng_probe, spec, str(path), crash_unit=5
+        )
+        resumed = run_sweep(
+            rng_probe,
+            spec,
+            checkpoint=str(path),
+            resume=True,
+            n_workers=2,
+            executor="process",
+            transport="shm",
+        )
+        assert resumed.resumed_chunks > 0
+        assert canon(resumed.values) == canon(clean.values)
+        assert leaked_segments() == []
+
+    def test_checkpoint_records_decode_regardless_of_codec(
+        self, tmp_path
+    ):
+        """A chunk spilled from an shm run reloads via the same codec."""
+        from repro.runner import load_checkpoint
+
+        spec = SweepSpec(
+            axes={"x": list(range(4))}, seed=2, chunk_size=2
+        )
+        path = tmp_path / "ckpt.jsonl"
+        first = run_sweep(
+            rng_probe,
+            spec,
+            checkpoint=str(path),
+            n_workers=2,
+            executor="process",
+            transport="shm",
+        )
+        loaded = load_checkpoint(str(path))
+        assert all(
+            chunk.codec == "shm" and chunk.payload_bytes > 0
+            for chunk in loaded.chunks.values()
+        )
+        values = [
+            v
+            for _, chunk in sorted(loaded.chunks.items())
+            for v in chunk.values
+        ]
+        assert canon(values) == canon(first.values)
+        assert leaked_segments() == []

@@ -416,3 +416,113 @@ class TestRestartResume:
         assert reloaded.chunks_done == done.chunks_done
         assert reloaded.n_chunks == done.n_chunks
         assert reloaded.resumed_chunks == done.resumed_chunks
+
+
+class TestWarmTransportPool:
+    """Tier-4 serve knobs: shm transport and per-slot warm pools."""
+
+    def test_execute_request_codec_invariant(self):
+        request = sweep_request(n_units=6)
+        reference = result_to_json(execute_request(request))
+        for transport in ("pickle", "shm", "auto"):
+            served = result_to_json(
+                execute_request(request, transport=transport)
+            )
+            assert served == reference
+
+    def test_session_jobs_on_shared_warm_pool_bit_identical(self):
+        from repro.runner import WarmPool
+        from repro.runner.workers import (
+            SessionSpec,
+            reset_warm_caches,
+        )
+
+        request = JobRequest(
+            kind="sessions",
+            sessions=SessionSpec(distance_m=3.0, warm=True),
+            n_sessions=3,
+            queries=6,
+            seed=2,
+            chunk_size=1,
+        )
+        def physics(payload):
+            # Drop pure scheduling metadata: the executor and codec a
+            # job ran on may differ, its values and points must not.
+            return {
+                key: value
+                for key, value in payload.items()
+                if key not in ("executor", "transport")
+            }
+
+        reset_warm_caches()
+        reference = result_to_json(execute_request(request))
+        with WarmPool(1) as pool:
+            first = result_to_json(
+                execute_request(request, transport="auto", pool=pool)
+            )
+            second = result_to_json(
+                execute_request(request, transport="auto", pool=pool)
+            )
+        assert physics(first) == physics(reference)
+        assert physics(second) == physics(reference)
+        reset_warm_caches()
+
+    def test_pool_warm_slots_complete_jobs_and_close(self):
+        async def main():
+            store = JobStore()
+            queue = JobQueue()
+            jobs = []
+            for _ in range(2):
+                job = await store.submit(sweep_request(n_units=6))
+                await queue.put(job)
+                jobs.append(job)
+            pool = ExecutorPool(
+                store,
+                queue,
+                slots=1,
+                transport="auto",
+                warm_workers=1,
+            )
+            await pool.start()
+            done = [await wait_terminal(store, j.id) for j in jobs]
+            slot_pools = list(pool._slot_pools.values())
+            # One slot -> one lazily created warm pool, shared by both
+            # jobs (that sharing is the whole point of the fast path).
+            assert len(slot_pools) == 1
+            assert not slot_pools[0].closed
+            await pool.stop()
+            assert slot_pools[0].closed
+            assert pool._slot_pools == {}
+            direct = result_to_json(execute_request(jobs[0].request))
+
+            def physics(payload):
+                return {
+                    key: value
+                    for key, value in payload.items()
+                    if key not in ("executor", "transport")
+                }
+
+            for job in done:
+                assert job.state == "completed"
+                assert physics(job.result) == physics(direct)
+
+        asyncio.run(main())
+
+    def test_zero_warm_workers_keeps_classic_path(self):
+        async def main():
+            store = JobStore()
+            queue = JobQueue()
+            job = await store.submit(sweep_request(n_units=4))
+            await queue.put(job)
+            pool = ExecutorPool(store, queue, slots=1)
+            await pool.start()
+            done = await wait_terminal(store, job.id)
+            assert pool._slot_pools == {}
+            await pool.stop()
+            assert done.state == "completed"
+
+        asyncio.run(main())
+
+    def test_executor_pool_validates_warm_workers(self):
+        with pytest.raises(ValueError):
+            ExecutorPool(JobStore(), JobQueue(), warm_workers=-1)
