@@ -38,6 +38,8 @@ __all__ = [
     "BENCH_SCHEMA",
     "TIERS",
     "fault_tolerance_bench",
+    "fleet_bench",
+    "fleet_payload",
     "three_tier_bench",
     "tier4_bench",
     "tier4_leg",
@@ -49,9 +51,10 @@ __all__ = [
 ]
 
 #: Version stamp of the ``bench_payload`` / trajectory-entry layout.
-#: Schema 2 added the optional ``tier4`` block (PR 7); readers must
-#: tolerate entries of either schema in one trajectory file.
-BENCH_SCHEMA = 2
+#: Schema 2 added the optional ``tier4`` block (PR 7); schema 3 the
+#: optional ``fleet`` block (PR 8).  Readers must tolerate entries of
+#: any schema in one trajectory file.
+BENCH_SCHEMA = 3
 
 #: (label, phy_fast_path, session_fast_path) for each execution tier,
 #: slowest first.
@@ -388,6 +391,170 @@ def tier4_payload(result: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _fleet_round_digest(results: dict[str, Any]) -> str:
+    """Stable digest of one poll round's results (fleet or scalar)."""
+    normalized = [
+        (
+            name,
+            result.block_ack.ssn,
+            result.block_ack.bitmap,
+            result.raw_bits,
+            result.responded,
+            tuple(sorted(result.per_tag_sent.items())),
+        )
+        for name, result in sorted(results.items())
+    ]
+    return _values_digest(normalized)
+
+
+def fleet_bench(
+    n_tags: int = 2000,
+    rounds: int = 1,
+    *,
+    seed: int = 0,
+    bits_per_tag: int = 64,
+    batch_tags: int = 256,
+    kernel_tier: str = "auto",
+    equivalence_tags: int = 64,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Time the struct-of-arrays fleet engine against the scalar cell.
+
+    The warehouse headline benchmark: one reader polling ``n_tags``
+    tags for ``rounds`` addressed rounds, run twice —
+
+    * ``scalar`` — the reference :class:`repro.core.multitag.MultiTagCell`
+      (``fleet.reference_cell()``), one ``poll_round`` loop of
+      per-query, per-MPDU Python;
+    * ``fleet`` — the vectorized :class:`repro.core.fleet.TagFleet`
+      decoding each round as chunked ``(n_tags, n_subframes)`` batch
+      passes, in its default configuration (interpolated coded-BER
+      table, like execution tiers 2–4).
+
+    Before any timing, an **equivalence gate** builds a small
+    ``equivalence_tags`` fleet with ``phy_exact_coding=True`` and
+    asserts one full poll round is bit-identical to its scalar
+    reference cell — a faster-but-wrong engine fails here, before any
+    timing compares (same contract as :func:`tier4_bench`; the full
+    equivalence matrix lives in ``tests/test_fleet.py``).  The timed
+    legs then load identical data bits and differ only through the
+    coded-BER interpolation, exactly like tiers 2–4 versus tier 1.
+    Builds happen outside the timed region; ``repeats`` reruns each
+    leg from a fresh build and keeps the fastest wall-clock.
+
+    Fleet construction goes through
+    :class:`repro.runner.workers.FleetSpec` (the same picklable spec
+    the parallel engine ships to workers), so the benchmark and the
+    runner wiring cannot drift apart.
+    """
+    from .runner.engine import UnitContext
+    from .runner.workers import FleetSpec
+
+    if min(n_tags, rounds, repeats, equivalence_tags) < 1:
+        raise ValueError(
+            "n_tags, rounds, repeats and equivalence_tags must be >= 1"
+        )
+    ctx = UnitContext(index=0, parameters={}, root_seed=seed)
+    data_rng = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(0xF1EE7,))
+    )
+
+    # Equivalence gate: exact-coding fleet vs scalar reference,
+    # bit for bit, before any timing is trusted.
+    gate_spec = FleetSpec(
+        n_tags=equivalence_tags,
+        batch_tags=batch_tags,
+        kernel_tier=kernel_tier,
+        phy_exact_coding=True,
+    )
+    gate_fleet = gate_spec(ctx)
+    gate_cell = gate_fleet.reference_cell()
+    gate_bits = [
+        [int(b) for b in data_rng.integers(0, 2, bits_per_tag)]
+        for _ in range(equivalence_tags)
+    ]
+    for name, bits in zip(gate_fleet.names, gate_bits):
+        gate_fleet.load_bits(name, list(bits))
+        gate_cell.load_bits(name, list(bits))
+    identical = _fleet_round_digest(
+        gate_fleet.poll_round()
+    ) == _fleet_round_digest(gate_cell.poll_round())
+    if not identical:
+        raise AssertionError(
+            "fleet engine produced different results than the scalar "
+            "MultiTagCell reference — equivalence gate digests diverge"
+        )
+
+    spec = FleetSpec(
+        n_tags=n_tags, batch_tags=batch_tags, kernel_tier=kernel_tier
+    )
+    payloads = [
+        [int(b) for b in data_rng.integers(0, 2, bits_per_tag * rounds)]
+        for _ in range(n_tags)
+    ]
+
+    def run_leg(mode: str) -> dict[str, Any]:
+        fleet = spec(ctx)
+        target: Any = fleet if mode == "fleet" else fleet.reference_cell()
+        for name, bits in zip(fleet.names, payloads):
+            target.load_bits(name, list(bits))
+        start = time.perf_counter()
+        for _ in range(rounds):
+            target.poll_round()
+        wall_s = time.perf_counter() - start
+        return {
+            "mode": mode,
+            "wall_s": wall_s,
+            "queries_per_s": n_tags * rounds / wall_s,
+        }
+
+    legs: dict[str, dict[str, Any]] = {}
+    for mode in ("scalar", "fleet"):
+        best: dict[str, Any] | None = None
+        for _ in range(repeats):
+            run = run_leg(mode)
+            if best is None or run["wall_s"] < best["wall_s"]:
+                best = run
+        legs[mode] = best
+    return {
+        "n_tags": n_tags,
+        "rounds": rounds,
+        "seed": seed,
+        "bits_per_tag": bits_per_tag,
+        "batch_tags": batch_tags,
+        "kernel_tier": kernel_tier,
+        "equivalence_tags": equivalence_tags,
+        "legs": legs,
+        "identical": identical,
+        "speedup_fleet_vs_scalar": (
+            legs["scalar"]["wall_s"] / legs["fleet"]["wall_s"]
+        ),
+    }
+
+
+def fleet_payload(result: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe view of a :func:`fleet_bench` result (drops digests)."""
+    return {
+        key: result[key]
+        for key in (
+            "n_tags",
+            "rounds",
+            "seed",
+            "bits_per_tag",
+            "batch_tags",
+            "kernel_tier",
+            "equivalence_tags",
+            "identical",
+            "speedup_fleet_vs_scalar",
+        )
+    } | {
+        "legs": {
+            mode: {k: leg[k] for k in ("wall_s", "queries_per_s")}
+            for mode, leg in result["legs"].items()
+        }
+    }
+
+
 def fault_tolerance_bench(
     n_units: int = 64,
     *,
@@ -482,15 +649,20 @@ def _json_safe_tier(tier: dict[str, Any]) -> dict[str, Any]:
 
 
 def bench_payload(
-    result: dict[str, Any], *, tier4: dict[str, Any] | None = None
+    result: dict[str, Any],
+    *,
+    tier4: dict[str, Any] | None = None,
+    fleet: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """JSON-serializable view of a :func:`three_tier_bench` result.
 
     ``tier4`` optionally attaches a :func:`tier4_bench` result as a
-    fourth-tier block (stored via :func:`tier4_payload`).  Entries
-    without the block remain valid — trajectory readers must treat
-    ``tier4`` as optional, and schema-1 entries (no ``schema`` field)
-    as equivalent to ``schema: 1``.
+    fourth-tier block (stored via :func:`tier4_payload`); ``fleet``
+    likewise attaches a :func:`fleet_bench` result (via
+    :func:`fleet_payload`).  Entries without either block remain
+    valid — trajectory readers must treat ``tier4`` and ``fleet`` as
+    optional, and schema-1 entries (no ``schema`` field) as equivalent
+    to ``schema: 1``.
     """
     payload = {
         "schema": BENCH_SCHEMA,
@@ -505,6 +677,8 @@ def bench_payload(
     }
     if tier4 is not None:
         payload["tier4"] = tier4_payload(tier4)
+    if fleet is not None:
+        payload["fleet"] = fleet_payload(fleet)
     return payload
 
 

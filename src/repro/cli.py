@@ -9,6 +9,8 @@ Usage::
                           [--resume]
     python -m repro bench [--queries 300] [--distance 4.0] [--json OUT.json]
                           [--update-baseline] [--trajectory PATH.json]
+                          [--tier4] [--fleet] [--fleet-tags 2000]
+                          [--fleet-rounds 1] [--fleet-aps 4]
                           [--metrics-out M.json] [--trace-out T.jsonl]
     python -m repro metrics [--sessions 4] [--queries 50] [--workers 2]
                             [--format table|json|prometheus] [--out PATH]
@@ -257,6 +259,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fleet_network_demo(args: argparse.Namespace) -> None:
+    """Run and report the multi-AP warehouse scenario (not baselined).
+
+    ``args.fleet_aps`` reader cells spread along a 30 m x 20 m floor,
+    polling ``args.fleet_tags`` tags for ``args.fleet_rounds``
+    event-driven rounds with mobility and nearest-AP selection — the
+    docs' "warehouse scenario" walkthrough, runnable from the bench
+    CLI.  Diagnostic output only; the gated number is the single-cell
+    fleet-vs-scalar speedup.
+    """
+    import numpy as np
+
+    from .sim.network import (
+        FleetNetwork,
+        RandomWalkMobility,
+        ReaderCell,
+        TrafficStation,
+    )
+
+    width, height = 30.0, 20.0
+    n_aps = args.fleet_aps
+    cells = [
+        ReaderCell(
+            f"ap{k}",
+            ap_xy=(width * (k + 0.5) / n_aps, 0.0),
+            stations=(TrafficStation(f"bg{k}"),),
+        )
+        for k in range(n_aps)
+    ]
+    rng = np.random.default_rng(
+        np.random.SeedSequence(args.seed, spawn_key=(0xF100,))
+    )
+    positions = np.column_stack(
+        [
+            rng.uniform(0.0, width, args.fleet_tags),
+            rng.uniform(1.0, height, args.fleet_tags),
+        ]
+    )
+    network = FleetNetwork(
+        cells,
+        positions,
+        seed=args.seed,
+        mobility=RandomWalkMobility(
+            bounds=(0.0, 1.0, width, height), seed=args.seed
+        ),
+    )
+    data_rng = np.random.default_rng(
+        np.random.SeedSequence(args.seed, spawn_key=(0xF101,))
+    )
+    for name in network.names:
+        network.load_bits(
+            name, [int(b) for b in data_rng.integers(0, 2, args.fleet_bits)]
+        )
+    rounds = network.run_rounds(args.fleet_rounds)
+    table = Table(
+        f"warehouse scenario: {args.fleet_tags} tags x {n_aps} APs x "
+        f"{args.fleet_rounds} round(s), mobility + CSMA contention",
+        ["AP", "rounds", "queries", "responded", "bits", "BER", "busy (s)"],
+    )
+    for k, cell in enumerate(cells):
+        mine = [s for s in rounds if s.ap == cell.name]
+        bits = sum(s.bits_sent for s in mine)
+        errors = sum(s.bit_errors for s in mine)
+        table.add_row(
+            [
+                cell.name,
+                len(mine),
+                sum(s.n_queries for s in mine),
+                sum(s.n_responded for s in mine),
+                bits,
+                (errors / bits) if bits else 0.0,
+                sum(s.duration_s for s in mine),
+            ]
+        )
+    print(table.render())
+    print(
+        f"mobility ticks: {network.mobility_ticks}, handoffs: "
+        f"{network.handoffs}, incrementally refreshed link rows: "
+        f"{network.invalidated_rows}"
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Three-tier fast-path benchmark with stage timings."""
     import json
@@ -264,6 +348,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         TIERS,
         bench_payload,
+        fleet_bench,
         record_bench_trajectory,
         three_tier_bench,
         tier4_bench,
@@ -344,7 +429,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{t4['speedup_tier4_vs_session_batch']:.2f}x "
             f"(per-job digests identical: {t4['identical']})"
         )
-    payload = bench_payload(result, tier4=t4)
+    fl = None
+    if args.fleet:
+        fl = fleet_bench(
+            args.fleet_tags,
+            args.fleet_rounds,
+            seed=args.seed,
+            bits_per_tag=args.fleet_bits,
+            repeats=args.repeats,
+        )
+        fl_table = Table(
+            f"fleet engine: {fl['n_tags']} tags x {fl['rounds']} "
+            f"round(s), {fl['bits_per_tag']} bits/tag",
+            ["mode", "wall (s)", "queries/s"],
+        )
+        for mode in ("scalar", "fleet"):
+            leg = fl["legs"][mode]
+            fl_table.add_row([mode, leg["wall_s"], leg["queries_per_s"]])
+        print(fl_table.render())
+        print(
+            f"speedup fleet/scalar: "
+            f"{fl['speedup_fleet_vs_scalar']:.2f}x "
+            f"(equivalence gate on {fl['equivalence_tags']} tags, "
+            f"exact coding: {'passed' if fl['identical'] else 'FAILED'})"
+        )
+        if args.fleet_aps > 0:
+            _print_fleet_network_demo(args)
+    payload = bench_payload(result, tier4=t4, fleet=fl)
     entry = record_bench_trajectory(args.trajectory, payload)
     print(f"recorded trajectory entry ({entry['recorded_at']}) in "
           f"{args.trajectory}")
@@ -403,6 +514,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 args.baselines,
             )
             print(f"updated tier4 baseline in {args.baselines}")
+        if fl is not None:
+            update_baseline(
+                "fleet",
+                {
+                    "recorded": entry["recorded_at"],
+                    "n_tags": fl["n_tags"],
+                    "rounds": fl["rounds"],
+                    "bits_per_tag": fl["bits_per_tag"],
+                    "seed": args.seed,
+                    "scalar_queries_per_s": fl["legs"]["scalar"][
+                        "queries_per_s"
+                    ],
+                    "fleet_queries_per_s": fl["legs"]["fleet"][
+                        "queries_per_s"
+                    ],
+                    "speedup_fleet_vs_scalar": fl[
+                        "speedup_fleet_vs_scalar"
+                    ],
+                    "note": (
+                        "Reference machine numbers from `repro bench "
+                        "--fleet --update-baseline`. "
+                        "benchmarks/test_fleet.py asserts fleet >= "
+                        "max(5.0, 0.8 * speedup_fleet_vs_scalar) over "
+                        "the scalar MultiTagCell reference after the "
+                        "bit-identity equivalence gate; absolute rates "
+                        "are trajectory data only."
+                    ),
+                },
+                args.baselines,
+            )
+            print(f"updated fleet baseline in {args.baselines}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -1005,6 +1147,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--tier4-queries", type=int, default=16, help="queries per session"
+    )
+    bench.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also benchmark the struct-of-arrays fleet engine against "
+        "the scalar MultiTagCell reference (equivalence-gated)",
+    )
+    bench.add_argument(
+        "--fleet-tags",
+        type=int,
+        default=2000,
+        help="fleet size for the warehouse benchmark",
+    )
+    bench.add_argument(
+        "--fleet-rounds",
+        type=int,
+        default=1,
+        help="addressed polling rounds per fleet leg",
+    )
+    bench.add_argument(
+        "--fleet-bits",
+        type=int,
+        default=64,
+        help="queued data bits per tag per round",
+    )
+    bench.add_argument(
+        "--fleet-aps",
+        type=int,
+        default=0,
+        help="with --fleet, also run the multi-AP warehouse scenario "
+        "with this many reader cells (diagnostic, not baselined)",
     )
     bench.add_argument(
         "--trajectory",

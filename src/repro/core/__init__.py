@@ -22,6 +22,7 @@ from .fec import (
     NoCode,
     RepetitionCode,
 )
+from .fleet import TagFleet
 from .framing import TagMessage, bits_to_bytes, bytes_to_bits, deframe, scan_for_frames
 from .multitag import MultiTagCell, MultiTagQueryResult, TagEndpoint
 from .query import QueryBuilder, QueryFrame, TRIGGER_PATTERN
@@ -65,6 +66,7 @@ __all__ = [
     "TRIGGER_PATTERN",
     "TagEncoder",
     "TagEndpoint",
+    "TagFleet",
     "TagMessage",
     "TagReader",
     "TransferReport",

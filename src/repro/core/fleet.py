@@ -1,0 +1,719 @@
+"""Struct-of-arrays fleet engine: vectorized thousand-tag polling.
+
+:class:`repro.core.multitag.MultiTagCell` models a reader cell as a
+dict of per-tag object graphs and decodes one query at a time through
+the scalar PHY loop — perfect as a reference, hopeless at warehouse
+scale (2,000 tags x 64 subframes is ~128k scalar decode calls per
+polling round).  This module keeps the cell as the bit-identical
+reference (the way tiers 2-4 kept theirs, see ``docs/
+running_experiments.md``) and re-materialises the same physics as
+parallel numpy arrays:
+
+* per-tag link state lives in flat arrays — positions, rx power at the
+  tag, LOS gains, tag-path gains, per-tag subcarrier rotations — not in
+  per-link ``BackscatterChannel``/``LinkErrorModel`` objects;
+* one shared :class:`~repro.phy.error_model.LinkErrorModel` decodes a
+  whole polling round as a single ``(n_rows x n_subframes)`` pass
+  through :meth:`subframe_outcomes_batch2d`, with a duck-typed
+  :class:`_FleetChannelView` standing in for the channel so the
+  existing broadcasting yields *per-row* channel vectors;
+* per-tag generators ride along as arrays of ``np.random.Generator``
+  and the batch decode draws row ``r`` from row ``r``'s own error
+  stream (the ``rngs=`` parameter added to the 2-D batch APIs), so the
+  fleet consumes every per-tag stream in exactly the scalar order.
+
+Determinism contract (mirrors the draw-order contract documented in
+:mod:`repro.core.multitag`): each tag owns three generators — channel
+(construction phases + fading), error (CSI noise + outcome uniforms)
+and tag FSM (detection + timing) — derived from the fleet seed via
+``child_sequence(seed, tag_index).spawn(3)``.  Because the scalar cell
+touches disjoint generators per phase, the fleet may run each phase
+batched across tags (FSM for all queries, then fadings in row order,
+then the decode matrix) without changing any single generator's
+stream.  :meth:`TagFleet.reference_cell` rebuilds the equivalent
+scalar cell from the same seeds; with ``phy_exact_coding=True`` on
+both, poll rounds are bitwise identical for any ``batch_tags``
+chunking (without it they differ only through the interpolated
+coded-BER table, exactly like tiers 2-4).
+
+Mobility: :meth:`TagFleet.update_positions` refreshes *only the moved
+rows* — tag-path amplitude from the bistatic radar equation at the new
+distances, LOS phase advanced by the path-length change (``-2 pi
+delta / lambda``, path-continuous rather than redrawn), per-row
+subcarrier rotation from the new excess delay, and rx power at the
+tag.  The direct client->AP path and all fading sigmas it sets are
+untouched, and unmoved rows keep their cached state bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..mac.block_ack import BlockAck, BlockAckScoreboard
+from ..phy.channel import (
+    BackscatterChannel,
+    ChannelGeometry,
+    PathLossModel,
+    TagAntenna,
+)
+from ..phy.constants import SPEED_OF_LIGHT_M_S, Band
+from ..phy.error_model import FadingBatch, LinkErrorModel
+from ..phy.mcs import Mcs, highest_reliable_mcs
+from ..phy.noise import ReceiverNoise
+from ..phy.ofdm import data_subcarrier_offsets_hz, delay_phase_rotation
+from ..seeding import child_sequence
+from ..tag.antenna import phase_flip_design
+from ..tag.envelope_detector import TriggerDetector
+from ..tag.oscillator import witag_crystal_50khz
+from ..tag.state_machine import QueryObservation, TagStateMachine
+from .config import WiTagConfig
+from .multitag import MultiTagCell, MultiTagQueryResult, TagEndpoint
+from .query import QueryBuilder
+from .system import DEFAULT_AP, DEFAULT_CLIENT, Bits
+
+
+def _tag_generators(
+    seed: int, index: int
+) -> tuple[np.random.Generator, np.random.Generator, np.random.Generator]:
+    """The (channel, error, tag-FSM) generators of one tag.
+
+    Derived via ``child_sequence(seed, index).spawn(3)`` so a tag's
+    streams depend only on the fleet seed and its own index — adding
+    or removing other tags never perturbs them.
+    """
+    channel_seq, error_seq, tag_seq = child_sequence(seed, index).spawn(3)
+    return (
+        np.random.default_rng(channel_seq),
+        np.random.default_rng(error_seq),
+        np.random.default_rng(tag_seq),
+    )
+
+
+class _FleetChannelView:
+    """Duck-typed per-row channel for the shared decode model.
+
+    :meth:`LinkErrorModel.subframe_effective_sinrs_batch2d` only calls
+    ``channel.channel_vector_batch``; this view reproduces
+    :meth:`BackscatterChannel.channel_vector_batch` with *array-valued*
+    tag-path gain and rotation, so the same broadcasting expression
+    yields row ``r``'s channel from row ``r``'s tag — bitwise equal to
+    that tag's own scalar channel (the elementwise operations keep the
+    scalar expression's association order).
+    """
+
+    __slots__ = ("_h_tag_los", "_tag_rotation")
+
+    def __init__(
+        self, h_tag_los: np.ndarray, tag_rotation: np.ndarray
+    ) -> None:
+        self._h_tag_los = h_tag_los
+        self._tag_rotation = tag_rotation
+
+    def channel_vector_batch(
+        self,
+        state,
+        direct_gains: np.ndarray,
+        tag_fadings: np.ndarray,
+    ) -> np.ndarray:
+        gains = np.asarray(direct_gains, dtype=complex)
+        fadings = np.asarray(tag_fadings, dtype=complex)
+        gamma = state.reflection_coefficient
+        tag_term = (gamma * fadings) * self._h_tag_los
+        return gains[:, None] + tag_term[:, None] * self._tag_rotation
+
+
+class TagFleet:
+    """A reader cell's tags as struct-of-arrays link state.
+
+    Build with :meth:`build`; poll with :meth:`run_query` /
+    :meth:`poll_round` (the same result objects as the scalar
+    :class:`MultiTagCell`, which :meth:`reference_cell` reconstructs
+    bit-identically from the same seeds).
+
+    Attributes:
+        names: tag addresses, in index order (the reference cell's
+            endpoint-dict order; "first endpoint" = index 0).
+        positions: ``(n_tags, 2)`` tag coordinates in metres.
+        rx_power_dbm: query power at each tag's antenna.
+        config: shared reader configuration (one reader per cell).
+        batch_tags: decode chunk size in rows; any value yields
+            bitwise-identical results (per-row generators make chunk
+            boundaries draw-neutral), it only bounds peak memory.
+        invalidated_rows: cumulative count of per-tag cache rows
+            refreshed by :meth:`update_positions` (observability for
+            the incremental-invalidation contract).
+    """
+
+    def __init__(self, **state) -> None:
+        # Built via TagFleet.build(); the keyword form keeps the
+        # constructor honest about the one blessed entry point.
+        self.__dict__.update(state)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        positions: Iterable[tuple[float, float]],
+        *,
+        names: Sequence[str] | None = None,
+        client_xy: tuple[float, float] = (0.0, 0.0),
+        ap_xy: tuple[float, float] = (8.0, 0.0),
+        seed: int = 0,
+        tx_power_dbm: float = 15.0,
+        mismatch_gain_db: float = 22.0,
+        rician_k_db: float | None = 15.0,
+        tag_rician_k_db: float | None = 5.0,
+        band: Band = Band.GHZ_2_4,
+        channel_width_mhz: int = 20,
+        mcs: Mcs | None = None,
+        kernel_tier: str = "auto",
+        temperature_c: float = 25.0,
+        phy_exact_coding: bool = False,
+        batch_tags: int = 256,
+    ) -> "TagFleet":
+        """Construct a fleet over a floorplan's tag positions.
+
+        Per-tag channels are materialised through real
+        :class:`BackscatterChannel` objects (guaranteeing the same
+        construction math and random-phase draws as the scalar
+        reference) and immediately harvested into arrays; only the
+        per-tag generators survive as objects.
+
+        Args:
+            positions: ``(x, y)`` per tag, metres.
+            names: tag addresses; defaults to ``tag0000``.. so sorted
+                order equals index order.
+            client_xy / ap_xy: reader endpoints (client transmits the
+                query A-MPDUs, AP returns the block ACK).
+            mcs: query MCS; auto-selected from the client->AP link SNR
+                when omitted (paper §4.1's rate rule).
+            phy_exact_coding: decode through the exact scalar coding
+                math instead of the interpolated table — slower, but
+                bitwise identical to the scalar reference cell.
+            batch_tags: decode chunk size (memory bound, not a result
+                knob).
+        """
+        pos = np.asarray(list(positions), dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2 or not len(pos):
+            raise ValueError(
+                f"positions must be (n_tags, 2), got {pos.shape}"
+            )
+        n = len(pos)
+        if names is None:
+            names = tuple(f"tag{i:04d}" for i in range(n))
+        else:
+            names = tuple(names)
+            if len(names) != n or len(set(names)) != n:
+                raise ValueError(
+                    f"need {n} distinct names, got {len(names)} "
+                    f"({len(set(names))} distinct)"
+                )
+        if batch_tags < 1:
+            raise ValueError(f"batch_tags must be >= 1, got {batch_tags}")
+
+        wavelength = band.wavelength_m
+        cx, cy = float(client_xy[0]), float(client_xy[1])
+        ax, ay = float(ap_xy[0]), float(ap_xy[1])
+        tx_rx_m = math.hypot(ax - cx, ay - cy)
+        direct_loss = PathLossModel()
+        tx_tag_loss = PathLossModel()
+        tag_rx_loss = PathLossModel()
+        antenna = TagAntenna()
+        receiver = ReceiverNoise(bandwidth_hz=channel_width_mhz * 1e6)
+        if mcs is None:
+            link_snr_db = (
+                tx_power_dbm
+                - direct_loss.path_loss_db(tx_rx_m, wavelength)
+                - receiver.noise_floor_dbm
+            )
+            mcs = highest_reliable_mcs(link_snr_db)
+        from ..sim.scenario import _fit_tag_clock  # lazy: avoids cycle
+
+        config = WiTagConfig(
+            mcs=mcs,
+            tag_clock_hz=_fit_tag_clock(mcs, channel_width_mhz, False),
+            band=band,
+            channel_width_mhz=channel_width_mhz,
+            tx_power_dbm=tx_power_dbm,
+        )
+
+        design = phase_flip_design()
+        detector = TriggerDetector()
+        oscillator = witag_crystal_50khz()
+        align_cache: dict = {}
+
+        tx_tag_m = np.empty(n)
+        tag_rx_m = np.empty(n)
+        rx_power = np.empty(n)
+        h_direct_los = np.empty(n, dtype=complex)
+        h_tag_los = np.empty(n, dtype=complex)
+        offsets_hz = data_subcarrier_offsets_hz(channel_width_mhz)
+        tag_rotation = np.empty((n, offsets_hz.size), dtype=complex)
+        channel_rngs: list[np.random.Generator] = []
+        error_rngs: list[np.random.Generator] = []
+        fsms: list[TagStateMachine] = []
+        for i in range(n):
+            d1 = math.hypot(pos[i, 0] - cx, pos[i, 1] - cy)
+            d2 = math.hypot(ax - pos[i, 0], ay - pos[i, 1])
+            channel_rng, error_rng, tag_rng = _tag_generators(seed, i)
+            channel = BackscatterChannel(
+                geometry=ChannelGeometry(
+                    tx_rx_m=tx_rx_m, tx_tag_m=d1, tag_rx_m=d2
+                ),
+                band=band,
+                direct_loss=direct_loss,
+                tx_tag_loss=tx_tag_loss,
+                tag_rx_loss=tag_rx_loss,
+                antenna=antenna,
+                rician_k_db=rician_k_db,
+                tag_rician_k_db=tag_rician_k_db,
+                channel_width_mhz=channel_width_mhz,
+                rng=channel_rng,
+            )
+            tx_tag_m[i] = d1
+            tag_rx_m[i] = d2
+            rx_power[i] = tx_power_dbm - tx_tag_loss.path_loss_db(
+                d1, wavelength
+            )
+            h_direct_los[i] = channel._h_direct_los
+            h_tag_los[i] = channel._h_tag_los
+            tag_rotation[i] = channel._tag_rotation
+            channel_rngs.append(channel_rng)
+            error_rngs.append(error_rng)
+            fsm = TagStateMachine(
+                design=design,
+                detector=detector,
+                oscillator=oscillator,
+                rng=tag_rng,
+            )
+            fsm._align_cache = align_cache  # shared across the fleet
+            fsms.append(fsm)
+
+        # Fading constants (see BackscatterChannel.sample_*_fading).
+        if rician_k_db is not None:
+            k_lin = 10.0 ** (rician_k_db / 10.0)
+            d_los_part = math.sqrt(k_lin / (k_lin + 1.0)) * h_direct_los
+            d_sigma = np.abs(h_direct_los) * math.sqrt(
+                1.0 / (k_lin + 1.0) / 2.0
+            )
+        else:
+            d_los_part = d_sigma = None
+        if tag_rician_k_db is not None:
+            k_lin = 10.0 ** (tag_rician_k_db / 10.0)
+            t_los_part = math.sqrt(k_lin / (k_lin + 1.0))
+            t_sigma = math.sqrt(1.0 / (k_lin + 1.0) / 2.0)
+        else:
+            t_los_part = t_sigma = None
+
+        decoder = LinkErrorModel(
+            channel=_FleetChannelView(h_tag_los, tag_rotation),
+            mcs=mcs,
+            tx_power_dbm=tx_power_dbm,
+            receiver=receiver,
+            mismatch_gain_db=mismatch_gain_db,
+            # Never drawn from: every batch decode passes per-row rngs.
+            rng=np.random.default_rng(child_sequence(seed, n)),
+            kernel_tier=kernel_tier,
+        )
+
+        fleet = cls(
+            names=names,
+            positions=pos,
+            config=config,
+            batch_tags=int(batch_tags),
+            phy_exact_coding=bool(phy_exact_coding),
+            temperature_c=float(temperature_c),
+            invalidated_rows=0,
+            rx_power_dbm=rx_power,
+            _index={name: i for i, name in enumerate(names)},
+            _seed=int(seed),
+            _client_xy=(cx, cy),
+            _ap_xy=(ax, ay),
+            _tx_rx_m=tx_rx_m,
+            _tx_tag_m=tx_tag_m,
+            _tag_rx_m=tag_rx_m,
+            _tx_power_dbm=float(tx_power_dbm),
+            _mismatch_gain_db=float(mismatch_gain_db),
+            _rician_k_db=rician_k_db,
+            _tag_rician_k_db=tag_rician_k_db,
+            _band=band,
+            _channel_width_mhz=int(channel_width_mhz),
+            _kernel_tier=kernel_tier,
+            _wavelength=wavelength,
+            _offsets_hz=offsets_hz,
+            _direct_loss=direct_loss,
+            _tx_tag_loss=tx_tag_loss,
+            _tag_rx_loss=tag_rx_loss,
+            _antenna=antenna,
+            _receiver=receiver,
+            _scatter_amp=(
+                math.sqrt(
+                    4.0
+                    * math.pi
+                    * antenna.radar_cross_section_m2(wavelength)
+                )
+                / wavelength
+            ),
+            _h_direct_los=h_direct_los,
+            _h_tag_los=h_tag_los,
+            _tag_rotation=tag_rotation,
+            _d_los_part=d_los_part,
+            _d_sigma=d_sigma,
+            _t_los_part=t_los_part,
+            _t_sigma=t_sigma,
+            _channel_rngs=channel_rngs,
+            _error_rngs=error_rngs,
+            _fsms=fsms,
+            _design=design,
+            _decoder=decoder,
+            _builder=QueryBuilder(config, client=DEFAULT_CLIENT, ap=DEFAULT_AP),
+            _scoreboard=BlockAckScoreboard(),
+        )
+        return fleet
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def n_tags(self) -> int:
+        """Number of tags in the fleet."""
+        return len(self.names)
+
+    @property
+    def counters(self):
+        """Per-stage timing of the shared decode model."""
+        return self._decoder.counters
+
+    def load_bits(self, name: str, bits: Bits) -> None:
+        """Queue bits on one tag.
+
+        Raises:
+            KeyError: for an unknown tag address.
+        """
+        self._fsms[self._tag_index(name)].load_bits(list(bits))
+
+    def pending_bits(self, name: str) -> int:
+        """Bits still queued on one tag."""
+        return self._fsms[self._tag_index(name)].pending_bits
+
+    def _tag_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown tag {name!r}; fleet has {len(self.names)} tags"
+            ) from None
+
+    # -- the scalar reference -----------------------------------------
+
+    def reference_cell(self) -> MultiTagCell:
+        """The bit-identical scalar :class:`MultiTagCell` twin.
+
+        Rebuilt from the fleet's construction parameters with *fresh*
+        generators from the same seeds, so a freshly built fleet and
+        its reference start from identical stream states (both begin
+        at SSN 0; build the reference before polling the fleet when
+        comparing).  Endpoints are inserted in fleet index order, so
+        the cell's "first endpoint" is tag 0.  Mobility updates are
+        not reflected — the reference models the fleet as built.
+        """
+        endpoints: dict[str, TagEndpoint] = {}
+        for i, name in enumerate(self.names):
+            channel_rng, error_rng, tag_rng = _tag_generators(
+                self._seed, i
+            )
+            channel = BackscatterChannel(
+                geometry=ChannelGeometry(
+                    tx_rx_m=self._tx_rx_m,
+                    tx_tag_m=float(self._tx_tag_m[i]),
+                    tag_rx_m=float(self._tag_rx_m[i]),
+                ),
+                band=self._band,
+                direct_loss=self._direct_loss,
+                tx_tag_loss=self._tx_tag_loss,
+                tag_rx_loss=self._tag_rx_loss,
+                antenna=self._antenna,
+                rician_k_db=self._rician_k_db,
+                tag_rician_k_db=self._tag_rician_k_db,
+                channel_width_mhz=self._channel_width_mhz,
+                rng=channel_rng,
+            )
+            error_model = LinkErrorModel(
+                channel=channel,
+                mcs=self.config.mcs,
+                tx_power_dbm=self._tx_power_dbm,
+                receiver=self._receiver,
+                mismatch_gain_db=self._mismatch_gain_db,
+                rng=error_rng,
+                kernel_tier=self._kernel_tier,
+            )
+            endpoints[name] = TagEndpoint(
+                name=name,
+                tag=TagStateMachine(rng=tag_rng),
+                error_model=error_model,
+                rx_power_dbm=float(self.rx_power_dbm[i]),
+            )
+        return MultiTagCell(config=self.config, endpoints=endpoints)
+
+    # -- mobility ------------------------------------------------------
+
+    def update_positions(
+        self,
+        indices: Sequence[int],
+        new_positions: Iterable[tuple[float, float]],
+    ) -> None:
+        """Move tags and refresh only the moved rows' link state.
+
+        Per moved tag: tag-path amplitude from the bistatic radar
+        equation at the new leg lengths, LOS phase advanced by
+        ``-2 pi * (path-length change) / lambda`` (path-continuous —
+        a fresh build at the same position would draw a different
+        random phase), subcarrier rotation from the new excess delay,
+        and rx power at the tag.  Unmoved rows are untouched bit for
+        bit; the direct client->AP path (and hence the direct-fading
+        sigma) never changes.
+        """
+        cx, cy = self._client_xy
+        ax, ay = self._ap_xy
+        wavelength = self._wavelength
+        moved = 0
+        for i, (x, y) in zip(indices, new_positions):
+            x, y = float(x), float(y)
+            d1 = math.hypot(x - cx, y - cy)
+            d2 = math.hypot(ax - x, ay - y)
+            if d1 <= 0.0 or d2 <= 0.0:
+                raise ValueError(
+                    f"tag {i} may not sit exactly on the client or AP"
+                )
+            delta_path = (d1 + d2) - (
+                float(self._tx_tag_m[i]) + float(self._tag_rx_m[i])
+            )
+            amp = (
+                self._tx_tag_loss.amplitude_gain(d1, wavelength)
+                * self._tag_rx_loss.amplitude_gain(d2, wavelength)
+                * self._scatter_amp
+            )
+            old = complex(self._h_tag_los[i])
+            phase = math.atan2(old.imag, old.real) - (
+                2.0 * math.pi * delta_path / wavelength
+            )
+            self._h_tag_los[i] = amp * np.exp(1j * phase)
+            excess_s = (d1 + d2 - self._tx_rx_m) / SPEED_OF_LIGHT_M_S
+            self._tag_rotation[i] = delay_phase_rotation(
+                self._offsets_hz, excess_s
+            )
+            self.rx_power_dbm[i] = (
+                self._tx_power_dbm
+                - self._tx_tag_loss.path_loss_db(d1, wavelength)
+            )
+            self._tx_tag_m[i] = d1
+            self._tag_rx_m[i] = d2
+            self.positions[i, 0] = x
+            self.positions[i, 1] = y
+            moved += 1
+        self.invalidated_rows += moved
+
+    # -- fading --------------------------------------------------------
+
+    def _draw_fading(self, i: int) -> tuple[complex, complex]:
+        """One coherence-interval sample from tag ``i``'s channel rng.
+
+        Bitwise equal to ``sample_direct_fading()`` followed by
+        ``sample_tag_fading()`` on that tag's own
+        :class:`BackscatterChannel` (same ``rng.normal`` calls in the
+        same order).
+        """
+        rng = self._channel_rngs[i]
+        if self._d_sigma is None:
+            direct = complex(self._h_direct_los[i])
+        else:
+            sigma = float(self._d_sigma[i])
+            scatter = complex(
+                rng.normal(0.0, sigma), rng.normal(0.0, sigma)
+            )
+            direct = complex(self._d_los_part[i] + scatter)
+        if self._t_sigma is None:
+            tag = complex(1.0, 0.0)
+        else:
+            tag = complex(
+                self._t_los_part + rng.normal(0.0, self._t_sigma),
+                rng.normal(0.0, self._t_sigma),
+            )
+        return direct, tag
+
+    # -- polling -------------------------------------------------------
+
+    def run_query(self, address: str | None = None) -> MultiTagQueryResult:
+        """One query cycle, addressed or broadcast (``None``).
+
+        Same semantics and result object as
+        :meth:`MultiTagCell.run_query`.
+        """
+        return self._run_queries([address])[0]
+
+    def poll_round(self) -> dict[str, MultiTagQueryResult]:
+        """One addressed query per tag, in sorted address order.
+
+        The whole round — every query's decode — runs as one batched
+        ``(n_rows x n_subframes)`` PHY pass (chunked by
+        ``batch_tags``), bit-compatible with
+        :meth:`MultiTagCell.poll_round` on :meth:`reference_cell`.
+        """
+        order = sorted(self.names)
+        results = self._run_queries(order)
+        return dict(zip(order, results))
+
+    def poll_tags(
+        self, names: Sequence[str]
+    ) -> dict[str, MultiTagQueryResult]:
+        """One addressed query per named tag, in the given order.
+
+        The multi-AP network layer uses this to poll just the tags
+        currently assigned to one reader cell.
+        """
+        results = self._run_queries(list(names))
+        return dict(zip(names, results))
+
+    def _run_queries(
+        self, addresses: Sequence[str | None]
+    ) -> list[MultiTagQueryResult]:
+        """Run a batch of query cycles through one decode pass."""
+        for address in addresses:
+            if address is not None:
+                self._tag_index(address)  # validate early
+        if not addresses:
+            return []
+
+        frames = [self._builder.build_fast() for _ in addresses]
+        idle = self._design.state_for_bit_one
+
+        # Phase 1 — tag FSMs, in query order then endpoint order
+        # (process_query_fast is bitwise-identical to the scalar
+        # reference's process_query, per its contract).
+        responders_per_q: list[list[int]] = []
+        transmissions_per_q: list[dict[int, object]] = []
+        for frame, address in zip(frames, addresses):
+            indices: Iterable[int] = (
+                range(self.n_tags)
+                if address is None
+                else (self._tag_index(address),)
+            )
+            responders: list[int] = []
+            transmissions: dict[int, object] = {}
+            for i in indices:
+                observation = QueryObservation(
+                    n_subframes=frame.n_subframes,
+                    n_trigger_subframes=frame.n_trigger_subframes,
+                    subframe_s=frame.mean_subframe_s,
+                    rx_power_dbm=float(self.rx_power_dbm[i]),
+                    temperature_c=self.temperature_c,
+                )
+                transmission = self._fsms[i].process_query_fast(observation)
+                if transmission.detected and transmission.bits_loaded:
+                    responders.append(i)
+                    transmissions[i] = transmission
+            responders_per_q.append(responders)
+            transmissions_per_q.append(transmissions)
+
+        # Row assembly: one decode row per (query, responder); a query
+        # nobody answered decodes one benign row through the first
+        # endpoint's link (tag 0), exactly like the scalar cell's
+        # no-responder branch.
+        k = frames[0].n_subframes
+        row_tag: list[int] = []
+        row_states: list[Sequence] = []
+        rows_per_q: list[int] = []
+        for q, frame in enumerate(frames):
+            responders = responders_per_q[q]
+            if responders:
+                for i in responders:
+                    row_tag.append(i)
+                    row_states.append(transmissions_per_q[q][i].states)
+                rows_per_q.append(len(responders))
+            else:
+                row_tag.append(0)
+                row_states.append((idle,) * frame.n_subframes)
+                rows_per_q.append(1)
+        n_rows = len(row_tag)
+
+        # Phase 2 — fading, one draw per row in row (= scalar) order.
+        direct = np.empty(n_rows, dtype=complex)
+        tag_fade = np.empty(n_rows, dtype=complex)
+        for r, i in enumerate(row_tag):
+            direct[r], tag_fade[r] = self._draw_fading(i)
+
+        # Phase 3 — one batched decode, chunked by batch_tags (memory
+        # only: per-row generators make chunk boundaries draw-neutral).
+        mpdu_bits = [8 * len(mpdu) for mpdu in frames[0].mpdus]
+        outcomes = np.empty((n_rows, k), dtype=bool)
+        tag_indices = np.asarray(row_tag, dtype=np.intp)
+        for start in range(0, n_rows, self.batch_tags):
+            stop = min(start + self.batch_tags, n_rows)
+            sel = tag_indices[start:stop]
+            self._decoder.channel = _FleetChannelView(
+                self._h_tag_los[sel], self._tag_rotation[sel]
+            )
+            outcomes[start:stop] = self._decoder.subframe_outcomes_batch2d(
+                mpdu_bits,
+                idle,
+                row_states[start:stop],
+                FadingBatch(
+                    direct_gains=direct[start:stop],
+                    tag_fadings=tag_fade[start:stop],
+                ),
+                exact_coding=self.phy_exact_coding,
+                rngs=[self._error_rngs[i] for i in sel],
+            )
+
+        # Combine per query: a subframe survives only if every
+        # responder's row survived.
+        n_q = len(frames)
+        survived = np.empty((n_q, k), dtype=bool)
+        r = 0
+        for q, count in enumerate(rows_per_q):
+            if count == 1:
+                survived[q] = outcomes[r]
+            else:
+                survived[q] = outcomes[r : r + count].all(axis=0)
+            r += count
+
+        # Results: bitmap via one packbits (ssn == frame.ssn, so the
+        # raw bits reduce to the outcome row past the trigger
+        # subframes — the tier-3 reduction).
+        packed = np.packbits(survived, axis=1, bitorder="little")
+        raw_rows = survived.astype(np.uint8).tolist()
+        results: list[MultiTagQueryResult] = []
+        for q, (frame, address) in enumerate(zip(frames, addresses)):
+            bitmap = int.from_bytes(packed[q].tobytes(), "little")
+            block_ack = BlockAck(
+                receiver=DEFAULT_CLIENT,
+                transmitter=DEFAULT_AP,
+                ssn=frame.ssn,
+                bitmap=bitmap,
+            )
+            responders = responders_per_q[q]
+            transmissions = transmissions_per_q[q]
+            results.append(
+                MultiTagQueryResult(
+                    address=address,
+                    block_ack=block_ack,
+                    raw_bits=tuple(
+                        raw_rows[q][frame.n_trigger_subframes :]
+                    ),
+                    responded=tuple(self.names[i] for i in responders),
+                    per_tag_sent={
+                        self.names[i]: transmissions[i].bits_loaded
+                        for i in responders
+                    },
+                )
+            )
+
+        # Leave the mutable MAC state as the scalar cell would: the
+        # scoreboard holds the last query's outcomes.
+        self._scoreboard.reset(frames[-1].ssn)
+        for index in np.flatnonzero(survived[-1]):
+            self._scoreboard.record((frames[-1].ssn + int(index)) % 4096)
+        return results

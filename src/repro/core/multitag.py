@@ -17,6 +17,32 @@ Corruption combining: a subframe fails if at least one tag's perturbation
 defeats it.  Decode draws are made per tag against that tag's own channel
 geometry and combined as independent events — accurate when tag-to-tag
 coupling is negligible (tags are weak scatterers).
+
+Draw-order contract (the vectorized fleet engine in
+:mod:`repro.core.fleet` reproduces this bit for bit):
+
+1. **FSM phase** — every candidate tag processes the query first
+   (detector uniform, period-estimate normal, per-bit alignment
+   normals from *that tag's* FSM rng), in endpoint-dict order for a
+   broadcast; an addressed query touches only the named tag's rng.
+2. **Fading phase** — one :meth:`LinkErrorModel.sample_fading` per
+   responding link, in responder order.  When *no* tag responds, one
+   fading sample is drawn from the first endpoint's model so the
+   benign-channel decode consumes the channel stream exactly like a
+   single responding link would (historically the no-responder branch
+   drew a fresh fading per subframe — an inconsistency fixed here).
+3. **Decode phase** — each responding tag's full per-subframe outcome
+   vector is drawn *before* combining (2·n_subcarriers CSI normals
+   plus one uniform per subframe, from that tag's error rng).  A
+   subframe survives only if every responder's draw survived.  No
+   early exit: a failing tag never truncates another tag's stream, so
+   per-tag outcome streams are independent of dict insertion order.
+
+With per-tag component rngs (the default built by
+:func:`repro.sim.scenario.build_system` / ``TagFleet.build``), each
+phase touches disjoint generators per tag, which is what lets the
+fleet engine batch each phase across tags without changing any
+single generator's stream.
 """
 
 from __future__ import annotations
@@ -138,34 +164,50 @@ class MultiTagCell:
                 transmissions[name] = transmission
 
         self._scoreboard.reset(query.ssn)
-        fadings = {
-            name: self.endpoints[name].error_model.sample_fading()
-            for name in transmissions
-        }
-        for index, mpdu in enumerate(query.mpdus):
-            survived = True
-            if transmissions:
-                for name, transmission in transmissions.items():
-                    endpoint = self.endpoints[name]
+        if transmissions:
+            # Fading phase: one sample per responding link, in
+            # responder order (see the draw-order contract above).
+            fadings = {
+                name: self.endpoints[name].error_model.sample_fading()
+                for name in transmissions
+            }
+            # Decode phase: each tag's full outcome vector is drawn
+            # before combining, so one tag's failure never truncates
+            # another tag's stream (the old early `break` made per-tag
+            # streams depend on dict insertion order).
+            survived = np.ones(len(query.mpdus), dtype=bool)
+            for name, transmission in transmissions.items():
+                endpoint = self.endpoints[name]
+                idle = endpoint.tag.design.state_for_bit_one
+                fading = fadings[name]
+                for index, mpdu in enumerate(query.mpdus):
                     ok = endpoint.error_model.subframe_outcome(
                         8 * len(mpdu),
-                        endpoint.tag.design.state_for_bit_one,
+                        idle,
                         transmission.states[index],
-                        fadings[name],
+                        fading,
                     )
                     if not ok:
-                        survived = False
-                        break
-            else:
-                # No tag responded: benign channel only (first endpoint's
-                # link model decides).
-                first = next(iter(self.endpoints.values()))
-                idle = first.tag.design.state_for_bit_one
-                survived = first.error_model.subframe_outcome(
-                    8 * len(mpdu), idle, idle
-                )
-            if survived:
-                self._scoreboard.record((query.ssn + index) % 4096)
+                        survived[index] = False
+        else:
+            # No tag responded: benign channel only (first endpoint's
+            # link model decides).  One fading sample, like any
+            # responding link, keeps the channel stream consistent
+            # across both branches.
+            first = next(iter(self.endpoints.values()))
+            idle = first.tag.design.state_for_bit_one
+            fading = first.error_model.sample_fading()
+            survived = np.array(
+                [
+                    first.error_model.subframe_outcome(
+                        8 * len(mpdu), idle, idle, fading
+                    )
+                    for mpdu in query.mpdus
+                ],
+                dtype=bool,
+            )
+        for index in np.flatnonzero(survived):
+            self._scoreboard.record((query.ssn + int(index)) % 4096)
         block_ack = build_block_ack(self._scoreboard, DEFAULT_CLIENT, DEFAULT_AP)
         raw = raw_bits_from_block_ack(block_ack, query)
         return MultiTagQueryResult(

@@ -272,6 +272,7 @@ class LinkErrorModel:
         subframe_state_rows: Sequence[Sequence[TagState]],
         fading: FadingBatch,
         *,
+        rngs: Sequence[np.random.Generator] | None = None,
         _uniforms: np.ndarray | None = None,
     ) -> np.ndarray:
         """:meth:`subframe_effective_sinrs` for a whole session chunk.
@@ -293,6 +294,14 @@ class LinkErrorModel:
             subframe_state_rows: per-query tag states; all rows must
                 have equal length (one A-MPDU shape per chunk).
             fading: one coherence-interval sample per query.
+            rngs: optional per-row generators (one per query row).
+                When given, row ``q``'s CSI noise (and outcome
+                uniforms) are drawn from ``rngs[q]`` instead of
+                ``self.rng`` — the fleet engine uses this so each
+                tag's row consumes that tag's own error stream,
+                bitwise as the scalar per-tag loop would.  ``None``
+                (the default) keeps the historical shared-generator
+                path byte for byte.
             _uniforms: internal — a preallocated ``(n_queries,
                 n_subframes)`` float array; when provided, one uniform
                 per subframe is drawn into it after that subframe's
@@ -355,20 +364,43 @@ class LinkErrorModel:
             h_preamble, np.maximum(rx_snr, 1e-12)[:, None]
         )
         buffer = np.empty((n_q, k, 2 * n))
-        draw_normals = self.rng.standard_normal
-        draw_uniform = self.rng.random
+        if rngs is not None and len(rngs) != n_q:
+            raise ValueError(
+                f"{n_q} state rows but {len(rngs)} per-row generators"
+            )
         if _uniforms is None:
-            for q in range(n_q):
-                per_query = buffer[q]
-                for i in range(k):
-                    draw_normals(out=per_query[i])
+            if rngs is None:
+                draw_normals = self.rng.standard_normal
+                for q in range(n_q):
+                    per_query = buffer[q]
+                    for i in range(k):
+                        draw_normals(out=per_query[i])
+            else:
+                for q in range(n_q):
+                    per_query = buffer[q]
+                    draw_normals = rngs[q].standard_normal
+                    for i in range(k):
+                        draw_normals(out=per_query[i])
         else:
-            for q in range(n_q):
-                per_query = buffer[q]
-                uniform_row = _uniforms[q]
-                for i in range(k):
-                    draw_normals(out=per_query[i])
-                    uniform_row[i] = draw_uniform()
+            if rngs is None:
+                draw_normals = self.rng.standard_normal
+                draw_uniform = self.rng.random
+                for q in range(n_q):
+                    per_query = buffer[q]
+                    uniform_row = _uniforms[q]
+                    for i in range(k):
+                        draw_normals(out=per_query[i])
+                        uniform_row[i] = draw_uniform()
+            else:
+                for q in range(n_q):
+                    per_query = buffer[q]
+                    uniform_row = _uniforms[q]
+                    rng = rngs[q]
+                    draw_normals = rng.standard_normal
+                    draw_uniform = rng.random
+                    for i in range(k):
+                        draw_normals(out=per_query[i])
+                        uniform_row[i] = draw_uniform()
         # The matrices below are tens of MB per chunk, so the algebra
         # runs in place on a handful of scratch buffers.  Every rewrite
         # is bitwise-neutral: in-place multiply/add keep the scalar
@@ -417,6 +449,7 @@ class LinkErrorModel:
         fading: FadingBatch,
         *,
         exact_coding: bool = False,
+        rngs: Sequence[np.random.Generator] | None = None,
         _uniforms: np.ndarray | None = None,
     ) -> np.ndarray:
         """:meth:`subframe_success_probabilities` for a session chunk.
@@ -425,7 +458,11 @@ class LinkErrorModel:
         by every query, or a full ``(n_queries, n_subframes)`` matrix.
         """
         sinrs = self.subframe_effective_sinrs_batch2d(
-            preamble_state, subframe_state_rows, fading, _uniforms=_uniforms
+            preamble_state,
+            subframe_state_rows,
+            fading,
+            rngs=rngs,
+            _uniforms=_uniforms,
         )
         start = time.perf_counter()
         probabilities = mpdu_success_probabilities(
@@ -443,6 +480,7 @@ class LinkErrorModel:
         fading: FadingBatch,
         *,
         exact_coding: bool = False,
+        rngs: Sequence[np.random.Generator] | None = None,
     ) -> np.ndarray:
         """:meth:`subframe_outcomes` for a whole session chunk.
 
@@ -450,6 +488,8 @@ class LinkErrorModel:
         ``exact_coding=True`` it is bitwise equal to stacking the
         per-query :meth:`subframe_outcomes` (and hence the scalar
         :meth:`subframe_outcome` loop) from the same generator state.
+        With ``rngs`` each row draws from its own generator instead
+        (see :meth:`subframe_effective_sinrs_batch2d`).
         """
         rows = [list(row) for row in subframe_state_rows]
         n_q = len(rows)
@@ -461,6 +501,7 @@ class LinkErrorModel:
             rows,
             fading,
             exact_coding=exact_coding,
+            rngs=rngs,
             _uniforms=uniforms,
         )
         return self.kernels.sample_outcomes(uniforms, probabilities)

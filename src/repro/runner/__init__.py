@@ -60,7 +60,7 @@ from .transport import (
     resolve_transport,
 )
 from .warm import WarmPool
-from .workers import SessionSpec
+from .workers import FleetSpec, SessionSpec
 
 __all__ = [
     "CheckpointError",
@@ -69,6 +69,7 @@ __all__ = [
     "CorruptPayload",
     "EncodedChunk",
     "FaultSpec",
+    "FleetSpec",
     "InjectedFault",
     "RetryEvent",
     "RetryPolicy",

@@ -14,13 +14,16 @@ from typing import Any
 
 import numpy as np
 
+from ..core.fleet import TagFleet
 from ..core.session import MeasurementSession
 from ..obs.runtime import attach_active
 from ..sim.scenario import los_scenario, nlos_scenario
 from .engine import UnitContext
 
 __all__ = [
+    "FleetSpec",
     "SessionSpec",
+    "fleet_poll_stats",
     "los_ber_point",
     "nlos_session_stats",
     "reset_warm_caches",
@@ -55,12 +58,18 @@ _WARM_DONORS: dict[tuple, Any] = {}
 #: (scenario key, seed) -> donor BackscatterChannel.
 _WARM_CHANNELS: dict[tuple, Any] = {}
 _WARM_CHANNELS_MAX = 128
+#: Process-wide tag alignment cache shared by warm fleet builds.  The
+#: cache is self-keyed by every timing/oscillator parameter the vectors
+#: depend on, so sharing one dict across fleets is unconditionally safe
+#: (same argument as ``TagStateMachine._align_cache`` above).
+_WARM_FLEET_ALIGN: dict[tuple, Any] = {}
 
 
 def reset_warm_caches() -> None:
     """Drop this process's warm donor registries (tests / leak checks)."""
     _WARM_DONORS.clear()
     _WARM_CHANNELS.clear()
+    _WARM_FLEET_ALIGN.clear()
 
 
 def _adopt_warm_caches(key: tuple, seed: int, system: Any) -> None:
@@ -192,6 +201,125 @@ class SessionSpec:
             session_fast_path=self.session_fast_path,
             batch_queries=self.batch_queries,
         )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Picklable fleet description for process-pool workers.
+
+    The fleet analogue of :class:`SessionSpec`: calling it with a
+    :class:`UnitContext` builds a fresh
+    :class:`repro.core.fleet.TagFleet` inside the worker — tag
+    positions drawn uniformly over a warehouse floorplan from the
+    context's position substream, link/tag/error streams derived from
+    ``ctx.seed`` by ``TagFleet.build`` — so fleet workloads ride the
+    same engine machinery (process pools, warm pool, shm chunk
+    transport, checkpoint/resume) as session workloads.
+
+    Attributes:
+        n_tags: fleet size.
+        floor_m: ``(width, height)`` of the floorplan; tags land
+            uniformly in ``[1, width] x [-height/2, height/2]`` (the
+            1 m standoff keeps every tag clear of the reader antennas
+            on the ``y = 0`` axis).
+        client_xy / ap_xy: reader antenna positions.
+        batch_tags: decode chunk size (memory bound; results are
+            bit-identical for any value).
+        kernel_tier: decode kernel implementation (bitwise identical
+            across tiers).
+        phy_exact_coding: exact per-subframe coded BER instead of the
+            interpolation table (bitwise-matches the scalar reference).
+        position_stream: context substream index for tag placement.
+        warm: share the process-wide tag alignment cache across fleet
+            builds (useful under :class:`repro.runner.warm.WarmPool`);
+            bit-identical either way.
+    """
+
+    n_tags: int = 100
+    floor_m: tuple[float, float] = (30.0, 20.0)
+    client_xy: tuple[float, float] = (0.0, 0.0)
+    ap_xy: tuple[float, float] = (8.0, 0.0)
+    batch_tags: int = 256
+    kernel_tier: str = "auto"
+    phy_exact_coding: bool = False
+    position_stream: int = 2
+    warm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_tags < 1:
+            raise ValueError("n_tags must be >= 1")
+        if min(self.floor_m) <= 0:
+            raise ValueError("floorplan dimensions must be positive")
+
+    def __call__(self, ctx: UnitContext) -> TagFleet:
+        n_tags = int(ctx.parameters.get("n_tags", self.n_tags))
+        rng = ctx.rng(self.position_stream)
+        width, height = self.floor_m
+        positions = np.column_stack(
+            [
+                rng.uniform(1.0, width, n_tags),
+                rng.uniform(-height / 2.0, height / 2.0, n_tags),
+            ]
+        )
+        fleet = TagFleet.build(
+            positions,
+            client_xy=self.client_xy,
+            ap_xy=self.ap_xy,
+            seed=ctx.seed,
+            batch_tags=self.batch_tags,
+            kernel_tier=self.kernel_tier,
+            phy_exact_coding=self.phy_exact_coding,
+        )
+        if self.warm:
+            # Merge this fleet's (empty) cache into the process-wide
+            # one and share it, so later builds reuse alignment vectors.
+            for fsm in fleet._fsms:
+                fsm._align_cache = _WARM_FLEET_ALIGN
+        return fleet
+
+
+def fleet_poll_stats(
+    ctx: UnitContext,
+    *,
+    spec: FleetSpec | None = None,
+    rounds: int = 1,
+    bits_per_tag: int = 64,
+    data_stream: int = 1,
+) -> dict[str, Any]:
+    """One fleet polling workload: ``rounds`` addressed rounds per unit.
+
+    Builds the unit's fleet from ``spec`` (default :class:`FleetSpec`),
+    queues ``bits_per_tag`` random bits on every tag from the unit's
+    data substream, polls, and returns JSON-safe aggregates.
+    """
+    fleet = (spec or FleetSpec())(ctx)
+    data_rng = ctx.rng(data_stream)
+    for name in fleet.names:
+        fleet.load_bits(
+            name, [int(b) for b in data_rng.integers(0, 2, bits_per_tag)]
+        )
+    queries = responded = bits_sent = bit_errors = 0
+    for _ in range(rounds):
+        for name, result in fleet.poll_round().items():
+            queries += 1
+            if name in result.per_tag_sent:
+                responded += 1
+                sent = result.per_tag_sent[name]
+                received = result.raw_bits[: len(sent)]
+                bits_sent += len(sent)
+                bit_errors += sum(
+                    1 for s, r in zip(sent, received) if s != r
+                )
+    return {
+        "index": ctx.index,
+        "seed": ctx.seed,
+        "n_tags": fleet.n_tags,
+        "rounds": rounds,
+        "queries": queries,
+        "responded": responded,
+        "bits_sent": bits_sent,
+        "bit_errors": bit_errors,
+    }
 
 
 def rng_probe(ctx: UnitContext) -> dict[str, Any]:

@@ -3,7 +3,17 @@
 from .events import EventLoop
 from .floorplan import FloorPlan, los_testbed, paper_testbed
 from .geometry import Material, PathProfile, Point, Wall, path_profile
-from .network import PollResult, TagPoller, TrafficStation
+from .network import (
+    FleetNetwork,
+    FleetRoundStats,
+    NearestApPolicy,
+    PollResult,
+    RandomWalkMobility,
+    ReaderCell,
+    StrongestRxPolicy,
+    TagPoller,
+    TrafficStation,
+)
 from .rng import named_rngs, spawn_rngs
 from .scenario import (
     DEFAULT_TX_POWER_DBM,
@@ -18,13 +28,19 @@ from .trace import TraceRecord, TraceWriter
 __all__ = [
     "DEFAULT_TX_POWER_DBM",
     "EventLoop",
+    "FleetNetwork",
+    "FleetRoundStats",
     "FloorPlan",
     "Material",
+    "NearestApPolicy",
     "PathProfile",
     "PcapWriter",
     "Point",
     "PollResult",
+    "RandomWalkMobility",
+    "ReaderCell",
     "ScenarioInfo",
+    "StrongestRxPolicy",
     "TagPoller",
     "TraceRecord",
     "TraceWriter",

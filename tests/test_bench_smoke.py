@@ -122,19 +122,20 @@ def test_tier4_bench_smoke_identical_and_fast_path_shm(tmp_path):
     payload = tier4_payload(result)
     assert json.loads(json.dumps(payload)) == payload
     assert "digests" not in str(payload)
-    assert BENCH_SCHEMA == 2
+    assert BENCH_SCHEMA == 3
 
 
 @pytest.mark.bench_smoke
 def test_trajectory_readers_tolerate_mixed_schemas(tmp_path):
-    """Schema-1 entries (no schema field, no tier4 block) must keep
-    loading next to schema-2 entries in the same trajectory file."""
-    from repro.bench import BENCH_SCHEMA, tier4_bench
+    """Schema-1 entries (no schema field, no tier4 block) and schema-2
+    entries (no fleet block) must keep loading next to schema-3 entries
+    in the same trajectory file."""
+    from repro.bench import BENCH_SCHEMA, fleet_bench, fleet_payload, tier4_bench
 
     trajectory = tmp_path / "BENCH_mixed.json"
     legacy = {
         # A pre-tier4 entry exactly as PR 5 recorded it: no "schema",
-        # no "tier4".
+        # no "tier4", no "fleet".
         "queries": 2,
         "distance_m": 4.0,
         "seed": 0,
@@ -150,19 +151,92 @@ def test_trajectory_readers_tolerate_mixed_schemas(tmp_path):
         str(trajectory), bench_payload(result, tier4=t4)
     )
     assert entry["schema"] == BENCH_SCHEMA
-    assert "tier4" in entry
+    assert "tier4" in entry and "fleet" not in entry
+
+    fl = fleet_bench(n_tags=8, rounds=1, bits_per_tag=8, equivalence_tags=6)
+    entry = record_bench_trajectory(
+        str(trajectory), bench_payload(result, tier4=t4, fleet=fl)
+    )
+    assert "fleet" in entry
 
     history = json.loads(trajectory.read_text())
-    assert len(history) == 2
+    assert len(history) == 3
     # Reader tolerance contract: treat a missing schema field as
-    # schema 1 and the tier4 block as optional.
+    # schema 1, and the tier4/fleet blocks as optional.
     schemas = [e.get("schema", 1) for e in history]
-    assert schemas == [1, BENCH_SCHEMA]
-    assert "tier4" not in history[0]
+    assert schemas == [1, BENCH_SCHEMA, BENCH_SCHEMA]
+    assert "tier4" not in history[0] and "fleet" not in history[0]
     assert history[1]["tier4"]["legs"]["tier4"]["wall_s"] > 0.0
+    assert "fleet" not in history[1]
+    assert history[2]["fleet"]["legs"]["fleet"]["wall_s"] > 0.0
     # Appending again on top of the mixed file still works.
     record_bench_trajectory(str(trajectory), bench_payload(result))
-    assert len(json.loads(trajectory.read_text())) == 3
+    assert len(json.loads(trajectory.read_text())) == 4
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.fleet
+def test_fleet_bench_smoke_gates_and_reports(tmp_path):
+    """The fleet bench's machinery at toy scale: the equivalence gate
+    (exact coding, digest-compared against the scalar reference cell)
+    must pass, both timed legs must report, and the payload must be
+    JSON-clean."""
+    from repro.bench import fleet_bench, fleet_payload
+
+    result = fleet_bench(
+        n_tags=8, rounds=1, bits_per_tag=8, equivalence_tags=6
+    )
+    assert result["identical"] is True
+    assert set(result["legs"]) == {"scalar", "fleet"}
+    for leg in result["legs"].values():
+        assert leg["wall_s"] > 0.0 and leg["queries_per_s"] > 0.0
+    assert result["n_tags"] == 8 and result["rounds"] == 1
+    assert result["speedup_fleet_vs_scalar"] > 0.0
+
+    payload = fleet_payload(result)
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["identical"] is True
+    assert payload["n_tags"] == 8 and payload["equivalence_tags"] == 6
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.fleet
+def test_cli_bench_fleet_smoke_records_baseline(tmp_path, capsys):
+    from repro.cli import main
+
+    trajectory = tmp_path / "BENCH_session_batch.json"
+    baselines = tmp_path / "baselines.json"
+    code = main(
+        [
+            "bench",
+            "--queries",
+            "2",
+            "--repeats",
+            "1",
+            "--fleet",
+            "--fleet-tags",
+            "8",
+            "--fleet-bits",
+            "8",
+            "--fleet-aps",
+            "2",
+            "--trajectory",
+            str(trajectory),
+            "--update-baseline",
+            "--baselines",
+            str(baselines),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup fleet/scalar" in out
+    assert "warehouse scenario" in out
+    entry = load_baseline("fleet", str(baselines))
+    assert entry is not None
+    assert entry["n_tags"] == 8
+    assert entry["speedup_fleet_vs_scalar"] > 0.0
+    history = json.loads(trajectory.read_text())
+    assert history[-1]["fleet"]["n_tags"] == 8
 
 
 @pytest.mark.bench_smoke
