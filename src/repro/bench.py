@@ -37,6 +37,7 @@ from .sim.scenario import los_scenario
 __all__ = [
     "BENCH_SCHEMA",
     "TIERS",
+    "bench_check",
     "fault_tolerance_bench",
     "fleet_bench",
     "fleet_payload",
@@ -726,6 +727,126 @@ def load_baseline(
     with open(path, encoding="utf-8") as handle:
         baselines = json.load(handle)
     return baselines.get(key, default)
+
+
+#: The regression gates ``bench_check`` walks: each maps a check name
+#: to (baseline key, baseline field, extractor over a trajectory
+#: entry).  Extractors return ``None`` when the entry doesn't carry
+#: the measurement — schema 1 entries have no ``tier4``/``fleet``
+#: blocks, and readers must tolerate every schema in one file.
+_BENCH_CHECKS: tuple[tuple[str, str, str, Any], ...] = (
+    (
+        "session_batch",
+        "session_batch",
+        "speedup_session_vs_vectorized",
+        lambda entry: (entry.get("speedups") or {}).get(
+            "session_vs_vectorized"
+        ),
+    ),
+    (
+        "tier4",
+        "tier4",
+        "speedup_tier4_vs_session_batch",
+        lambda entry: (
+            entry["tier4"].get("speedup_tier4_vs_session_batch")
+            if isinstance(entry.get("tier4"), dict)
+            else None
+        ),
+    ),
+    (
+        "fleet",
+        "fleet",
+        "speedup_fleet_vs_scalar",
+        lambda entry: (
+            entry["fleet"].get("speedup_fleet_vs_scalar")
+            if isinstance(entry.get("fleet"), dict)
+            else None
+        ),
+    ),
+)
+
+
+def bench_check(
+    trajectory_path: str,
+    baselines_path: str,
+    *,
+    threshold: float = 0.8,
+) -> dict[str, Any]:
+    """The bench regression watchdog: latest trajectory vs baselines.
+
+    For each gate in :data:`_BENCH_CHECKS`, finds the *latest*
+    trajectory entry carrying that measurement (entries are
+    append-only, mixed schema 1-3; older schemas simply lack the newer
+    blocks) and compares it against the pinned baseline ratio: the
+    check fails when ``measured < threshold * baseline``.  A gate with
+    no baseline pinned or no trajectory entry is reported as skipped,
+    not failed — a fresh clone with an empty trajectory passes.
+
+    Returns ``{"ok", "threshold", "checks": [...], "skipped": [...]}``
+    where each check carries ``name``, ``measured``, ``baseline``,
+    ``floor``, ``recorded_at`` and ``ok``.  The CLI (``repro bench
+    check``) renders this and exits nonzero when any check fails.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(
+            f"threshold must be in (0, 1], got {threshold}"
+        )
+    entries: list[dict[str, Any]] = []
+    if os.path.exists(trajectory_path):
+        with open(trajectory_path, encoding="utf-8") as handle:
+            text = handle.read().strip()
+        if text:
+            entries = json.loads(text)
+            if not isinstance(entries, list):
+                raise ValueError(
+                    f"trajectory file {trajectory_path} does not hold "
+                    "a JSON list"
+                )
+    checks: list[dict[str, Any]] = []
+    skipped: list[dict[str, Any]] = []
+    for name, baseline_key, field, extract in _BENCH_CHECKS:
+        baseline_entry = load_baseline(baseline_key, baselines_path)
+        baseline = (
+            baseline_entry.get(field)
+            if isinstance(baseline_entry, dict)
+            else None
+        )
+        measured = None
+        recorded_at = None
+        for entry in entries:
+            value = extract(entry)
+            if value is not None:
+                measured = float(value)
+                recorded_at = entry.get("recorded_at")
+        if baseline is None or measured is None:
+            skipped.append(
+                {
+                    "name": name,
+                    "reason": (
+                        "no baseline pinned"
+                        if baseline is None
+                        else "no trajectory entry"
+                    ),
+                }
+            )
+            continue
+        floor = threshold * float(baseline)
+        checks.append(
+            {
+                "name": name,
+                "measured": measured,
+                "baseline": float(baseline),
+                "floor": floor,
+                "recorded_at": recorded_at,
+                "ok": measured >= floor,
+            }
+        )
+    return {
+        "ok": all(check["ok"] for check in checks),
+        "threshold": threshold,
+        "checks": checks,
+        "skipped": skipped,
+    }
 
 
 def update_baseline(key: str, entry: dict[str, Any], path: str) -> None:

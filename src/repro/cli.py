@@ -12,11 +12,17 @@ Usage::
                           [--tier4] [--fleet] [--fleet-tags 2000]
                           [--fleet-rounds 1] [--fleet-aps 4]
                           [--metrics-out M.json] [--trace-out T.jsonl]
+    python -m repro bench check [--trajectory PATH.json] [--threshold 0.8]
     python -m repro metrics [--sessions 4] [--queries 50] [--workers 2]
                             [--format table|json|prometheus] [--out PATH]
+                            [--input M1.json --input M2.json]
     python -m repro trace run OUT.jsonl [--queries 200] [--every-n 1]
     python -m repro trace summary TRACE.jsonl [--json]
     python -m repro trace tail TRACE.jsonl [--records 10] [--kind query]
+    python -m repro trace export TRACE.jsonl [--format chrome|flamegraph]
+                                             [--output OUT]
+    python -m repro top [--url http://127.0.0.1:8750 | --input M.json]
+                        [--once] [--interval 2.0]
     python -m repro fig5 [--seconds 1.0] [--seed 0]
     python -m repro fig6 [--runs 8] [--seconds 0.5]
     python -m repro quickstart [--distance 2.0] [--message TEXT]
@@ -595,6 +601,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """The regression watchdog: latest trajectory vs pinned baselines."""
+    from .bench import bench_check
+
+    try:
+        report = bench_check(
+            args.trajectory, args.baselines, threshold=args.threshold
+        )
+    except ValueError as error:
+        print(f"bad bench check options: {error}", file=sys.stderr)
+        return 2
+    table = Table(
+        f"bench regression check: floor = {report['threshold']:g} x "
+        f"baseline ({args.trajectory})",
+        ["gate", "measured", "baseline", "floor", "recorded", "status"],
+    )
+    for check in report["checks"]:
+        table.add_row(
+            [
+                check["name"],
+                check["measured"],
+                check["baseline"],
+                check["floor"],
+                check["recorded_at"] or "-",
+                "ok" if check["ok"] else "REGRESSION",
+            ]
+        )
+    print(table.render())
+    for item in report["skipped"]:
+        print(f"skipped {item['name']}: {item['reason']}")
+    if not report["checks"]:
+        print("no gates checked (nothing measured or pinned yet)")
+        return 0
+    if not report["ok"]:
+        failed = [c["name"] for c in report["checks"] if not c["ok"]]
+        print(
+            f"REGRESSION: {', '.join(failed)} below "
+            f"{report['threshold']:g} x baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _metrics_table(snapshot: dict, title: str) -> Table:
     """Render a metrics snapshot as a one-row-per-series table."""
     table = Table(title, ["metric", "labels", "type", "value"])
@@ -622,12 +672,59 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import render_prometheus
 
     if args.input:
-        try:
-            with open(args.input, encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError) as error:
-            print(f"bad --input: {error}", file=sys.stderr)
-            return 2
+        payloads = []
+        for path in args.input:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payloads.append(json.load(handle))
+            except (OSError, ValueError) as error:
+                print(f"bad --input {path}: {error}", file=sys.stderr)
+                return 2
+        if len(payloads) == 1:
+            payload = payloads[0]
+        else:
+            # Several payloads merge additively — the same label-series
+            # algebra workers' chunk snapshots already use — so shards
+            # of one experiment re-render as a single aggregate.
+            from .obs import merge_metric_snapshots
+
+            snapshots = []
+            transports = []
+            for path, item in zip(args.input, payloads):
+                snap = (
+                    item.get("metrics")
+                    if isinstance(item, dict)
+                    else None
+                )
+                if not (isinstance(snap, dict) and "schema" in snap):
+                    print(
+                        f"{path}: holds no metrics snapshot (collected "
+                        "with metrics disabled?)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                snapshots.append(snap)
+                transport = item.get("transport")
+                if isinstance(transport, dict) and "schema" in transport:
+                    transports.append(transport)
+            try:
+                payload = {
+                    "metrics": merge_metric_snapshots(snapshots),
+                    "chunks": sum(
+                        int(item.get("chunks") or 0) for item in payloads
+                    ),
+                    "version": payloads[0].get("version"),
+                }
+                if transports:
+                    payload["transport"] = merge_metric_snapshots(
+                        transports
+                    )
+            except ValueError as error:
+                print(
+                    f"cannot merge --input payloads: {error}",
+                    file=sys.stderr,
+                )
+                return 2
     else:
         from .runner import SessionSpec, TelemetrySpec, run_sessions
 
@@ -808,6 +905,60 @@ def _cmd_trace_tail(args: argparse.Namespace) -> int:
     for record in records:
         print(json.dumps(record, separators=(",", ":")))
     return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Convert a trace to Chrome tracing JSON or a flamegraph."""
+    import json
+
+    from .obs import chrome_trace, flamegraph_lines, read_trace
+    from .obs.export import merge_stage_timings
+
+    try:
+        records = list(
+            read_trace(*args.paths, validate=not args.no_validate)
+        )
+    except (OSError, ValueError) as error:
+        print(f"bad trace: {error}", file=sys.stderr)
+        return 2
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(records), indent=2)
+    else:
+        lines = flamegraph_lines(merge_stage_timings(records))
+        if not lines:
+            print(
+                "trace holds no session stage timings to export "
+                "(flamegraphs need session records)",
+                file=sys.stderr,
+            )
+            return 2
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Terminal status view of a running serve (or a metrics file)."""
+    from .obs.top import run_top
+
+    try:
+        return run_top(
+            url=None if args.input else args.url,
+            input_path=args.input,
+            once=args.once,
+            interval_s=args.interval,
+        )
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ValueError) as error:
+        print(f"repro top: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
@@ -1218,6 +1369,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep every Nth query record in the bench trace",
     )
     bench.set_defaults(func=_cmd_bench)
+    bench_sub = bench.add_subparsers(
+        dest="bench_command", metavar="{check}"
+    )
+    bench_check_p = bench_sub.add_parser(
+        "check",
+        help="regression watchdog: latest trajectory entries vs "
+        "pinned baselines (exit 1 on regression)",
+    )
+    bench_check_p.add_argument(
+        "--trajectory",
+        type=str,
+        default="benchmarks/BENCH_session_batch.json",
+        help="trajectory file written by `repro bench`",
+    )
+    bench_check_p.add_argument(
+        "--baselines",
+        type=str,
+        default="benchmarks/baselines.json",
+        help="pinned baselines file",
+    )
+    bench_check_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="failure floor as a fraction of the baseline speedup",
+    )
+    bench_check_p.set_defaults(func=_cmd_bench_check)
 
     metrics = sub.add_parser(
         "metrics",
@@ -1243,9 +1421,12 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--input",
         type=str,
+        action="append",
         default=None,
+        metavar="PAYLOAD",
         help="re-render an existing payload (from --metrics-out) "
-        "instead of running sessions",
+        "instead of running sessions; repeat to merge several "
+        "payloads additively",
     )
     metrics.add_argument(
         "--out",
@@ -1316,6 +1497,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip per-record schema validation",
     )
     trace_tail.set_defaults(func=_cmd_trace_tail)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to Chrome tracing JSON or a "
+        "collapsed-stack flamegraph",
+    )
+    trace_export.add_argument("paths", nargs="+", type=str)
+    trace_export.add_argument(
+        "--format",
+        choices=("chrome", "flamegraph"),
+        default="chrome",
+        help="chrome: trace_event JSON for chrome://tracing / "
+        "Perfetto; flamegraph: collapsed stacks for flamegraph.pl "
+        "/ speedscope",
+    )
+    trace_export.add_argument(
+        "--output",
+        "-o",
+        type=str,
+        default=None,
+        help="write here instead of stdout",
+    )
+    trace_export.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip per-record schema validation",
+    )
+    trace_export.set_defaults(func=_cmd_trace_export)
 
     fig5 = sub.add_parser("fig5", help="BER/throughput vs tag position")
     fig5.add_argument("--seconds", type=float, default=1.0)
@@ -1403,6 +1611,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the resolved config as JSON and exit",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="terminal status view of a running repro serve "
+        "(or a metrics JSON file)",
+    )
+    top.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:8750",
+        help="base URL of the serve instance to poll",
+    )
+    top.add_argument(
+        "--input",
+        type=str,
+        default=None,
+        metavar="PAYLOAD",
+        help="render a metrics JSON file instead of polling a server "
+        "(implies --once)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes",
+    )
+    top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -145,6 +145,10 @@ class TagFleet:
         invalidated_rows: cumulative count of per-tag cache rows
             refreshed by :meth:`update_positions` (observability for
             the incremental-invalidation contract).
+        telemetry: optional :class:`repro.obs.Telemetry`; attach via
+            :meth:`Telemetry.attach_fleet` for per-query metrics and
+            trace records identical to an instrumented
+            :meth:`reference_cell` run.
     """
 
     def __init__(self, **state) -> None:
@@ -297,9 +301,13 @@ class TagFleet:
         if rician_k_db is not None:
             k_lin = 10.0 ** (rician_k_db / 10.0)
             d_los_part = math.sqrt(k_lin / (k_lin + 1.0)) * h_direct_los
-            d_sigma = np.abs(h_direct_los) * math.sqrt(
-                1.0 / (k_lin + 1.0) / 2.0
-            )
+            # Python's abs(complex), not np.abs: the two hypot
+            # implementations can disagree by 1 ulp, and the scalar
+            # channel's sigma must be reproduced bit for bit for the
+            # fading draws (and telemetry digests) to match exactly.
+            d_sigma = np.array(
+                [abs(complex(h)) for h in h_direct_los]
+            ) * math.sqrt(1.0 / (k_lin + 1.0) / 2.0)
         else:
             d_los_part = d_sigma = None
         if tag_rician_k_db is not None:
@@ -324,6 +332,7 @@ class TagFleet:
             names=names,
             positions=pos,
             config=config,
+            telemetry=None,
             batch_tags=int(batch_tags),
             phy_exact_coding=bool(phy_exact_coding),
             temperature_c=float(temperature_c),
@@ -709,6 +718,32 @@ class TagFleet:
                         for i in responders
                     },
                 )
+            )
+
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Per-query hook in query order, slicing the decode rows
+            # back out of the batch arrays — the same values the
+            # scalar cell passes, so snapshots and traces match.
+            cycle_s = self._builder.peek_airtime_s()
+            row = 0
+            for result, count in zip(results, rows_per_q):
+                telemetry.on_cell_query(
+                    result,
+                    n_subframes=k,
+                    state_rows=row_states[row : row + count],
+                    fading_rows=[
+                        (complex(direct[r]), complex(tag_fade[r]))
+                        for r in range(row, row + count)
+                    ],
+                    cycle_s=cycle_s,
+                )
+                row += count
+            # The replay below touches the real scoreboard only for
+            # the last query; account for the elided ones.
+            telemetry.on_scoreboard_bulk(
+                records=int(survived[:-1].sum()),
+                resets=len(frames) - 1,
             )
 
         # Leave the mutable MAC state as the scalar cell would: the

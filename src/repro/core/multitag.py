@@ -112,6 +112,10 @@ class MultiTagCell:
     rng: np.random.Generator = field(
         default_factory=lambda: component_rng("multitag")
     )
+    #: Optional repro.obs.Telemetry; attach via Telemetry.attach_cell.
+    telemetry: object | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.endpoints:
@@ -210,7 +214,7 @@ class MultiTagCell:
             self._scoreboard.record((query.ssn + int(index)) % 4096)
         block_ack = build_block_ack(self._scoreboard, DEFAULT_CLIENT, DEFAULT_AP)
         raw = raw_bits_from_block_ack(block_ack, query)
-        return MultiTagQueryResult(
+        result = MultiTagQueryResult(
             address=address,
             block_ack=block_ack,
             raw_bits=tuple(raw),
@@ -219,6 +223,27 @@ class MultiTagCell:
                 name: transmissions[name].bits_loaded for name in transmissions
             },
         )
+        if self.telemetry is not None:
+            # One decode row per responder (responder order), or the
+            # single benign idle row — exactly the rows the fleet
+            # engine assembles, so digests match bit for bit.
+            if transmissions:
+                state_rows = [t.states for t in transmissions.values()]
+                fading_rows = [
+                    (fadings[name].direct_gain, fadings[name].tag_fading)
+                    for name in transmissions
+                ]
+            else:
+                state_rows = [(idle,) * query.n_subframes]
+                fading_rows = [(fading.direct_gain, fading.tag_fading)]
+            self.telemetry.on_cell_query(
+                result,
+                n_subframes=query.n_subframes,
+                state_rows=state_rows,
+                fading_rows=fading_rows,
+                cycle_s=self.builder.peek_airtime_s(),
+            )
+        return result
 
     def poll_round(self) -> dict[str, MultiTagQueryResult]:
         """One addressed query per tag, in sorted address order."""

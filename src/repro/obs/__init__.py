@@ -32,7 +32,14 @@ from .metrics import (
     merge_metric_snapshots,
     render_prometheus,
 )
-from .runtime import activate, active, attach_active, deactivate
+from .export import chrome_trace, flamegraph_lines
+from .runtime import (
+    activate,
+    active,
+    attach_active,
+    attach_active_fleet,
+    deactivate,
+)
 from .serve import CHUNK_LATENCY_BUCKETS, ServerMetrics
 from .telemetry import Telemetry, TelemetrySpec
 from .trace import (
@@ -40,6 +47,7 @@ from .trace import (
     TraceSampler,
     TraceWriter,
     fading_digest,
+    fading_rows_digest,
     read_trace,
     states_digest,
     summarize_trace,
@@ -65,8 +73,12 @@ __all__ = [
     "activate",
     "active",
     "attach_active",
+    "attach_active_fleet",
+    "chrome_trace",
     "deactivate",
     "fading_digest",
+    "fading_rows_digest",
+    "flamegraph_lines",
     "linear_buckets",
     "log_buckets",
     "merge_metric_snapshots",

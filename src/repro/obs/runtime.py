@@ -17,10 +17,17 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.fleet import TagFleet
     from ..core.system import WiTagSystem
     from .telemetry import Telemetry
 
-__all__ = ["activate", "active", "attach_active", "deactivate"]
+__all__ = [
+    "activate",
+    "active",
+    "attach_active",
+    "attach_active_fleet",
+    "deactivate",
+]
 
 _active: "Telemetry | None" = None
 
@@ -35,6 +42,13 @@ def attach_active(system: "WiTagSystem") -> "WiTagSystem":
     if _active is not None:
         _active.attach(system)
     return system
+
+
+def attach_active_fleet(fleet: "TagFleet") -> "TagFleet":
+    """Attach the active telemetry (if any) to a fleet; returns it."""
+    if _active is not None:
+        _active.attach_fleet(fleet)
+    return fleet
 
 
 def deactivate() -> None:

@@ -37,19 +37,31 @@ from .metrics import (
 #: Per-chunk transport encode times: tens of microseconds (small pickle
 #: payloads) up to seconds (huge shared-memory arrays).
 ENCODE_SECONDS_BUCKETS = log_buckets(1e-5, 10.0, 13)
+
+#: Simulated AP polling-round durations: milliseconds (a handful of
+#: tags, light contention) up to ~a minute (thousands of tags).
+ROUND_SECONDS_BUCKETS = log_buckets(1e-3, 1e2, 11)
+
+#: Per-query CSMA channel-access delays: a DIFS (tens of microseconds)
+#: up to a second under heavy contention.
+ACCESS_DELAY_BUCKETS = log_buckets(1e-5, 1.0, 11)
 from .trace import (
     TRACE_SCHEMA,
     TailBuffer,
     TraceSampler,
     TraceWriter,
     fading_digest,
+    fading_rows_digest,
     states_digest,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.fleet import TagFleet
+    from ..core.multitag import MultiTagCell, MultiTagQueryResult
     from ..core.session import SessionStats
     from ..core.system import QueryResult, WiTagSystem
     from ..phy.error_model import FadingSample
+    from ..sim.network import FleetNetwork, FleetRoundStats
 
 __all__ = ["Telemetry", "TelemetrySpec"]
 
@@ -83,6 +95,12 @@ class Telemetry:
       — AP-side scoreboard activity.
     * ``witag_build_info{version}`` / ``witag_rx_power_at_tag_dbm`` —
       gauges stamping the producer and link operating point.
+    * ``fleet_*`` — the fleet-scale layer: per-tag delivery counters
+      and per-query outcomes (:meth:`on_cell_query`, tier-invariant
+      between :class:`repro.core.fleet.TagFleet` and its scalar
+      reference cell), per-AP round counters/durations, handoff and
+      mobility-invalidation counters, and CSMA channel-access
+      delays/stalls (see ``docs/observability.md``).
     """
 
     def __init__(
@@ -169,6 +187,101 @@ class Telemetry:
                 ENCODE_SECONDS_BUCKETS,
                 "Per-chunk transport encode wall-clock seconds",
             )
+            # Fleet-scale families (multi-tag cells, the vectorized
+            # fleet engine, and the multi-AP network layer).  Created
+            # eagerly so an instrumented run always exposes the same
+            # family set regardless of which hooks fire.
+            fleet_queries = registry_.counter(
+                "fleet_queries_total",
+                "Multi-tag query cycles by outcome",
+                labels=("outcome",),
+            )
+            self._fleet_q_answered = fleet_queries.labels(
+                outcome="answered"
+            )
+            self._fleet_q_idle = fleet_queries.labels(outcome="idle")
+            self._fleet_tag_bits = registry_.counter(
+                "fleet_tag_bits_total",
+                "Tag bits attempted, per tag address",
+                labels=("tag",),
+            )
+            self._fleet_tag_errors = registry_.counter(
+                "fleet_tag_bit_errors_total",
+                "Tag bits received in error, per tag address",
+                labels=("tag",),
+            )
+            self._fleet_tag_delivered = registry_.counter(
+                "fleet_tag_delivered_bits_total",
+                "Tag bits delivered intact, per tag address",
+                labels=("tag",),
+            )
+            self._fleet_subframes = registry_.counter(
+                "fleet_subframes_total",
+                "Multi-tag A-MPDU subframes transmitted",
+            )
+            self._fleet_subframes_bad = registry_.counter(
+                "fleet_subframes_corrupted_total",
+                "Multi-tag subframes whose FCS failed",
+            )
+            self._fleet_ber = registry_.histogram(
+                "fleet_query_ber",
+                BER_BUCKETS,
+                "Per-query bit error rate across responding tags",
+            )
+            self._fleet_rounds = registry_.counter(
+                "fleet_rounds_total",
+                "Polling rounds completed, per AP",
+                labels=("ap",),
+            )
+            self._fleet_round_queries = registry_.counter(
+                "fleet_round_queries_total",
+                "Addressed queries issued, per AP",
+                labels=("ap",),
+            )
+            self._fleet_round_responses = registry_.counter(
+                "fleet_round_responses_total",
+                "Queries answered by their addressed tag, per AP",
+                labels=("ap",),
+            )
+            self._fleet_round_bits = registry_.counter(
+                "fleet_round_bits_total",
+                "Tag bits attempted in polling rounds, per AP",
+                labels=("ap",),
+            )
+            self._fleet_round_bit_errors = registry_.counter(
+                "fleet_round_bit_errors_total",
+                "Tag bits received in error in polling rounds, per AP",
+                labels=("ap",),
+            )
+            self._fleet_round_duration = registry_.histogram(
+                "fleet_round_duration_seconds",
+                ROUND_SECONDS_BUCKETS,
+                "Simulated duration of one AP polling round",
+                labels=("ap",),
+            )
+            self._fleet_handoffs = registry_.counter(
+                "fleet_handoffs_total",
+                "Tag reassignments between reader cells",
+                labels=("from_ap", "to_ap"),
+            )
+            self._fleet_mobility_ticks = registry_.counter(
+                "fleet_mobility_ticks_total", "Mobility ticks advanced"
+            )
+            self._fleet_invalidations = registry_.counter(
+                "fleet_mobility_invalidations_total",
+                "Per-fleet link-cache rows refreshed by mobility",
+            )
+            self._fleet_stalls = registry_.counter(
+                "fleet_contention_stalls_total",
+                "Channel-access waits that exceeded one DIFS, per AP",
+                labels=("ap",),
+            )
+            self._fleet_access_delay = registry_.histogram(
+                "fleet_access_delay_seconds",
+                ACCESS_DELAY_BUCKETS,
+                "Per-query CSMA channel access delay",
+                labels=("ap",),
+            )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -189,18 +302,73 @@ class Telemetry:
             system.tag.telemetry = self
             system._scoreboard._telemetry = self
             if self.metrics_enabled:
-                from .. import __version__
-
-                self.registry.gauge(
-                    "witag_build_info",
-                    "Producing repro version (value is always 1)",
-                    labels=("version",),
-                ).labels(version=__version__).set(1.0)
+                self._stamp_build_info()
                 self.registry.gauge(
                     "witag_rx_power_at_tag_dbm",
                     "Query signal power at the tag antenna",
                 ).set(system.rx_power_at_tag_dbm)
         return system
+
+    def attach_cell(self, cell: "MultiTagCell") -> "MultiTagCell":
+        """Wire this telemetry into a multi-tag cell (idempotent).
+
+        The cell is the fleet engine's bit-identical scalar reference;
+        both call the same :meth:`on_cell_query` hook with the same
+        values, so an instrumented fleet and an instrumented
+        :meth:`repro.core.fleet.TagFleet.reference_cell` produce
+        identical metric snapshots and trace streams.
+        """
+        for endpoint in cell.endpoints.values():
+            self.register_stage_counters(
+                "error_model", endpoint.error_model.counters
+            )
+        if self.metrics_enabled or self.trace_enabled:
+            cell.telemetry = self
+            cell._scoreboard._telemetry = self
+            for endpoint in cell.endpoints.values():
+                endpoint.error_model.telemetry = self
+            self._stamp_build_info()
+        return cell
+
+    def attach_fleet(self, fleet: "TagFleet") -> "TagFleet":
+        """Wire this telemetry into a vectorized tag fleet (idempotent).
+
+        The shared decode model's SINR fills and the last-query
+        scoreboard replay report directly; :meth:`on_cell_query` and
+        :meth:`on_scoreboard_bulk` (for the replay-elided queries)
+        cover the rest, keeping every counter and histogram identical
+        to an instrumented :meth:`TagFleet.reference_cell` run.
+        """
+        self.register_stage_counters("error_model", fleet.counters)
+        if self.metrics_enabled or self.trace_enabled:
+            fleet.telemetry = self
+            fleet._scoreboard._telemetry = self
+            fleet._decoder.telemetry = self
+            self._stamp_build_info()
+        return fleet
+
+    def attach_network(self, network: "FleetNetwork") -> "FleetNetwork":
+        """Wire this telemetry into a multi-AP fleet network.
+
+        Attaches every cell's fleet (per-query and link-quality
+        families) and the network object itself (per-AP round,
+        handoff, mobility and channel-access families).
+        """
+        for fleet in network.fleets:
+            self.attach_fleet(fleet)
+        if self.metrics_enabled or self.trace_enabled:
+            network.telemetry = self
+        return network
+
+    def _stamp_build_info(self) -> None:
+        if self.metrics_enabled:
+            from .. import __version__
+
+            self.registry.gauge(
+                "witag_build_info",
+                "Producing repro version (value is always 1)",
+                labels=("version",),
+            ).labels(version=__version__).set(1.0)
 
     def register_stage_counters(
         self, group: str, counters: StageCounters
@@ -256,6 +424,123 @@ class Telemetry:
             else:
                 self._tail.push(record)
         self._query_index += 1
+
+    def on_cell_query(
+        self,
+        result: "MultiTagQueryResult",
+        *,
+        n_subframes: int,
+        state_rows: Iterable[Any],
+        fading_rows: Iterable[tuple[complex, complex]],
+        cycle_s: float,
+    ) -> None:
+        """One multi-tag query cycle (scalar cell and fleet paths).
+
+        Both engines call this once per query, in query order, with
+        the bitwise-identical result/state/fading values their shared
+        draw-order contract guarantees — so every metric and trace
+        field below is tier-invariant by construction.
+
+        Args:
+            result: the query outcome (same object shape both paths).
+            n_subframes: subframes in the query's A-MPDU.
+            state_rows: one per-subframe tag-state plan per decode row
+                (responders in responder order; the benign idle row
+                for an unanswered query).
+            fading_rows: one ``(direct_gain, tag_fading)`` pair per
+                decode row, in the same order.
+            cycle_s: the query frame's airtime.
+        """
+        bits_sent = 0
+        bit_errors = 0
+        for name in result.responded:
+            sent = result.per_tag_sent[name]
+            received = result.raw_bits[: len(sent)]
+            errors = sum(1 for s, r in zip(sent, received) if s != r)
+            bits_sent += len(sent)
+            bit_errors += errors
+            if self.metrics_enabled:
+                self._fleet_tag_bits.labels(tag=name).inc(len(sent))
+                self._fleet_tag_errors.labels(tag=name).inc(errors)
+                self._fleet_tag_delivered.labels(tag=name).inc(
+                    len(sent) - errors
+                )
+        n_failed = n_subframes - int(result.block_ack.bitmap).bit_count()
+        if self.metrics_enabled:
+            (
+                self._fleet_q_answered
+                if result.responded
+                else self._fleet_q_idle
+            ).inc()
+            self._fleet_subframes.inc(n_subframes)
+            if n_failed:
+                self._fleet_subframes_bad.inc(n_failed)
+            if bits_sent:
+                self._fleet_ber.observe(bit_errors / bits_sent)
+        if self.writer is not None:
+            index = self._query_index
+            record = {
+                "schema": TRACE_SCHEMA,
+                "kind": "query",
+                "index": index,
+                "ssn": int(result.block_ack.ssn),
+                "detected": bool(result.responded),
+                "bits_sent": int(bits_sent),
+                "bit_errors": int(bit_errors),
+                "subframes": int(n_subframes),
+                "subframes_failed": int(n_failed),
+                "bitmap": f"{result.block_ack.bitmap:016x}",
+                "states_digest": states_digest(
+                    state for row in state_rows for state in row
+                ),
+                "fading_digest": fading_rows_digest(fading_rows),
+                "cycle_s": float(cycle_s),
+            }
+            if self.sampler.keep(index):
+                self.writer.write(record)
+            else:
+                self._tail.push(record)
+        self._query_index += 1
+
+    def on_fleet_round(self, stats: "FleetRoundStats") -> None:
+        """One AP finished a polling round (multi-AP network layer)."""
+        if self.metrics_enabled:
+            ap = stats.ap
+            self._fleet_rounds.labels(ap=ap).inc()
+            self._fleet_round_queries.labels(ap=ap).inc(stats.n_queries)
+            self._fleet_round_responses.labels(ap=ap).inc(
+                stats.n_responded
+            )
+            self._fleet_round_bits.labels(ap=ap).inc(stats.bits_sent)
+            self._fleet_round_bit_errors.labels(ap=ap).inc(
+                stats.bit_errors
+            )
+            self._fleet_round_duration.labels(ap=ap).observe(
+                stats.duration_s
+            )
+
+    def on_handoff(self, from_ap: str, to_ap: str) -> None:
+        """One tag reassigned between reader cells by mobility."""
+        if self.metrics_enabled:
+            self._fleet_handoffs.labels(
+                from_ap=from_ap, to_ap=to_ap
+            ).inc()
+
+    def on_mobility_tick(self, invalidated_rows: int) -> None:
+        """One mobility tick advanced across the network's fleets."""
+        if self.metrics_enabled:
+            self._fleet_mobility_ticks.inc()
+            if invalidated_rows:
+                self._fleet_invalidations.inc(invalidated_rows)
+
+    def on_channel_access(
+        self, ap: str, delay_s: float, *, stalled: bool
+    ) -> None:
+        """One query's CSMA channel-access wait in one cell."""
+        if self.metrics_enabled:
+            self._fleet_access_delay.labels(ap=ap).observe(delay_s)
+            if stalled:
+                self._fleet_stalls.labels(ap=ap).inc()
 
     def on_session(
         self,

@@ -45,6 +45,7 @@ __all__ = [
     "TraceSampler",
     "TraceWriter",
     "fading_digest",
+    "fading_rows_digest",
     "read_trace",
     "states_digest",
     "summarize_trace",
@@ -70,6 +71,30 @@ def fading_digest(direct_gain: complex, tag_fading: complex) -> str:
         direct_gain.imag,
         tag_fading.real,
         tag_fading.imag,
+    )
+    return hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).hexdigest()
+
+
+def fading_rows_digest(
+    rows: Iterable[tuple[complex, complex]],
+) -> str:
+    """Digest of a sequence of ``(direct_gain, tag_fading)`` draws.
+
+    Multi-tag queries sample one coherence-interval fading pair per
+    responder; this packs every pair bit-exactly in responder order.
+    For a single row it equals :func:`fading_digest` of that pair, so
+    fleet ``query`` trace records degrade gracefully to the single-tag
+    digest when only one tag responds.
+    """
+    payload = b"".join(
+        struct.pack(
+            "<4d",
+            direct.real,
+            direct.imag,
+            tag.real,
+            tag.imag,
+        )
+        for direct, tag in rows
     )
     return hashlib.blake2b(payload, digest_size=_DIGEST_BYTES).hexdigest()
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.fleet import TagFleet
 from ..core.session import MeasurementSession
-from ..obs.runtime import attach_active
+from ..obs.runtime import attach_active, attach_active_fleet
 from ..sim.scenario import los_scenario, nlos_scenario
 from .engine import UnitContext
 
@@ -293,6 +293,7 @@ def fleet_poll_stats(
     data substream, polls, and returns JSON-safe aggregates.
     """
     fleet = (spec or FleetSpec())(ctx)
+    attach_active_fleet(fleet)
     data_rng = ctx.rng(data_stream)
     for name in fleet.names:
         fleet.load_bits(

@@ -19,7 +19,9 @@ GET      /jobs/{id}/result        completed job's result payload
 GET      /jobs/{id}/events        live SSE stream of the job's events
 DELETE   /jobs/{id}               cancel an active job / delete a terminal one
 GET      /metrics                 Prometheus text exposition
+GET      /metrics?format=json     metrics registry snapshot as JSON
 GET      /healthz                 liveness + store census
+GET      /dash                    self-contained live HTML dashboard
 =======  =======================  ==========================================
 """
 
@@ -33,6 +35,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..obs.serve import ServerMetrics
+from .dash import DASHBOARD_HTML
 from .jobs import (
     TERMINAL_STATES,
     ExecutorPool,
@@ -332,11 +335,25 @@ class SweepService:
             )
             return
         if path == "/metrics" and method == "GET":
+            fmt = query.get("format", ["prometheus"])[-1]
+            if fmt == "json":
+                await self._send_json(writer, 200, self.metrics.snapshot())
+                return
+            if fmt != "prometheus":
+                raise _HttpError(400, f"unknown metrics format: {fmt!r}")
             await self._send_response(
                 writer,
                 200,
                 "text/plain; version=0.0.4; charset=utf-8",
                 self.metrics.render_prometheus().encode("utf-8"),
+            )
+            return
+        if path == "/dash" and method == "GET":
+            await self._send_response(
+                writer,
+                200,
+                "text/html; charset=utf-8",
+                DASHBOARD_HTML.encode("utf-8"),
             )
             return
         if path == "/jobs":

@@ -1,0 +1,194 @@
+"""The ``GET /dash`` page: a dependency-free live dashboard.
+
+One self-contained HTML document — inline CSS and vanilla JS, no
+third-party assets, nothing fetched from outside the serving host — so
+it works from an air-gapped lab box.  The page drives itself off the
+service's existing endpoints only:
+
+* ``GET /healthz`` — slots, queue depth, jobs-by-state census;
+* ``GET /metrics?format=json`` — the schema-1 registry snapshot
+  (counters/gauges as numbers, histograms rendered generically as
+  log-bucket bar charts, so new families appear without page changes);
+* ``GET /jobs`` + ``GET /jobs/{id}/events`` (SSE) — per-job progress,
+  subscribing to running jobs through the same EventSource stream
+  ``repro jobs watch`` uses.
+
+Polling cadence is 2 s for snapshots; SSE pushes arrive as emitted.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas,
+         monospace; background: #14161a; color: #d6dae0; margin: 1.2em; }
+  h1 { font-size: 15px; margin: 0 0 .2em; }
+  h2 { font-size: 13px; margin: 1.2em 0 .4em; color: #8ab4f8;
+       border-bottom: 1px solid #2a2e35; }
+  #meta { color: #7a828c; }
+  .cards { display: flex; flex-wrap: wrap; gap: .8em; margin-top: .8em; }
+  .card { background: #1c1f24; border: 1px solid #2a2e35; border-radius: 6px;
+          padding: .5em .9em; min-width: 8em; }
+  .card .v { font-size: 20px; color: #e8eaed; }
+  .card .k { color: #7a828c; font-size: 11px; }
+  table { border-collapse: collapse; width: 100%; }
+  td, th { text-align: left; padding: .15em .8em .15em 0; }
+  th { color: #7a828c; font-weight: normal; }
+  .num { text-align: right; font-variant-numeric: tabular-nums; }
+  .bar { display: inline-block; height: 9px; background: #8ab4f8;
+         vertical-align: middle; border-radius: 2px; }
+  .state-running { color: #8ab4f8; } .state-completed { color: #81c995; }
+  .state-failed { color: #f28b82; } .state-queued { color: #fdd663; }
+  .state-cancelled { color: #7a828c; }
+  #err { color: #f28b82; }
+  .hist { margin-bottom: 1em; }
+  .hist .t { color: #d6dae0; }
+  progress { width: 14em; height: 9px; }
+</style>
+</head>
+<body>
+<h1>repro serve <span id="meta"></span></h1>
+<div id="err"></div>
+<div class="cards" id="cards"></div>
+<h2>jobs</h2>
+<table id="jobs"><thead><tr>
+  <th>id</th><th>kind</th><th>state</th><th>progress</th><th>chunks</th>
+</tr></thead><tbody></tbody></table>
+<h2>counters &amp; gauges</h2>
+<table id="scalars"><tbody></tbody></table>
+<h2>histograms</h2>
+<div id="hists"></div>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const sources = new Map();   // job id -> EventSource
+const progress = new Map();  // job id -> {done, total}
+
+function fmt(v) {
+  if (typeof v !== "number") return String(v);
+  if (Number.isInteger(v)) return v.toLocaleString("en-US");
+  return v.toPrecision(4);
+}
+function labelText(labels) {
+  const keys = Object.keys(labels || {});
+  if (!keys.length) return "";
+  return "{" + keys.sort().map((k) => k + "=" + labels[k]).join(",") + "}";
+}
+
+function renderHealth(h) {
+  $("meta").textContent = "v" + h.version + " \\u00b7 " + h.slots + " slots";
+  const census = h.jobs || {};
+  const running = census.running || 0;
+  const cards = [
+    ["queue depth", h.queue_depth],
+    ["slots busy", running + " / " + h.slots],
+    ["queued", census.queued || 0],
+    ["running", running],
+    ["completed", census.completed || 0],
+    ["failed", census.failed || 0],
+  ];
+  $("cards").innerHTML = cards.map(
+    ([k, v]) => '<div class="card"><div class="v">' + fmt(v) +
+                '</div><div class="k">' + k + "</div></div>").join("");
+}
+
+function renderMetrics(snap) {
+  const scalars = [];
+  const hists = [];
+  for (const [name, family] of Object.entries(snap.metrics || {})) {
+    if (family.type === "histogram") { hists.push([name, family]); continue; }
+    for (const series of family.series || []) {
+      scalars.push([name + labelText(series.labels), series.value]);
+    }
+  }
+  $("scalars").firstElementChild.innerHTML = scalars.map(
+    ([name, v]) => "<tr><td>" + name + '</td><td class="num">' + fmt(v) +
+                   "</td></tr>").join("");
+  $("hists").innerHTML = hists.map(([name, family]) => {
+    return (family.series || []).map((series) => {
+      const counts = series.counts || [];
+      const edges = series.edges || [];
+      const peak = Math.max(1, ...counts);
+      const rows = counts.map((c, i) => {
+        const lo = i === 0 ? "-inf" : fmt(edges[i - 1]);
+        const hi = i < edges.length ? fmt(edges[i]) : "+inf";
+        const w = Math.round(120 * c / peak);
+        return "<tr><td>" + lo + " .. " + hi + '</td><td class="num">' +
+               fmt(c) + '</td><td><span class="bar" style="width:' +
+               w + 'px"></span></td></tr>';
+      }).join("");
+      return '<div class="hist"><span class="t">' + name +
+             labelText(series.labels) + "</span> (count " +
+             fmt(series.count || 0) + ", sum " + fmt(series.sum || 0) +
+             ")<table>" + rows + "</table></div>";
+    }).join("");
+  }).join("");
+}
+
+function subscribe(job) {
+  if (sources.has(job.id)) return;
+  const es = new EventSource("/jobs/" + job.id + "/events");
+  const drop = () => { es.close(); sources.delete(job.id); };
+  sources.set(job.id, es);
+  es.addEventListener("chunk", (msg) => {
+    try {
+      const ev = JSON.parse(msg.data);
+      progress.set(job.id, {
+        done: ev.chunks_done ?? 0, total: ev.n_chunks ?? 0 });
+    } catch (e) { /* malformed event; keep polling */ }
+  });
+  es.addEventListener("state", (msg) => {
+    try {
+      const ev = JSON.parse(msg.data);
+      if (["completed", "failed", "cancelled"].includes(ev.state)) drop();
+    } catch (e) { /* malformed event; keep polling */ }
+  });
+  es.addEventListener("done", drop);
+  es.onerror = drop;
+}
+
+function renderJobs(jobs) {
+  const body = $("jobs").tBodies[0];
+  body.innerHTML = jobs.map((job) => {
+    if (job.state === "running" || job.state === "queued") subscribe(job);
+    const p = progress.get(job.id) ||
+              { done: job.chunks_done || 0, total: job.n_chunks || 0 };
+    const bar = p.total
+      ? '<progress max="' + p.total + '" value="' + p.done + '"></progress> ' +
+        p.done + "/" + p.total
+      : "";
+    return "<tr><td>" + job.id + "</td><td>" + (job.kind || "") +
+           '</td><td class="state-' + job.state + '">' + job.state +
+           "</td><td>" + bar + '</td><td class="num">' + fmt(p.done) +
+           "</td></tr>";
+  }).join("");
+}
+
+async function tick() {
+  try {
+    const [health, metrics, jobs] = await Promise.all([
+      fetch("/healthz").then((r) => r.json()),
+      fetch("/metrics?format=json").then((r) => r.json()),
+      fetch("/jobs").then((r) => r.json()),
+    ]);
+    renderHealth(health);
+    renderMetrics(metrics);
+    renderJobs(jobs);
+    $("err").textContent = "";
+  } catch (e) {
+    $("err").textContent = "fetch failed: " + e;
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""

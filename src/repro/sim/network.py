@@ -383,6 +383,8 @@ class FleetNetwork:
             )
         self.handoffs = 0
         self.mobility_ticks = 0
+        #: Optional repro.obs.Telemetry; attach via attach_network.
+        self.telemetry = None
 
     def _build_contention(
         self, ap_index: int, cell: ReaderCell
@@ -454,6 +456,7 @@ class FleetNetwork:
             self.policy.assign(self, self.assignment), dtype=np.intp
         )
         changed = np.flatnonzero(new_assignment != self.assignment)
+        telemetry = self.telemetry
         for i in changed:
             name = self.names[i]
             old_fleet = self.fleets[int(self.assignment[i])]
@@ -462,8 +465,17 @@ class FleetNetwork:
             if queue:
                 new_fleet._fsms[i].data_queue.extend(queue)
                 queue.clear()
+            if telemetry is not None:
+                telemetry.on_handoff(
+                    self.cells[int(self.assignment[i])].name,
+                    self.cells[int(new_assignment[i])].name,
+                )
         self.handoffs += len(changed)
         self.assignment = new_assignment
+        if telemetry is not None:
+            telemetry.on_mobility_tick(
+                len(indices) * len(self.fleets) if indices else 0
+            )
 
     # -- polling -------------------------------------------------------
 
@@ -490,18 +502,34 @@ class FleetNetwork:
 
         contention = self._contention[ap_index]
         sifs = fleet.config.band.sifs_s
+        telemetry = self.telemetry
         if contention is not None:
-            access_s = sum(
-                contention.sample_access_delay_s() for _ in names
-            )
+            # A wait is a "stall" when it exceeds the contention-free
+            # minimum (one DIFS): some station's backoff or busy
+            # channel actually delayed the query.
+            difs_s = contention.params.difs_s
+            access_s = 0
+            for _ in names:
+                delay_s = contention.sample_access_delay_s()
+                access_s += delay_s
+                if telemetry is not None:
+                    telemetry.on_channel_access(
+                        cell.name, delay_s, stalled=delay_s > difs_s
+                    )
         else:
             difs = sifs + 2 * 9e-6
-            access_s = (difs + 7.5 * 9e-6) * len(names)
+            per_query_s = difs + 7.5 * 9e-6
+            access_s = per_query_s * len(names)
+            if telemetry is not None:
+                for _ in names:
+                    telemetry.on_channel_access(
+                        cell.name, per_query_s, stalled=False
+                    )
         airtime_s = fleet._builder.peek_airtime_s() if names else 0.0
         duration_s = access_s + len(names) * (
             airtime_s + sifs + block_ack_airtime_s()
         )
-        return FleetRoundStats(
+        stats = FleetRoundStats(
             ap=cell.name,
             round_index=round_index,
             start_s=start_s,
@@ -511,6 +539,9 @@ class FleetNetwork:
             bits_sent=bits_sent,
             bit_errors=bit_errors,
         )
+        if telemetry is not None:
+            telemetry.on_fleet_round(stats)
+        return stats
 
     def run_rounds(self, n_rounds: int) -> list[FleetRoundStats]:
         """Run ``n_rounds`` polling rounds on every cell, event-driven.

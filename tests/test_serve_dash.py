@@ -1,0 +1,129 @@
+"""The live dashboard surface of the sweep service.
+
+Three endpoints/clients, one contract: ``GET /dash`` serves a single
+self-contained HTML document (no third-party assets — the page must
+work from an air-gapped box), ``GET /metrics?format=json`` serves the
+same registry snapshot the Prometheus exposition renders, and
+``repro top`` renders that snapshot over plain HTTP.  All tests boot
+the service in-process on port 0, like the rest of the serve suite.
+"""
+
+import asyncio
+import json
+import re
+
+import pytest
+
+from repro.obs.top import fetch_status, render_status, run_top
+from repro.serve import ServeConfig, SweepService
+
+from .test_serve_service import http, http_json
+
+pytestmark = pytest.mark.serve
+
+
+def with_service(coro):
+    """Boot a fresh in-process service, run ``coro(service)``, stop."""
+
+    async def main():
+        service = SweepService(ServeConfig(port=0, slots=1))
+        await service.start()
+        try:
+            return await coro(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+class TestDashEndpoint:
+    def test_serves_self_contained_html(self):
+        async def scenario(service):
+            status, head, body = await http(
+                service.port, "GET", "/dash"
+            )
+            return status, head, body.decode("utf-8")
+
+        status, head, html = with_service(scenario)
+        assert status == 200
+        assert "text/html" in head
+        assert html.startswith("<!DOCTYPE html>")
+        # Self-contained: no external scripts, styles or fonts.
+        assert "http://" not in html and "https://" not in html
+        assert "<script src" not in html
+        assert '<link rel="stylesheet"' not in html
+        # Drives itself off the service's own endpoints.
+        for endpoint in ("/healthz", "/metrics?format=json", "/jobs"):
+            assert endpoint in html, endpoint
+        assert "EventSource" in html  # SSE job progress
+
+    def test_trailing_slash_and_method(self):
+        async def scenario(service):
+            ok, _, _ = await http(service.port, "GET", "/dash/")
+            bad, _, _ = await http(service.port, "POST", "/dash")
+            return ok, bad
+
+        ok, bad = with_service(scenario)
+        assert ok == 200
+        assert bad == 404
+
+
+class TestMetricsJson:
+    def test_json_format_matches_prometheus_exposition(self):
+        async def scenario(service):
+            # Touch a counter so the comparison is not all-zeros.
+            service.metrics.job_submitted("sweep")
+            status, snapshot = await http_json(
+                service.port, "GET", "/metrics?format=json"
+            )
+            text_status, _, text = await http(
+                service.port, "GET", "/metrics"
+            )
+            return status, snapshot, text_status, text.decode("utf-8")
+
+        status, snapshot, text_status, text = with_service(scenario)
+        assert status == 200 and text_status == 200
+        assert snapshot["schema"] == 1
+        submitted = snapshot["metrics"]["serve_jobs_submitted_total"]
+        assert submitted["series"] == [
+            {"labels": {"kind": "sweep"}, "value": 1.0}
+        ]
+        assert 'serve_jobs_submitted_total{kind="sweep"} 1' in text
+
+    def test_unknown_format_is_rejected(self):
+        async def scenario(service):
+            return await http_json(
+                service.port, "GET", "/metrics?format=xml"
+            )
+
+        status, body = with_service(scenario)
+        assert status == 400
+        assert "unknown metrics format" in body["error"]
+
+
+class TestTopAgainstLiveServer:
+    def test_fetch_and_render(self):
+        async def scenario(service):
+            service.metrics.set_queue_depth(3)
+            url = f"http://127.0.0.1:{service.port}"
+            # urllib is synchronous; run it off the event loop thread.
+            return await asyncio.to_thread(fetch_status, url)
+
+        status = with_service(scenario)
+        assert status["health"]["ok"] is True
+        assert status["jobs"] == []
+        text = render_status(status)
+        assert "repro serve v" in text
+        assert re.search(r"serve_queue_depth\s+3", text)
+
+    def test_run_top_once(self, capsys):
+        async def scenario(service):
+            url = f"http://127.0.0.1:{service.port}"
+            return await asyncio.to_thread(
+                run_top, url=url, once=True
+            )
+
+        assert with_service(scenario) == 0
+        out = capsys.readouterr().out
+        assert "repro serve v" in out
+        assert "serve_queue_depth" in out
