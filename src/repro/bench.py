@@ -37,6 +37,8 @@ from .sim.scenario import los_scenario
 __all__ = [
     "BENCH_SCHEMA",
     "TIERS",
+    "adaptive_bench",
+    "adaptive_payload",
     "bench_check",
     "fault_tolerance_bench",
     "fleet_bench",
@@ -53,9 +55,10 @@ __all__ = [
 
 #: Version stamp of the ``bench_payload`` / trajectory-entry layout.
 #: Schema 2 added the optional ``tier4`` block (PR 7); schema 3 the
-#: optional ``fleet`` block (PR 8).  Readers must tolerate entries of
-#: any schema in one trajectory file.
-BENCH_SCHEMA = 3
+#: optional ``fleet`` block (PR 8); schema 4 the optional ``adaptive``
+#: block (traffic-aware scheduling + adaptive FEC).  Readers must
+#: tolerate entries of any schema in one trajectory file.
+BENCH_SCHEMA = 4
 
 #: (label, phy_fast_path, session_fast_path) for each execution tier,
 #: slowest first.
@@ -556,6 +559,179 @@ def fleet_payload(result: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def adaptive_bench(
+    units: int = 3,
+    rounds: int = 6,
+    windows_per_round: int = 100,
+    *,
+    seed: int = 0,
+    n_workers: int = 2,
+    equivalence_rounds: int = 2,
+    equivalence_windows: int = 40,
+) -> dict[str, Any]:
+    """Adaptive vs static-paper FEC under bursty ambient traffic.
+
+    The quality benchmark of the traffic layer: ``units`` independent
+    deployments (seeded from ``seed`` via the engine's unit substreams)
+    each run two :class:`repro.runner.workers.AdaptiveLinkSpec` legs —
+
+    * ``static`` — the paper's scheme: the tag rides every
+      transmission opportunity and uses one fixed Reed-Solomon
+      redundancy;
+    * ``adaptive`` — the predictive opportunity scheduler skips
+      forecast-busy windows and the redundancy controller walks the
+      parity ladder against observed block corruption.
+
+    Before any comparison, an **equivalence gate** runs one adaptive
+    unit three ways — scalar session engine (serial), batch session
+    engine (serial), and batch engine under a process pool — and
+    asserts the reports (ride/skip decision string, rung trajectory,
+    delivered bits, goodput) are bit-identical; a faster-but-different
+    traffic layer fails here, before any quality numbers are compared
+    (same contract as :func:`tier4_bench` / :func:`fleet_bench`).
+
+    Returns per-leg aggregates plus the headline ratios:
+    ``goodput_ratio_adaptive_vs_static`` (mean adaptive goodput over
+    mean static goodput; > 1 means the adaptive scheme delivers more
+    correct message bits per second of tag existence) and
+    ``energy_ratio_static_vs_adaptive`` (energy per delivered bit,
+    static over adaptive; > 1 means the adaptive tag spends less
+    energy per delivered bit).
+    """
+    from functools import partial
+
+    from .runner import SweepSpec, run_sweep
+    from .runner.workers import AdaptiveLinkSpec, adaptive_link_stats
+
+    if min(units, rounds, windows_per_round) < 1:
+        raise ValueError("units, rounds and windows_per_round must be >= 1")
+
+    # Equivalence gate: one adaptive unit, three execution tiers,
+    # bit-identical reports before any quality numbers are trusted.
+    gate_sweep = SweepSpec(axes={"unit": [0]}, seed=seed)
+    digests: dict[str, str] = {}
+    for label, fast_path, executor, workers in (
+        ("serial-scalar", False, "serial", 1),
+        ("serial-batch", True, "serial", 1),
+        ("process-batch", True, "process", 2),
+    ):
+        measure = partial(
+            adaptive_link_stats,
+            spec=AdaptiveLinkSpec(session_fast_path=fast_path),
+            rounds=equivalence_rounds,
+            windows_per_round=equivalence_windows,
+        )
+        result = run_sweep(
+            measure, gate_sweep, executor=executor, n_workers=workers
+        )
+        digests[label] = _values_digest(result.values)
+    identical = len(set(digests.values())) == 1
+    if not identical:
+        raise AssertionError(
+            "adaptive link produced different results across execution "
+            f"tiers — equivalence gate digests diverge: {digests}"
+        )
+
+    sweep = SweepSpec(axes={"unit": list(range(units))}, seed=seed)
+    legs: dict[str, dict[str, Any]] = {}
+    for label, adaptive in (("static", False), ("adaptive", True)):
+        measure = partial(
+            adaptive_link_stats,
+            spec=AdaptiveLinkSpec(adaptive=adaptive),
+            rounds=rounds,
+            windows_per_round=windows_per_round,
+        )
+        start = time.perf_counter()
+        result = run_sweep(measure, sweep, n_workers=n_workers)
+        wall_s = time.perf_counter() - start
+        values = list(result.values)
+        delivered = sum(v["delivered_bits"] for v in values)
+        legs[label] = {
+            "wall_s": wall_s,
+            "units": [
+                {
+                    key: value[key]
+                    for key in (
+                        "seed",
+                        "rides",
+                        "windows",
+                        "rungs",
+                        "message_bits",
+                        "delivered_bits",
+                        "block_error_rate",
+                        "goodput_bps",
+                        "energy_per_bit_uj",
+                    )
+                }
+                for value in values
+            ],
+            "delivered_bits": delivered,
+            "mean_goodput_bps": (
+                sum(v["goodput_bps"] for v in values) / len(values)
+            ),
+            "mean_energy_per_bit_uj": (
+                sum(v["energy_per_bit_uj"] for v in values) / len(values)
+            ),
+        }
+    goodput_ratio = (
+        legs["adaptive"]["mean_goodput_bps"]
+        / legs["static"]["mean_goodput_bps"]
+    )
+    energy_ratio = (
+        legs["static"]["mean_energy_per_bit_uj"]
+        / legs["adaptive"]["mean_energy_per_bit_uj"]
+    )
+    wins = sum(
+        1
+        for a, s in zip(
+            legs["adaptive"]["units"], legs["static"]["units"]
+        )
+        if a["goodput_bps"] > s["goodput_bps"]
+    )
+    return {
+        "units": units,
+        "rounds": rounds,
+        "windows_per_round": windows_per_round,
+        "seed": seed,
+        "identical": identical,
+        "gate_digests": digests,
+        "legs": legs,
+        "adaptive_wins": wins,
+        "goodput_ratio_adaptive_vs_static": goodput_ratio,
+        "energy_ratio_static_vs_adaptive": energy_ratio,
+    }
+
+
+def adaptive_payload(result: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe view of an :func:`adaptive_bench` result (drops units)."""
+    return {
+        key: result[key]
+        for key in (
+            "units",
+            "rounds",
+            "windows_per_round",
+            "seed",
+            "identical",
+            "adaptive_wins",
+            "goodput_ratio_adaptive_vs_static",
+            "energy_ratio_static_vs_adaptive",
+        )
+    } | {
+        "legs": {
+            label: {
+                k: leg[k]
+                for k in (
+                    "wall_s",
+                    "delivered_bits",
+                    "mean_goodput_bps",
+                    "mean_energy_per_bit_uj",
+                )
+            }
+            for label, leg in result["legs"].items()
+        }
+    }
+
+
 def fault_tolerance_bench(
     n_units: int = 64,
     *,
@@ -654,16 +830,18 @@ def bench_payload(
     *,
     tier4: dict[str, Any] | None = None,
     fleet: dict[str, Any] | None = None,
+    adaptive: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """JSON-serializable view of a :func:`three_tier_bench` result.
 
     ``tier4`` optionally attaches a :func:`tier4_bench` result as a
     fourth-tier block (stored via :func:`tier4_payload`); ``fleet``
     likewise attaches a :func:`fleet_bench` result (via
-    :func:`fleet_payload`).  Entries without either block remain
-    valid — trajectory readers must treat ``tier4`` and ``fleet`` as
-    optional, and schema-1 entries (no ``schema`` field) as equivalent
-    to ``schema: 1``.
+    :func:`fleet_payload`); ``adaptive`` an :func:`adaptive_bench`
+    result (via :func:`adaptive_payload`).  Entries without these
+    blocks remain valid — trajectory readers must treat ``tier4``,
+    ``fleet`` and ``adaptive`` as optional, and schema-1 entries (no
+    ``schema`` field) as equivalent to ``schema: 1``.
     """
     payload = {
         "schema": BENCH_SCHEMA,
@@ -680,6 +858,8 @@ def bench_payload(
         payload["tier4"] = tier4_payload(tier4)
     if fleet is not None:
         payload["fleet"] = fleet_payload(fleet)
+    if adaptive is not None:
+        payload["adaptive"] = adaptive_payload(adaptive)
     return payload
 
 
@@ -760,6 +940,16 @@ _BENCH_CHECKS: tuple[tuple[str, str, str, Any], ...] = (
         lambda entry: (
             entry["fleet"].get("speedup_fleet_vs_scalar")
             if isinstance(entry.get("fleet"), dict)
+            else None
+        ),
+    ),
+    (
+        "adaptive",
+        "adaptive",
+        "goodput_ratio_adaptive_vs_static",
+        lambda entry: (
+            entry["adaptive"].get("goodput_ratio_adaptive_vs_static")
+            if isinstance(entry.get("adaptive"), dict)
             else None
         ),
     ),

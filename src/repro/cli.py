@@ -353,6 +353,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .bench import (
         TIERS,
+        adaptive_bench,
         bench_payload,
         fleet_bench,
         record_bench_trajectory,
@@ -461,7 +462,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         if args.fleet_aps > 0:
             _print_fleet_network_demo(args)
-    payload = bench_payload(result, tier4=t4, fleet=fl)
+    ad = None
+    if args.adaptive:
+        ad = adaptive_bench(
+            args.adaptive_units,
+            args.adaptive_rounds,
+            args.adaptive_windows,
+            seed=args.seed,
+        )
+        ad_table = Table(
+            f"adaptive FEC + scheduling: {ad['units']} deployment(s) x "
+            f"{ad['rounds']} rounds x {ad['windows_per_round']} windows, "
+            "bursty ON/OFF traffic",
+            [
+                "scheme",
+                "delivered bits",
+                "goodput (bps)",
+                "energy/bit (uJ)",
+            ],
+        )
+        for scheme in ("static", "adaptive"):
+            leg = ad["legs"][scheme]
+            ad_table.add_row(
+                [
+                    scheme,
+                    leg["delivered_bits"],
+                    leg["mean_goodput_bps"],
+                    leg["mean_energy_per_bit_uj"],
+                ]
+            )
+        print(ad_table.render())
+        print(
+            f"goodput adaptive/static: "
+            f"{ad['goodput_ratio_adaptive_vs_static']:.2f}x, "
+            f"energy-per-bit static/adaptive: "
+            f"{ad['energy_ratio_static_vs_adaptive']:.2f}x "
+            f"(adaptive wins {ad['adaptive_wins']}/{ad['units']} "
+            f"deployments; tier equivalence gate: "
+            f"{'passed' if ad['identical'] else 'FAILED'})"
+        )
+    payload = bench_payload(result, tier4=t4, fleet=fl, adaptive=ad)
     entry = record_bench_trajectory(args.trajectory, payload)
     print(f"recorded trajectory entry ({entry['recorded_at']}) in "
           f"{args.trajectory}")
@@ -551,6 +591,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 args.baselines,
             )
             print(f"updated fleet baseline in {args.baselines}")
+        if ad is not None:
+            update_baseline(
+                "adaptive",
+                {
+                    "recorded": entry["recorded_at"],
+                    "units": ad["units"],
+                    "rounds": ad["rounds"],
+                    "windows_per_round": ad["windows_per_round"],
+                    "seed": args.seed,
+                    "static_goodput_bps": ad["legs"]["static"][
+                        "mean_goodput_bps"
+                    ],
+                    "adaptive_goodput_bps": ad["legs"]["adaptive"][
+                        "mean_goodput_bps"
+                    ],
+                    "goodput_ratio_adaptive_vs_static": ad[
+                        "goodput_ratio_adaptive_vs_static"
+                    ],
+                    "energy_ratio_static_vs_adaptive": ad[
+                        "energy_ratio_static_vs_adaptive"
+                    ],
+                    "note": (
+                        "Reference numbers from `repro bench --adaptive "
+                        "--update-baseline`. Quality ratio, not a timing: "
+                        "adaptive goodput over static-paper goodput under "
+                        "bursty traffic, after the execution-tier "
+                        "equivalence gate. `repro bench check` fails when "
+                        "the measured ratio drops below threshold x this "
+                        "value; the deterministic seeds make the measured "
+                        "ratio reproducible."
+                    ),
+                },
+                args.baselines,
+            )
+            print(f"updated adaptive baseline in {args.baselines}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -1329,6 +1404,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="with --fleet, also run the multi-AP warehouse scenario "
         "with this many reader cells (diagnostic, not baselined)",
+    )
+    bench.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="also benchmark adaptive scheduling + FEC against the "
+        "static-paper scheme under bursty traffic (equivalence-gated)",
+    )
+    bench.add_argument(
+        "--adaptive-units",
+        type=int,
+        default=3,
+        help="independent deployments per adaptive leg",
+    )
+    bench.add_argument(
+        "--adaptive-rounds",
+        type=int,
+        default=6,
+        help="feedback rounds per adaptive unit",
+    )
+    bench.add_argument(
+        "--adaptive-windows",
+        type=int,
+        default=100,
+        help="transmission-opportunity windows per feedback round",
     )
     bench.add_argument(
         "--trajectory",

@@ -2,21 +2,33 @@
 
 Paper §4.1 closes with: "WiTAG requires a mechanism to detect and correct
 possible errors, which is a topic of future work."  This module implements
-that future work: three codes suited to a tag whose encoder must run on
+that future work: codes suited to a tag whose encoder must run on
 microwatts (encoding is table-lookup simple; the heavy decoding happens on
 the WiFi client):
 
 * **repetition-N** — trivial majority vote, robust, rate 1/N;
 * **Hamming(7,4)** — single-error-correcting, rate 4/7;
 * **block interleaving** — spreads burst errors (e.g. a missed trigger or
-  a fade spanning neighbouring subframes) across codewords.
+  a fade spanning neighbouring subframes) across codewords;
+* **Reed–Solomon over GF(256)** — byte-symbol block code correcting
+  ``nsym // 2`` symbol errors per block, the workhorse of GuardRider's
+  rate-adapted backscatter coding (arXiv 1912.06493);
+* **LT fountain code** — rateless XOR code (robust-soliton degrees)
+  whose decoder succeeds from *any* subset of received symbols whose
+  combination matrix has full rank — the FlexScatter-style adaptive
+  layer (arXiv 2412.08982).
 
 All codecs work on bit lists (the natural currency of block-ACK bitmaps).
+The adaptive redundancy ladder that picks among these at run time lives
+in :class:`repro.core.rate_control.RedundancyController`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
 
 from .errors import FecError
 
@@ -217,3 +229,532 @@ class InterleavedCode(Code):
         elif isinstance(self.inner, RepetitionCode):
             usable -= usable % self.inner.n
         return self.inner.decode(coded[:usable])
+
+
+# ---------------------------------------------------------------------------
+# GF(256) arithmetic (primitive polynomial 0x11d, generator alpha = 2)
+# ---------------------------------------------------------------------------
+
+
+def _build_gf_tables() -> tuple[list[int], list[int]]:
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= 0x11D
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    return exp, log
+
+
+_GF_EXP, _GF_LOG = _build_gf_tables()
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _GF_EXP[_GF_LOG[a] + _GF_LOG[b]]
+
+
+def _gf_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return _GF_EXP[(_GF_LOG[a] - _GF_LOG[b]) % 255]
+
+
+def _gf_pow(x: int, power: int) -> int:
+    return _GF_EXP[(_GF_LOG[x] * power) % 255]
+
+
+def _gf_inv(x: int) -> int:
+    return _GF_EXP[255 - _GF_LOG[x]]
+
+
+def _poly_scale(p: list[int], x: int) -> list[int]:
+    return [_gf_mul(c, x) for c in p]
+
+
+def _poly_add(p: list[int], q: list[int]) -> list[int]:
+    out = [0] * max(len(p), len(q))
+    for i, c in enumerate(p):
+        out[i + len(out) - len(p)] = c
+    for i, c in enumerate(q):
+        out[i + len(out) - len(q)] ^= c
+    return out
+
+
+def _poly_mul(p: list[int], q: list[int]) -> list[int]:
+    out = [0] * (len(p) + len(q) - 1)
+    for i, pc in enumerate(p):
+        if pc:
+            for j, qc in enumerate(q):
+                out[i + j] ^= _gf_mul(pc, qc)
+    return out
+
+
+def _poly_eval(p: list[int], x: int) -> int:
+    y = p[0]
+    for c in p[1:]:
+        y = _gf_mul(y, x) ^ c
+    return y
+
+
+def _rs_generator_poly(nsym: int) -> list[int]:
+    g = [1]
+    for i in range(nsym):
+        g = _poly_mul(g, [1, _gf_pow(2, i)])
+    return g
+
+
+def _rs_encode_block(data: list[int], gen: list[int]) -> list[int]:
+    """Systematic RS encode: data followed by the division remainder."""
+    res = list(data) + [0] * (len(gen) - 1)
+    for i in range(len(data)):
+        coef = res[i]
+        if coef:
+            for j in range(1, len(gen)):
+                res[i + j] ^= _gf_mul(gen[j], coef)
+    return list(data) + res[len(data) :]
+
+
+def _rs_error_locator(synd: list[int], nsym: int) -> list[int]:
+    """Berlekamp–Massey: the error-locator polynomial from syndromes."""
+    err_loc = [1]
+    old_loc = [1]
+    for i in range(nsym):
+        old_loc.append(0)
+        delta = synd[i]
+        for j in range(1, len(err_loc)):
+            delta ^= _gf_mul(err_loc[-(j + 1)], synd[i - j])
+        if delta:
+            if len(old_loc) > len(err_loc):
+                new_loc = _poly_scale(old_loc, delta)
+                old_loc = _poly_scale(err_loc, _gf_inv(delta))
+                err_loc = new_loc
+            err_loc = _poly_add(err_loc, _poly_scale(old_loc, delta))
+    while err_loc and err_loc[0] == 0:
+        err_loc = err_loc[1:]
+    return err_loc
+
+
+def _rs_correct_block(block: list[int], nsym: int) -> tuple[list[int], bool]:
+    """Correct up to ``nsym // 2`` symbol errors; (corrected, ok).
+
+    On an uncorrectable block the input is returned unchanged with
+    ``ok=False`` (best effort — the systematic data symbols are still
+    the decoder's least-bad guess).
+    """
+    synd = [_poly_eval(block, _gf_pow(2, i)) for i in range(nsym)]
+    if max(synd) == 0:
+        return block, True
+    err_loc = _rs_error_locator(synd, nsym)
+    n_errors = len(err_loc) - 1
+    if n_errors * 2 > nsym:
+        return block, False
+    # Chien search: roots of the (reversed) locator give positions.
+    n = len(block)
+    positions = [
+        n - 1 - i
+        for i in range(n)
+        if _poly_eval(err_loc[::-1], _gf_pow(2, i)) == 0
+    ]
+    if len(positions) != n_errors:
+        return block, False
+    # Forney: error magnitudes at the located positions.
+    coef_pos = [n - 1 - p for p in positions]
+    errata_loc = [1]
+    for p in coef_pos:
+        errata_loc = _poly_mul(errata_loc, _poly_add([1], [_gf_pow(2, p), 0]))
+    # The syndrome polynomial carries a constant-term 0 pad (syndromes
+    # are the coefficients of x^1..x^nsym): reversed, the pad trails.
+    err_eval = _poly_mul(synd[::-1] + [0], errata_loc)
+    err_eval = err_eval[len(err_eval) - len(errata_loc) :]
+    xs = [_gf_pow(2, -(255 - p)) for p in coef_pos]
+    corrected = list(block)
+    for i, xi in enumerate(xs):
+        xi_inv = _gf_inv(xi)
+        loc_prime = 1
+        for j, xj in enumerate(xs):
+            if j != i:
+                loc_prime = _gf_mul(loc_prime, 1 ^ _gf_mul(xi_inv, xj))
+        if loc_prime == 0:
+            return block, False
+        y = _gf_mul(xi, _poly_eval(err_eval, xi_inv))
+        corrected[positions[i]] ^= _gf_div(y, loc_prime)
+    if any(
+        _poly_eval(corrected, _gf_pow(2, i)) for i in range(nsym)
+    ):  # pragma: no cover - defensive
+        return block, False
+    return corrected, True
+
+
+def _bits_to_bytes(bits: Bits) -> list[int]:
+    out = []
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return out
+
+
+def _bytes_to_bits(values: list[int]) -> Bits:
+    out: Bits = []
+    for byte in values:
+        out.extend((byte >> shift) & 1 for shift in range(7, -1, -1))
+    return out
+
+
+@dataclass(frozen=True)
+class ReedSolomonCode(Code):
+    """Reed–Solomon over GF(256): ``k`` data + ``nsym`` parity bytes.
+
+    Corrects any ``nsym // 2`` corrupted *bytes* per block — burst
+    friendly, since a byte absorbs up to 8 neighbouring bit errors.
+    Data lengths must be multiples of ``8 * k`` bits; coded blocks are
+    ``8 * (k + nsym)`` bits.  Uncorrectable blocks decode best-effort
+    (the systematic data bytes pass through) and are flagged by
+    :meth:`decode_blocks` — the feedback signal the adaptive
+    redundancy controller consumes.
+    """
+
+    k: int = 16
+    nsym: int = 8
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise FecError(f"k must be >= 1, got {self.k}")
+        if self.nsym < 2:
+            raise FecError(f"nsym must be >= 2, got {self.nsym}")
+        if self.k + self.nsym > 255:
+            raise FecError(
+                f"block length {self.k + self.nsym} exceeds GF(256) limit 255"
+            )
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return self.k / (self.k + self.nsym)
+
+    @property
+    def correctable_symbols(self) -> int:
+        """Guaranteed-correctable byte errors per block."""
+        return self.nsym // 2
+
+    @cached_property
+    def _generator(self) -> list[int]:
+        return _rs_generator_poly(self.nsym)
+
+    def encode(self, bits: Bits) -> Bits:
+        _check_bits(bits)
+        if len(bits) % (8 * self.k):
+            raise FecError(
+                f"data length {len(bits)} not a multiple of {8 * self.k}"
+            )
+        data = _bits_to_bytes(bits)
+        out: list[int] = []
+        for i in range(0, len(data), self.k):
+            out.extend(
+                _rs_encode_block(data[i : i + self.k], self._generator)
+            )
+        return _bytes_to_bits(out)
+
+    def decode(self, bits: Bits) -> Bits:
+        decoded, _ = self.decode_blocks(bits)
+        return decoded
+
+    def decode_blocks(self, bits: Bits) -> tuple[Bits, list[bool]]:
+        """Decode; returns (data bits, per-block corrected-OK flags)."""
+        _check_bits(bits)
+        n = self.k + self.nsym
+        if len(bits) % (8 * n):
+            raise FecError(
+                f"coded length {len(bits)} not a multiple of {8 * n}"
+            )
+        coded = _bits_to_bytes(bits)
+        data: list[int] = []
+        flags: list[bool] = []
+        for i in range(0, len(coded), n):
+            corrected, ok = _rs_correct_block(coded[i : i + n], self.nsym)
+            data.extend(corrected[: self.k])
+            flags.append(ok)
+        return _bytes_to_bits(data), flags
+
+
+# ---------------------------------------------------------------------------
+# LT fountain code
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LtCode(Code):
+    """LT fountain code: rateless XOR combinations of message symbols.
+
+    The message is ``k`` symbols of ``symbol_bits`` bits; each encoded
+    symbol XORs a pseudo-random neighbour set whose size follows the
+    robust-soliton distribution.  Neighbour sets derive deterministically
+    from ``seed`` and the symbol index, so encoder and decoder agree
+    without side information, and *any* subset of received symbols whose
+    combination matrix reaches rank ``k`` decodes exactly (the decoder
+    runs GF(2) Gaussian elimination, so sufficiency is rank, not
+    peeling luck).
+
+    On the bit interface each encoded symbol carries one even-parity
+    bit; symbols failing parity on decode are treated as erasures and
+    dropped before elimination — this is how a fountain code built for
+    erasure channels survives WiTAG's bit-flip channel.
+    """
+
+    k: int = 32
+    symbol_bits: int = 8
+    overhead: float = 0.5
+    seed: int = 0
+    soliton_c: float = 0.1
+    soliton_delta: float = 0.5
+    parity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise FecError(f"k must be >= 2, got {self.k}")
+        if self.symbol_bits < 1:
+            raise FecError(
+                f"symbol_bits must be >= 1, got {self.symbol_bits}"
+            )
+        if self.overhead < 0.0:
+            raise FecError(f"overhead must be >= 0, got {self.overhead}")
+        if self.soliton_c <= 0.0 or not 0.0 < self.soliton_delta < 1.0:
+            raise FecError("need soliton_c > 0 and soliton_delta in (0, 1)")
+
+    @property
+    def n_symbols(self) -> int:
+        """Encoded symbols emitted per generation."""
+        return self.k + max(1, int(np.ceil(self.k * self.overhead)))
+
+    @property
+    def _unit_bits(self) -> int:
+        return self.symbol_bits + (1 if self.parity else 0)
+
+    @property
+    def rate(self) -> float:  # type: ignore[override]
+        return (self.k * self.symbol_bits) / (
+            self.n_symbols * self._unit_bits
+        )
+
+    @cached_property
+    def _degree_cdf(self) -> np.ndarray:
+        """Robust-soliton degree CDF over degrees 1..k."""
+        k = self.k
+        rho = np.zeros(k + 1)
+        rho[1] = 1.0 / k
+        for d in range(2, k + 1):
+            rho[d] = 1.0 / (d * (d - 1))
+        big_r = self.soliton_c * np.log(k / self.soliton_delta) * np.sqrt(k)
+        tau = np.zeros(k + 1)
+        spike = max(1, min(k, int(round(k / max(big_r, 1.0)))))
+        for d in range(1, spike):
+            tau[d] = big_r / (d * k)
+        tau[spike] = big_r * np.log(big_r / self.soliton_delta) / k
+        tau = np.maximum(tau, 0.0)
+        pmf = rho + tau
+        pmf /= pmf.sum()
+        return np.cumsum(pmf[1:])
+
+    def neighbours(self, index: int) -> tuple[int, ...]:
+        """The message-symbol indices XORed into encoded symbol ``index``.
+
+        A pure function of ``(seed, index)`` — the shared randomness
+        contract between encoder and decoder.
+        """
+        if index < 0:
+            raise FecError(f"symbol index must be >= 0, got {index}")
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(index,))
+        )
+        cdf = self._degree_cdf
+        degree = int(np.searchsorted(cdf, rng.random(), side="right")) + 1
+        degree = min(degree, self.k)
+        chosen = rng.choice(self.k, size=degree, replace=False)
+        return tuple(int(i) for i in chosen)
+
+    # -- symbol-level API (the rateless face) --------------------------
+
+    def encode_symbols(
+        self, message_bits: Bits, indices: "list[int] | None" = None
+    ) -> list[int]:
+        """Encode one generation into integer symbol values.
+
+        Args:
+            message_bits: exactly ``k * symbol_bits`` bits.
+            indices: which encoded symbols to produce (default
+                ``range(n_symbols)``); being rateless, any index is
+                valid — ask for more symbols to add redundancy.
+        """
+        _check_bits(message_bits)
+        if len(message_bits) != self.k * self.symbol_bits:
+            raise FecError(
+                f"message must be {self.k * self.symbol_bits} bits, "
+                f"got {len(message_bits)}"
+            )
+        symbols = [
+            int(
+                "".join(
+                    str(b)
+                    for b in message_bits[
+                        i * self.symbol_bits : (i + 1) * self.symbol_bits
+                    ]
+                ),
+                2,
+            )
+            for i in range(self.k)
+        ]
+        if indices is None:
+            indices = list(range(self.n_symbols))
+        out = []
+        for index in indices:
+            value = 0
+            for neighbour in self.neighbours(index):
+                value ^= symbols[neighbour]
+            out.append(value)
+        return out
+
+    def decode_symbols(
+        self, received: dict[int, int]
+    ) -> tuple[Bits, bool]:
+        """Decode one generation from any subset of received symbols.
+
+        Args:
+            received: encoded-symbol index -> integer value.
+
+        Returns:
+            ``(message_bits, ok)``; ``ok`` is True iff the subset's
+            combination matrix reached rank ``k`` (unresolved message
+            symbols decode as zeros).
+        """
+        rows: list[tuple[int, int]] = []  # (neighbour mask, value)
+        for index in sorted(received):
+            mask = 0
+            for neighbour in self.neighbours(index):
+                mask |= 1 << neighbour
+            rows.append((mask, int(received[index])))
+        # GF(2) Gaussian elimination over bitmask rows.
+        pivots: dict[int, tuple[int, int]] = {}
+        for mask, value in rows:
+            while mask:
+                col = mask.bit_length() - 1
+                if col not in pivots:
+                    pivots[col] = (mask, value)
+                    break
+                p_mask, p_value = pivots[col]
+                mask ^= p_mask
+                value ^= p_value
+        ok = len(pivots) == self.k
+        symbols = [0] * self.k
+        # Ascending column order: a pivot row's non-pivot bits all sit
+        # below its pivot, so lower symbols are already resolved.
+        for col in sorted(pivots):
+            mask, value = pivots[col]
+            rest = mask & ~(1 << col)
+            while rest:
+                other = rest.bit_length() - 1
+                value ^= symbols[other]
+                rest &= ~(1 << other)
+            symbols[col] = value
+        bits: Bits = []
+        for value in symbols:
+            bits.extend(
+                (value >> shift) & 1
+                for shift in range(self.symbol_bits - 1, -1, -1)
+            )
+        return bits, ok
+
+    # -- bit-level Code interface --------------------------------------
+
+    def encode(self, bits: Bits) -> Bits:
+        """Encode generations of ``k * symbol_bits`` bits each."""
+        _check_bits(bits)
+        gen_bits = self.k * self.symbol_bits
+        if len(bits) % gen_bits:
+            raise FecError(
+                f"data length {len(bits)} not a multiple of {gen_bits}"
+            )
+        out: Bits = []
+        for start in range(0, len(bits), gen_bits):
+            values = self.encode_symbols(bits[start : start + gen_bits])
+            for value in values:
+                symbol_bits = [
+                    (value >> shift) & 1
+                    for shift in range(self.symbol_bits - 1, -1, -1)
+                ]
+                out.extend(symbol_bits)
+                if self.parity:
+                    out.append(sum(symbol_bits) & 1)
+        return out
+
+    def decode(self, bits: Bits) -> Bits:
+        decoded, _ = self.decode_blocks(bits)
+        return decoded
+
+    def decode_blocks(self, bits: Bits) -> tuple[Bits, list[bool]]:
+        """Decode; returns (message bits, per-generation OK flags).
+
+        Symbols whose parity check fails are treated as erasures;
+        the generation still decodes if the surviving symbols span
+        all ``k`` message symbols.
+        """
+        _check_bits(bits)
+        unit = self._unit_bits
+        gen_coded = self.n_symbols * unit
+        if len(bits) % gen_coded:
+            raise FecError(
+                f"coded length {len(bits)} not a multiple of {gen_coded}"
+            )
+        out: Bits = []
+        flags: list[bool] = []
+        for start in range(0, len(bits), gen_coded):
+            received: dict[int, int] = {}
+            for index in range(self.n_symbols):
+                chunk = bits[
+                    start + index * unit : start + (index + 1) * unit
+                ]
+                symbol_bits = chunk[: self.symbol_bits]
+                if self.parity and (sum(symbol_bits) & 1) != chunk[-1]:
+                    continue  # parity failure -> erasure
+                received[index] = int(
+                    "".join(str(b) for b in symbol_bits), 2
+                )
+            decoded, ok = self.decode_symbols(received)
+            out.extend(decoded)
+            flags.append(ok)
+        return out, flags
+
+
+#: Factories for codes addressable by name (CLI / bench configuration).
+_CODE_FACTORIES = {
+    "none": NoCode,
+    "repetition": RepetitionCode,
+    "hamming": HammingCode,
+    "rs": ReedSolomonCode,
+    "lt": LtCode,
+}
+
+
+def make_code(name: str, **kwargs) -> Code:
+    """Build a codec by registry name (``none``/``repetition``/
+    ``hamming``/``rs``/``lt``), forwarding keyword parameters.
+
+    Raises:
+        FecError: for an unknown name.
+    """
+    try:
+        factory = _CODE_FACTORIES[name]
+    except KeyError:
+        raise FecError(
+            f"unknown code {name!r}; choose from "
+            f"{sorted(_CODE_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -46,6 +46,13 @@ class QueryRateController:
     _downgrades: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
+        if not 0 <= self.max_index <= 31:
+            # ht_mcs accepts 0-31 (index // 8 = extra spatial streams);
+            # a larger ceiling would let a probe walk into ht_mcs's
+            # ValueError mid-session instead of failing here.
+            raise ValueError(
+                f"max_index must be 0-31, got {self.max_index}"
+            )
         if not 0 <= self.mcs_index <= self.max_index:
             raise ValueError(
                 f"mcs_index must be 0-{self.max_index}, got {self.mcs_index}"
@@ -145,7 +152,16 @@ class AdaptiveSession:
     controller: QueryRateController = field(default_factory=QueryRateController)
 
     def __post_init__(self) -> None:
-        self.controller.mcs_index = self.system.config.mcs.index
+        index = self.system.config.mcs.index
+        if not 0 <= index <= self.controller.max_index:
+            # Assigning the field directly would bypass the
+            # controller's own range validation and plant an index its
+            # probe logic can never climb back from.
+            raise ValueError(
+                f"system MCS index {index} outside controller range "
+                f"0-{self.controller.max_index}"
+            )
+        self.controller.mcs_index = index
         self.rate_changes: list[tuple[int, int]] = []
 
     def _apply_mcs(self, index: int) -> None:
@@ -198,3 +214,96 @@ class AdaptiveSession:
                 self.rate_changes.append((cycle, after))
                 self._apply_mcs(after)
         return results
+
+
+@dataclass
+class RedundancyController:
+    """AIMD redundancy ladder for adaptive FEC (GuardRider-style).
+
+    The FEC twin of :class:`QueryRateController`: where that controller
+    walks the query MCS against benign channel losses, this one walks
+    the tag's coding redundancy against observed *block corruption* —
+    the fraction of FEC blocks the decoder could not correct in a
+    feedback round.  Corruption above ``increase_threshold`` steps one
+    rung up the ladder (more parity, lower rate) immediately;
+    ``decrease_after_clean`` consecutive clean rounds ease one rung
+    down (additive-increase-in-rate, multiplicative-ish-decrease in
+    exposure — the same hysteresis shape as the MCS controller, so an
+    oscillating channel parks at the protective rung instead of
+    flapping).
+
+    Attributes:
+        levels: redundancy rungs, weakest first — e.g. Reed-Solomon
+            parity-symbol counts ``(2, 4, 8, 16)``.
+        index: current rung.
+        increase_threshold: block-corruption rate that forces a step up.
+        decrease_after_clean: clean rounds before easing one rung down.
+    """
+
+    levels: tuple = (2, 4, 8, 16)
+    index: int = 0
+    increase_threshold: float = 0.1
+    decrease_after_clean: int = 8
+    _clean_streak: int = field(default=0, repr=False)
+    _observations: int = field(default=0, repr=False)
+    _increases: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.levels = tuple(self.levels)
+        if not self.levels:
+            raise ValueError("need at least one redundancy level")
+        if list(self.levels) != sorted(set(self.levels)):
+            raise ValueError("levels must be strictly increasing")
+        if not 0 <= self.index < len(self.levels):
+            raise ValueError(
+                f"index must be 0-{len(self.levels) - 1}, got {self.index}"
+            )
+        if not 0.0 <= self.increase_threshold < 1.0:
+            raise ValueError("increase threshold must be in [0, 1)")
+        if self.decrease_after_clean < 1:
+            raise ValueError("decrease_after_clean must be >= 1")
+
+    @property
+    def level(self):
+        """The current redundancy rung's value."""
+        return self.levels[self.index]
+
+    @property
+    def observations(self) -> int:
+        """Feedback rounds processed."""
+        return self._observations
+
+    @property
+    def increases(self) -> int:
+        """Redundancy step-ups taken so far."""
+        return self._increases
+
+    def observe_corruption(self, corrupted: int, total: int) -> int:
+        """Feed one round's block-corruption counts; returns the index.
+
+        Args:
+            corrupted: FEC blocks the decoder flagged uncorrectable.
+            total: blocks decoded this round.
+
+        Raises:
+            ValueError: for inconsistent counts.
+        """
+        if total < 0 or corrupted < 0 or corrupted > total:
+            raise ValueError(
+                f"invalid counts corrupted={corrupted} total={total}"
+            )
+        if total == 0:
+            return self.index
+        self._observations += 1
+        corruption = corrupted / total
+        if corruption > self.increase_threshold:
+            if self.index < len(self.levels) - 1:
+                self.index += 1
+                self._increases += 1
+            self._clean_streak = 0
+        else:
+            self._clean_streak += 1
+            if self._clean_streak >= self.decrease_after_clean and self.index:
+                self.index -= 1
+                self._clean_streak = 0
+        return self.index

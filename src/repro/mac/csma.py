@@ -100,23 +100,60 @@ class ContentionModel:
         if not 0.0 <= self.contender_activity <= 1.0:
             raise ValueError("activity must be in [0, 1]")
         self._station = DcfStation(self.params)
+        #: FIFO of per-attempt activity overrides (see push_activity).
+        self._activity_queue: list[float] = []
+
+    def push_activity(self, activity: float) -> None:
+        """Queue a one-shot activity override for the next access draw.
+
+        Dynamic-traffic drivers (:mod:`repro.traffic`) model a channel
+        whose load changes between transmission opportunities: before
+        each query they push the upcoming window's busy fraction, and
+        the next :meth:`sample_access_delay_s` call consumes it instead
+        of the static :attr:`contender_activity`.  Overrides drain in
+        FIFO order, so a batch engine that pre-draws a whole chunk of
+        access delays sees exactly the per-query activities the scalar
+        loop would — the queue is what keeps dynamic contention inside
+        the bitwise tier-equivalence contract.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        self._activity_queue.append(float(activity))
+
+    def _next_activity(self) -> float:
+        if self._activity_queue:
+            return self._activity_queue.pop(0)
+        return self.contender_activity
 
     def sample_access_delay_s(self) -> float:
         """Draw one channel-access delay for a transmission attempt."""
+        activity = self._next_activity()
         slots = self._station.draw_backoff_slots(self.rng)
         delay = self.params.difs_s + slots * self.params.slot_s
-        if self.n_contenders and self.contender_activity > 0.0:
+        if self.n_contenders and activity > 0.0:
             # Each countdown slot may be interrupted by a busy contender.
-            p_busy = 1.0 - (1.0 - self.contender_activity) ** self.n_contenders
+            p_busy = 1.0 - (1.0 - activity) ** self.n_contenders
             interruptions = self.rng.binomial(max(slots, 1), min(p_busy, 1.0))
             delay += interruptions * self.contender_busy_s
         return delay
 
-    def mean_access_delay_s(self) -> float:
-        """Expected access delay (analytic, no sampling)."""
+    def mean_access_delay_s(self, activity: float | None = None) -> float:
+        """Expected access delay (analytic, no sampling).
+
+        Args:
+            activity: evaluate at this busy fraction instead of the
+                model's static :attr:`contender_activity` (the dynamic
+                traffic layer uses this for its monotonicity contract:
+                the expectation is nondecreasing in both ``activity``
+                and ``n_contenders``).
+        """
+        if activity is None:
+            activity = self.contender_activity
+        elif not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
         mean_slots = self._station.contention_window() / 2.0
         delay = self.params.difs_s + mean_slots * self.params.slot_s
-        if self.n_contenders and self.contender_activity > 0.0:
-            p_busy = 1.0 - (1.0 - self.contender_activity) ** self.n_contenders
+        if self.n_contenders and activity > 0.0:
+            p_busy = 1.0 - (1.0 - activity) ** self.n_contenders
             delay += mean_slots * p_busy * self.contender_busy_s
         return delay

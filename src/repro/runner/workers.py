@@ -21,8 +21,10 @@ from ..sim.scenario import los_scenario, nlos_scenario
 from .engine import UnitContext
 
 __all__ = [
+    "AdaptiveLinkSpec",
     "FleetSpec",
     "SessionSpec",
+    "adaptive_link_stats",
     "fleet_poll_stats",
     "los_ber_point",
     "nlos_session_stats",
@@ -320,6 +322,162 @@ def fleet_poll_stats(
         "responded": responded,
         "bits_sent": bits_sent,
         "bit_errors": bit_errors,
+    }
+
+
+@dataclass(frozen=True)
+class AdaptiveLinkSpec:
+    """Picklable adaptive-FEC-link description for pool workers.
+
+    The traffic-aware analogue of :class:`SessionSpec`: calling it with
+    a :class:`UnitContext` builds a complete
+    :class:`repro.traffic.AdaptiveFecLink` — LOS scenario, bursty
+    ON/OFF ambient traffic, predictive opportunity scheduler, energy
+    simulator and redundancy controller — entirely from the context's
+    substreams, so a sweep of adaptive links is bit-identical between
+    serial and process-pool execution and between the scalar and batch
+    session engines (the adaptive bench's equivalence gate pins this).
+
+    With ``adaptive=False`` the same machinery runs the static-paper
+    baseline: the scheduler rides every window
+    (``ride_threshold=1.0``) and the controller is a single fixed rung
+    (``static_nsym`` parity symbols), so the two legs differ only in
+    policy.
+
+    Attributes:
+        adaptive: traffic-aware scheduling + feedback-driven redundancy
+            (True) or the ride-everything fixed-redundancy baseline.
+        distance_m: LOS tag-from-client distance.
+        n_contenders: contending CSMA stations in the scenario.
+        rate_fps: ambient frame rate during traffic bursts.
+        mean_on_s / mean_off_s: mean ON/OFF sojourn durations.
+        window_s: transmission-opportunity window duration.
+        ride_threshold: forecast busy fraction at or below which the
+            scheduler rides (adaptive leg).
+        block_k: Reed-Solomon data bytes per FEC block.
+        levels: redundancy ladder (RS parity counts) for the adaptive
+            controller.
+        static_nsym: the static leg's fixed parity count.
+        increase_threshold: block corruption that steps the ladder up.
+            The default sits *above* the erasure floor from unavoidable
+            burst-onset mispredictions (exponential OFF sojourns are
+            memoryless, so onsets cannot be forecast causally) — extra
+            parity cannot fix a window destroyed by collisions, so the
+            controller must not chase that corruption.
+        decrease_after_clean: clean rounds before easing a rung down.
+        session_fast_path: batched session engine flag.
+    """
+
+    adaptive: bool = True
+    distance_m: float = 2.0
+    n_contenders: int = 4
+    rate_fps: float = 600.0
+    mean_on_s: float = 0.30
+    mean_off_s: float = 0.45
+    window_s: float = 0.02
+    ride_threshold: float = 0.35
+    block_k: int = 8
+    levels: tuple[int, ...] = (2, 4, 8, 16)
+    static_nsym: int = 8
+    increase_threshold: float = 0.25
+    decrease_after_clean: int = 2
+    session_fast_path: bool = True
+
+    def __call__(self, ctx: UnitContext) -> Any:
+        from ..core.rate_control import RedundancyController
+        from ..tag.energy import EnergySimulator
+        from ..traffic import (
+            AdaptiveFecLink,
+            HoltPredictor,
+            OnOffTraffic,
+            OpportunityScheduler,
+            ScheduledSession,
+        )
+
+        system, _info = los_scenario(
+            float(ctx.parameters.get("distance_m", self.distance_m)),
+            seed=ctx.seed,
+            n_contenders=self.n_contenders,
+        )
+        # The equivalence gate flips session_fast_path; exact coding
+        # makes the batch engine bitwise-match the scalar loop.
+        system.phy_exact_coding = True
+        session = MeasurementSession(
+            system,
+            rng=ctx.rng(1),
+            session_fast_path=self.session_fast_path,
+        )
+        traffic = OnOffTraffic(
+            rate_fps=self.rate_fps,
+            mean_on_s=self.mean_on_s,
+            mean_off_s=self.mean_off_s,
+            rng=ctx.rng(3),
+        )
+        if self.adaptive:
+            scheduler = OpportunityScheduler(
+                predictor=HoltPredictor(),
+                ride_threshold=self.ride_threshold,
+            )
+            controller = RedundancyController(
+                levels=self.levels,
+                increase_threshold=self.increase_threshold,
+                decrease_after_clean=self.decrease_after_clean,
+            )
+        else:
+            scheduler = OpportunityScheduler(
+                predictor=HoltPredictor(), ride_threshold=1.0
+            )
+            controller = RedundancyController(levels=(self.static_nsym,))
+        scheduled = ScheduledSession(
+            session,
+            traffic,
+            scheduler=scheduler,
+            window_s=self.window_s,
+            interference_rng=ctx.rng(4),
+            energy=EnergySimulator(),
+        )
+        return AdaptiveFecLink(
+            scheduled,
+            controller=controller,
+            block_k=self.block_k,
+            message_rng=ctx.rng(5),
+            adaptive=self.adaptive,
+        )
+
+
+def adaptive_link_stats(
+    ctx: UnitContext,
+    *,
+    spec: AdaptiveLinkSpec | None = None,
+    rounds: int = 6,
+    windows_per_round: int = 100,
+) -> dict[str, Any]:
+    """One adaptive-link workload: ``rounds`` feedback rounds per unit.
+
+    Builds the unit's link from ``spec`` (default
+    :class:`AdaptiveLinkSpec`), runs it, and returns JSON-safe
+    aggregates — including the per-round redundancy-rung trajectory and
+    ride/skip decision digest the equivalence gate compares across
+    execution tiers.
+    """
+    link = (spec or AdaptiveLinkSpec())(ctx)
+    report = link.run(rounds, windows_per_round)
+    decisions = link.scheduled.decisions
+    return {
+        "index": ctx.index,
+        "seed": ctx.seed,
+        "adaptive": link.adaptive,
+        "windows": len(decisions),
+        "rides": sum(1 for d in decisions if d.ride),
+        "decision_bits": "".join("1" if d.ride else "0" for d in decisions),
+        "rungs": [r.nsym for r in report.rounds],
+        "message_bits": report.message_bits,
+        "delivered_bits": report.delivered_bits,
+        "block_error_rate": report.block_error_rate,
+        "goodput_bps": report.goodput_bps,
+        "elapsed_s": report.elapsed_s,
+        "energy_j": report.energy_j,
+        "energy_per_bit_uj": report.energy_per_bit_uj,
     }
 
 

@@ -75,11 +75,41 @@ class EnergySimulator:
         if self.sleep_power_uw < 0:
             raise ValueError("sleep power cannot be negative")
         self._energy_j = self.capacitor.usable_energy_j
+        self._consumed_j = 0.0
+        self._harvested_j = 0.0
+        self._active_s = 0.0
+        self._slept_s = 0.0
 
     @property
     def energy_j(self) -> float:
         """Usable energy currently stored (0 = brown-out)."""
         return self._energy_j
+
+    @property
+    def consumed_j(self) -> float:
+        """Cumulative energy drawn by the tag (active + sleep).
+
+        The numerator of energy-per-delivered-bit comparisons: unlike
+        :attr:`energy_j` it is monotone and unaffected by the
+        capacitor's charge ceiling, so two schedules can be compared
+        on spend even when both stay fully charged.
+        """
+        return self._consumed_j
+
+    @property
+    def harvested_j(self) -> float:
+        """Cumulative energy harvested from RF input."""
+        return self._harvested_j
+
+    @property
+    def active_s(self) -> float:
+        """Cumulative time spent in the active (full-budget) state."""
+        return self._active_s
+
+    @property
+    def slept_s(self) -> float:
+        """Cumulative time spent asleep."""
+        return self._slept_s
 
     @property
     def alive(self) -> bool:
@@ -102,6 +132,12 @@ class EnergySimulator:
         harvest_w = 0.0
         if rf_dbm is not None:
             harvest_w = self.harvester.harvested_uw(rf_dbm) * 1e-6
+        self._consumed_j += draw_w * dt_s
+        self._harvested_j += harvest_w * dt_s
+        if active:
+            self._active_s += dt_s
+        else:
+            self._slept_s += dt_s
         delta = (harvest_w - draw_w) * dt_s
         self._energy_j = min(
             self.capacitor.usable_energy_j, max(0.0, self._energy_j + delta)

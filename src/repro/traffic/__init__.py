@@ -1,0 +1,41 @@
+"""Ambient-traffic modelling and predictive opportunity scheduling.
+
+The dynamic-load layer of the simulator (ROADMAP: "Traffic-aware
+scheduling and adaptive/rateless FEC"): models of the ambient WiFi
+load a WiTAG tag piggybacks on (:mod:`repro.traffic.models`), and the
+predictive scheduler that decides which transmission opportunities the
+tag rides versus sleeps through (:mod:`repro.traffic.scheduler`).
+See ``docs/adaptive.md`` for the end-to-end tour.
+"""
+
+from .adaptive import AdaptiveFecLink, LinkReport, RoundReport
+from .models import (
+    MarkovTraffic,
+    OnOffTraffic,
+    TraceReplayTraffic,
+    TrafficModel,
+)
+from .scheduler import (
+    EwmaPredictor,
+    HoltPredictor,
+    OpportunityScheduler,
+    ScheduledFleetPoller,
+    ScheduledSession,
+    WindowDecision,
+)
+
+__all__ = [
+    "AdaptiveFecLink",
+    "EwmaPredictor",
+    "HoltPredictor",
+    "LinkReport",
+    "MarkovTraffic",
+    "OnOffTraffic",
+    "OpportunityScheduler",
+    "RoundReport",
+    "ScheduledFleetPoller",
+    "ScheduledSession",
+    "TraceReplayTraffic",
+    "TrafficModel",
+    "WindowDecision",
+]

@@ -122,7 +122,7 @@ def test_tier4_bench_smoke_identical_and_fast_path_shm(tmp_path):
     payload = tier4_payload(result)
     assert json.loads(json.dumps(payload)) == payload
     assert "digests" not in str(payload)
-    assert BENCH_SCHEMA == 3
+    assert BENCH_SCHEMA == 4
 
 
 @pytest.mark.bench_smoke
@@ -237,6 +237,79 @@ def test_cli_bench_fleet_smoke_records_baseline(tmp_path, capsys):
     assert entry["speedup_fleet_vs_scalar"] > 0.0
     history = json.loads(trajectory.read_text())
     assert history[-1]["fleet"]["n_tags"] == 8
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.adaptive
+def test_adaptive_bench_smoke_gates_and_reports():
+    """The adaptive bench's machinery at toy scale: the execution-tier
+    equivalence gate must pass, both policy legs must report, and the
+    payload must be JSON-clean.  No quality assertion here — at this
+    scale the adaptive scheme has no room to win; the pinned ratio is
+    gated in ``repro bench check`` and benchmarks/."""
+    from repro.bench import adaptive_bench, adaptive_payload
+
+    result = adaptive_bench(
+        1, 2, 40, n_workers=1, equivalence_rounds=1, equivalence_windows=25
+    )
+    assert result["identical"] is True
+    assert set(result["gate_digests"]) == {
+        "serial-scalar",
+        "serial-batch",
+        "process-batch",
+    }
+    assert set(result["legs"]) == {"static", "adaptive"}
+    for leg in result["legs"].values():
+        assert leg["wall_s"] > 0.0
+        assert leg["delivered_bits"] >= 0
+        assert leg["mean_goodput_bps"] >= 0.0
+    assert result["goodput_ratio_adaptive_vs_static"] >= 0.0
+
+    payload = adaptive_payload(result)
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["identical"] is True
+    assert "gate_digests" not in payload and "units" not in str(
+        payload["legs"]
+    )
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.adaptive
+def test_cli_bench_adaptive_smoke_records_baseline(tmp_path, capsys):
+    from repro.cli import main
+
+    trajectory = tmp_path / "BENCH_session_batch.json"
+    baselines = tmp_path / "baselines.json"
+    code = main(
+        [
+            "bench",
+            "--queries",
+            "2",
+            "--repeats",
+            "1",
+            "--adaptive",
+            "--adaptive-units",
+            "1",
+            "--adaptive-rounds",
+            "2",
+            "--adaptive-windows",
+            "40",
+            "--trajectory",
+            str(trajectory),
+            "--update-baseline",
+            "--baselines",
+            str(baselines),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+    entry = load_baseline("adaptive", str(baselines))
+    assert entry is not None
+    assert entry["units"] == 1
+    assert entry["goodput_ratio_adaptive_vs_static"] > 0.0
+    history = json.loads(trajectory.read_text())
+    assert history[-1]["adaptive"]["units"] == 1
 
 
 @pytest.mark.bench_smoke

@@ -1,0 +1,305 @@
+"""Property-based hardening of ``repro.core.fec`` (hypothesis).
+
+ISSUE 10 satellite 1: encode -> corrupt -> decode round-trips under
+each code's guaranteed correction budget, interleaver permutation
+invariants, and the rateless sufficiency property (any rank-``k``
+symbol subset decodes the exact message).  Randomised by hypothesis,
+shrunk on failure — these pin the *contracts* the adaptive FEC layer
+builds on, not specific vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FecError
+from repro.core.fec import (
+    BlockInterleaver,
+    HammingCode,
+    InterleavedCode,
+    LtCode,
+    NoCode,
+    ReedSolomonCode,
+    RepetitionCode,
+    make_code,
+)
+
+pytestmark = pytest.mark.adaptive
+
+bits_of = lambda n: st.lists(st.integers(0, 1), min_size=n, max_size=n)  # noqa: E731
+
+
+class TestCleanRoundTrips:
+    """decode(encode(x)) == x for every code on an undamaged channel."""
+
+    @given(st.lists(st.integers(0, 1), max_size=96))
+    def test_nocode(self, bits):
+        assert NoCode().decode(NoCode().encode(bits)) == bits
+
+    @given(
+        st.lists(st.integers(0, 1), max_size=64),
+        st.sampled_from([1, 3, 5, 7]),
+    )
+    def test_repetition(self, bits, n):
+        code = RepetitionCode(n)
+        assert code.decode(code.encode(bits)) == bits
+
+    @given(st.integers(0, 16).flatmap(lambda k: bits_of(4 * k)))
+    def test_hamming(self, bits):
+        code = HammingCode()
+        assert code.decode(code.encode(bits)) == bits
+
+    @given(st.integers(1, 12).flatmap(lambda k: bits_of(4 * k)))
+    def test_interleaved_hamming(self, bits):
+        code = InterleavedCode(HammingCode(), BlockInterleaver(depth=4))
+        assert code.decode(code.encode(bits)) == bits
+
+    @settings(deadline=None)
+    @given(
+        st.integers(1, 3),
+        st.integers(2, 10),
+        st.integers(2, 8),
+        st.data(),
+    )
+    def test_reed_solomon(self, blocks, k, nsym, data):
+        code = ReedSolomonCode(k=k, nsym=nsym)
+        bits = data.draw(bits_of(blocks * 8 * k))
+        decoded, flags = code.decode_blocks(code.encode(bits))
+        assert decoded == bits
+        assert flags == [True] * blocks
+
+    @settings(deadline=None)
+    @given(st.integers(2, 16), st.integers(1, 8), st.data())
+    def test_lt_full_reception(self, k, symbol_bits, data):
+        code = LtCode(k=k, symbol_bits=symbol_bits, seed=5)
+        bits = data.draw(bits_of(k * symbol_bits))
+        decoded, flags = code.decode_blocks(code.encode(bits))
+        # Ratelessness means a pathological seed/k pair may leave the
+        # full generation short of rank k; correctness then demands the
+        # flag says so.  When the flag is True the message is exact.
+        if flags == [True]:
+            assert decoded == bits
+
+
+class TestCorrectionBudgets:
+    """Damage within each code's guarantee still decodes exactly."""
+
+    @given(
+        st.integers(1, 16).flatmap(lambda m: bits_of(m)),
+        st.data(),
+    )
+    def test_repetition3_one_error_per_group(self, bits, data):
+        code = RepetitionCode(3)
+        coded = list(code.encode(bits))
+        for group in range(len(bits)):
+            if data.draw(st.booleans(), label=f"damage group {group}"):
+                offset = data.draw(
+                    st.integers(0, 2), label=f"copy in group {group}"
+                )
+                coded[group * 3 + offset] ^= 1
+        assert code.decode(coded) == bits
+
+    @given(
+        st.integers(1, 16).flatmap(lambda m: bits_of(4 * m)),
+        st.data(),
+    )
+    def test_hamming_one_error_per_codeword(self, bits, data):
+        code = HammingCode()
+        coded = list(code.encode(bits))
+        for word in range(len(bits) // 4):
+            if data.draw(st.booleans(), label=f"damage word {word}"):
+                position = data.draw(
+                    st.integers(0, 6), label=f"bit in word {word}"
+                )
+                coded[word * 7 + position] ^= 1
+        assert code.decode(coded) == bits
+
+    @settings(deadline=None)
+    @given(st.integers(2, 12), st.integers(2, 8), st.data())
+    def test_rs_within_symbol_budget(self, k, nsym, data):
+        code = ReedSolomonCode(k=k, nsym=nsym)
+        bits = data.draw(bits_of(8 * k))
+        coded = list(code.encode(bits))
+        n_bytes = k + nsym
+        n_errors = data.draw(
+            st.integers(0, code.correctable_symbols), label="byte errors"
+        )
+        positions = data.draw(
+            st.lists(
+                st.integers(0, n_bytes - 1),
+                min_size=n_errors,
+                max_size=n_errors,
+                unique=True,
+            ),
+            label="error positions",
+        )
+        for position in positions:
+            pattern = data.draw(
+                st.integers(1, 255), label=f"pattern at {position}"
+            )
+            for bit in range(8):
+                if (pattern >> bit) & 1:
+                    coded[position * 8 + (7 - bit)] ^= 1
+        decoded, flags = code.decode_blocks(coded)
+        assert decoded == bits
+        assert flags == [True]
+
+    @settings(deadline=None)
+    @given(st.integers(4, 16), st.data())
+    def test_lt_parity_turns_bit_flips_into_erasures(self, k, data):
+        """A bit flip in one symbol never silently corrupts the message.
+
+        The flipped symbol fails its parity check and is dropped as an
+        erasure; when the survivors still reach rank ``k`` the message
+        decodes exactly.
+        """
+        code = LtCode(k=k, symbol_bits=8, seed=9, overhead=0.75)
+        bits = data.draw(bits_of(k * 8))
+        coded = list(code.encode(bits))
+        victim = data.draw(
+            st.integers(0, code.n_symbols - 1), label="victim symbol"
+        )
+        position = data.draw(st.integers(0, 7), label="bit in symbol")
+        coded[victim * code._unit_bits + position] ^= 1
+        decoded, flags = code.decode_blocks(coded)
+        if flags == [True]:
+            assert decoded == bits
+
+
+class TestRatelessSufficiency:
+    """Any symbol subset whose combination matrix has rank k decodes."""
+
+    @settings(deadline=None)
+    @given(
+        st.integers(4, 20),
+        st.integers(0, 2**31 - 1),
+        st.data(),
+    )
+    def test_any_sufficient_subset_decodes_exactly(self, k, seed, data):
+        code = LtCode(k=k, symbol_bits=8, seed=seed, overhead=1.0)
+        bits = data.draw(bits_of(k * 8))
+        keep = data.draw(
+            st.lists(
+                st.integers(0, code.n_symbols - 1),
+                min_size=k,
+                max_size=code.n_symbols,
+                unique=True,
+            ),
+            label="kept symbol indices",
+        )
+        values = code.encode_symbols(bits, indices=sorted(keep))
+        received = dict(zip(sorted(keep), values))
+        decoded, ok = code.decode_symbols(received)
+        if ok:
+            assert decoded == bits
+        else:
+            # Insufficient subset: the rank really is short of k.
+            rank = _gf2_rank(
+                [code.neighbours(index) for index in received], k
+            )
+            assert rank < k
+
+    @settings(deadline=None)
+    @given(st.integers(4, 16), st.integers(0, 2**31 - 1))
+    def test_supersets_preserve_sufficiency(self, k, seed):
+        """If the first k+m symbols decode, adding more still decodes."""
+        code = LtCode(k=k, symbol_bits=8, seed=seed, overhead=1.0)
+        rng = np.random.default_rng(k * 1000003 + seed % 65536)
+        bits = [int(b) for b in rng.integers(0, 2, size=k * 8)]
+        all_values = code.encode_symbols(bits)
+        sufficient_at = None
+        for count in range(k, code.n_symbols + 1):
+            received = dict(enumerate(all_values[:count]))
+            decoded, ok = code.decode_symbols(received)
+            if sufficient_at is not None:
+                assert ok, (
+                    f"rank-k subset of {sufficient_at} symbols decoded "
+                    f"but superset of {count} did not"
+                )
+            if ok:
+                sufficient_at = sufficient_at or count
+                assert decoded == bits
+
+    def test_neighbours_deterministic_and_in_range(self):
+        code = LtCode(k=12, seed=77)
+        for index in range(code.n_symbols * 2):
+            first = code.neighbours(index)
+            assert first == code.neighbours(index)
+            assert len(set(first)) == len(first) >= 1
+            assert all(0 <= n < code.k for n in first)
+
+
+def _gf2_rank(neighbour_sets, k: int) -> int:
+    """Rank of the GF(2) combination matrix of the given rows."""
+    pivots: dict[int, int] = {}
+    for neighbours in neighbour_sets:
+        mask = 0
+        for n in neighbours:
+            mask |= 1 << n
+        while mask:
+            col = mask.bit_length() - 1
+            if col not in pivots:
+                pivots[col] = mask
+                break
+            mask ^= pivots[col]
+    return len(pivots)
+
+
+class TestInterleaverProperties:
+    @given(
+        st.integers(1, 16),
+        st.integers(1, 12).flatmap(
+            lambda rows: st.integers(1, 16).map(lambda d: (rows, d))
+        ),
+    )
+    def test_interleave_is_a_permutation(self, _unused, shape):
+        rows, depth = shape
+        interleaver = BlockInterleaver(depth=depth)
+        # Interleaving a distinct-valued sequence must reorder it
+        # without loss or duplication; 0/1 "bits" can't show that, so
+        # feed indices through the same code path via positions.
+        length = rows * depth
+        sequence = list(range(length))
+        permuted = [
+            sequence[r * depth + c]
+            for c in range(depth)
+            for r in range(rows)
+        ]
+        assert sorted(permuted) == sequence
+        bits = [value & 1 for value in sequence]
+        assert sorted(interleaver.interleave(bits)) == sorted(bits)
+
+    @given(st.integers(1, 16), st.integers(1, 12), st.data())
+    def test_deinterleave_inverts_interleave(self, depth, rows, data):
+        interleaver = BlockInterleaver(depth=depth)
+        bits = data.draw(bits_of(depth * rows))
+        assert interleaver.deinterleave(interleaver.interleave(bits)) == bits
+
+
+class TestRegistry:
+    def test_make_code_knows_new_codes(self):
+        assert isinstance(make_code("rs", k=4, nsym=4), ReedSolomonCode)
+        assert isinstance(make_code("lt", k=8), LtCode)
+
+    def test_make_code_unknown_name(self):
+        with pytest.raises(FecError):
+            make_code("turbo")
+
+    def test_rs_parameter_validation(self):
+        with pytest.raises(FecError):
+            ReedSolomonCode(k=0)
+        with pytest.raises(FecError):
+            ReedSolomonCode(k=4, nsym=1)
+        with pytest.raises(FecError):
+            ReedSolomonCode(k=250, nsym=10)
+
+    def test_lt_parameter_validation(self):
+        with pytest.raises(FecError):
+            LtCode(k=1)
+        with pytest.raises(FecError):
+            LtCode(k=8, overhead=-0.1)
+        with pytest.raises(FecError):
+            LtCode(k=8, soliton_delta=1.5)

@@ -318,6 +318,74 @@ class TestMultiTagDrawOrder:
         )
 
 
+@pytest.mark.adaptive
+class TestScheduledFleetEquivalence:
+    """Traffic-aware polling is tier-invariant at the fleet level.
+
+    Given equal traffic and interference streams, the scheduler's
+    ride/skip decisions and the collision-corrupted poll rounds must be
+    bit-identical between a :class:`TagFleet` and its scalar
+    ``reference_cell()`` — the fleet leg of the ISSUE-10 equivalence
+    suite.
+    """
+
+    @staticmethod
+    def _wrap(poller):
+        from repro.traffic import (
+            HoltPredictor,
+            OnOffTraffic,
+            OpportunityScheduler,
+            ScheduledFleetPoller,
+        )
+
+        return ScheduledFleetPoller(
+            poller=poller,
+            traffic=OnOffTraffic(
+                rate_fps=600.0,
+                mean_on_s=0.30,
+                mean_off_s=0.45,
+                rng=np.random.default_rng(3),
+            ),
+            scheduler=OpportunityScheduler(predictor=HoltPredictor()),
+            interference_rng=np.random.default_rng(4),
+        )
+
+    def test_fleet_rounds_match_reference_cell(self):
+        fleet = make_fleet(n=4, seed=11)
+        cell = fleet.reference_cell()
+        load_all(fleet, fleet.names, bits_per_tag=400)
+        load_all(cell, fleet.names, bits_per_tag=400)
+        a, b = self._wrap(fleet), self._wrap(cell)
+        rounds_a = a.run_windows(25)
+        rounds_b = b.run_windows(25)
+        assert a.decisions == b.decisions
+        assert a.rides == b.rides == len(rounds_a) > 0
+        assert len(a.decisions) == 25
+        for got, want in zip(rounds_a, rounds_b):
+            assert_rounds_equal(got, want)
+
+    def test_scheduled_polling_is_deterministic(self):
+        def run():
+            fleet = make_fleet(n=3, seed=8)
+            load_all(fleet, fleet.names, bits_per_tag=200)
+            poller = self._wrap(fleet)
+            rounds = poller.run_windows(20)
+            return (
+                poller.decisions,
+                [
+                    {n: as_tuple(r) for n, r in round_.items()}
+                    for round_ in rounds
+                ],
+            )
+
+        assert run() == run()
+
+    def test_run_windows_validation(self):
+        poller = self._wrap(make_fleet(n=2, seed=1))
+        with pytest.raises(ValueError):
+            poller.run_windows(0)
+
+
 class TestMobility:
     def test_update_positions_refreshes_only_moved_rows(self):
         fleet = make_fleet(n=6, seed=3)

@@ -170,6 +170,7 @@ BASELINES = {
     "session_batch": {"speedup_session_vs_vectorized": 2.0},
     "tier4": {"speedup_tier4_vs_session_batch": 3.0},
     "fleet": {"speedup_fleet_vs_scalar": 10.0},
+    "adaptive": {"goodput_ratio_adaptive_vs_static": 1.4},
 }
 
 
@@ -181,7 +182,13 @@ def write_files(tmp_path, entries, baselines=BASELINES):
     return str(trajectory), str(baselines_path)
 
 
-def entry(session=None, tier4=None, fleet=None, recorded_at="2026-01-01"):
+def entry(
+    session=None,
+    tier4=None,
+    fleet=None,
+    adaptive=None,
+    recorded_at="2026-01-01",
+):
     out = {"recorded_at": recorded_at}
     if session is not None:
         out["speedups"] = {"session_vs_vectorized": session}
@@ -189,13 +196,16 @@ def entry(session=None, tier4=None, fleet=None, recorded_at="2026-01-01"):
         out["tier4"] = {"speedup_tier4_vs_session_batch": tier4}
     if fleet is not None:
         out["fleet"] = {"speedup_fleet_vs_scalar": fleet}
+    if adaptive is not None:
+        out["adaptive"] = {"goodput_ratio_adaptive_vs_static": adaptive}
     return out
 
 
 class TestBenchCheck:
     def test_all_gates_above_floor_pass(self, tmp_path):
         trajectory, baselines = write_files(
-            tmp_path, [entry(session=1.9, tier4=2.9, fleet=9.0)]
+            tmp_path,
+            [entry(session=1.9, tier4=2.9, fleet=9.0, adaptive=1.3)],
         )
         report = bench_check(trajectory, baselines)
         assert report["ok"] is True
@@ -203,6 +213,7 @@ class TestBenchCheck:
             "session_batch",
             "tier4",
             "fleet",
+            "adaptive",
         }
         assert report["skipped"] == []
 
@@ -240,7 +251,10 @@ class TestBenchCheck:
             "session_batch",
             "tier4",
         }
-        assert {s["name"] for s in report["skipped"]} == {"fleet"}
+        assert {s["name"] for s in report["skipped"]} == {
+            "fleet",
+            "adaptive",
+        }
         assert all(
             s["reason"] == "no trajectory entry"
             for s in report["skipped"]

@@ -12,6 +12,7 @@ any worker count.  With ``phy_exact_coding=True`` the equality extends
 all the way down to the scalar per-subframe PHY reference.
 """
 
+import functools
 import pickle
 import warnings
 
@@ -21,7 +22,7 @@ import pytest
 from repro.core.config import EncryptionMode
 from repro.core.session import MeasurementSession, run_parallel_sessions
 from repro.phy.channel import BackscatterChannel, ChannelGeometry, TagState
-from repro.runner import SessionSpec
+from repro.runner import SessionSpec, UnitContext
 from repro.sim.scenario import build_system, los_scenario, nlos_scenario
 
 QUERIES = 30
@@ -187,6 +188,97 @@ class TestBitwiseEquivalence:
         slow, fast = build(False), build(True)
         assert slow.run_queries(20) == fast.run_queries(20)
         _assert_sessions_identical(slow, fast)
+
+
+@pytest.mark.adaptive
+class TestScheduledSessionEquivalence:
+    """Traffic-aware scheduling inherits the bitwise tier contract.
+
+    Ride/skip decisions depend only on the traffic stream and predictor
+    state, ridden-window activities drain through the CSMA FIFO in
+    identical per-query order, and interference draws happen per ridden
+    query in window order — so the scalar and batch session engines
+    must agree bit for bit on decisions, results and stats.
+    """
+
+    @staticmethod
+    def _scheduled(fast: bool):
+        from repro.traffic import (
+            HoltPredictor,
+            OnOffTraffic,
+            OpportunityScheduler,
+            ScheduledSession,
+        )
+
+        system, _ = los_scenario(2.0, seed=5, n_contenders=4)
+        session = MeasurementSession(
+            system,
+            rng=np.random.default_rng(6),
+            session_fast_path=fast,
+        )
+        system.load_tag_bits([1, 0] * 600)
+        return ScheduledSession(
+            session=session,
+            traffic=OnOffTraffic(
+                rate_fps=600.0,
+                mean_on_s=0.30,
+                mean_off_s=0.45,
+                rng=np.random.default_rng(11),
+            ),
+            scheduler=OpportunityScheduler(predictor=HoltPredictor()),
+            interference_rng=np.random.default_rng(12),
+        )
+
+    def test_decisions_and_stats_match_across_session_tiers(self):
+        slow = self._scheduled(False)
+        fast = self._scheduled(True)
+        assert slow.run_queries(80) == fast.run_queries(80)
+        assert slow.decisions == fast.decisions
+        assert slow.rides == fast.rides and slow.rides == len(slow.results)
+        assert [r.received_bits for r in slow.results] == [
+            r.received_bits for r in fast.results
+        ]
+        assert slow.per_query_ber() == fast.per_query_ber()
+        assert slow._elapsed_s == fast._elapsed_s
+
+    def test_adaptive_link_reports_match_across_session_tiers(self):
+        # The full closed loop (scheduler + RS codec + redundancy
+        # controller) through both session engines: round reports,
+        # rung trajectories and energy ledgers must be identical.
+        from repro.runner.workers import AdaptiveLinkSpec
+
+        def link(fast):
+            spec = AdaptiveLinkSpec(session_fast_path=fast)
+            return spec(
+                UnitContext(index=0, parameters={}, root_seed=21)
+            )
+
+        slow, fast = link(False), link(True)
+        assert slow.run(3, 60) == fast.run(3, 60)
+        assert slow.scheduled.decisions == fast.scheduled.decisions
+        assert slow.controller.index == fast.controller.index
+
+    @pytest.mark.runner
+    def test_link_stats_independent_of_workers(self):
+        from repro.runner import run_units
+        from repro.runner.workers import AdaptiveLinkSpec, adaptive_link_stats
+
+        fn = functools.partial(
+            adaptive_link_stats,
+            spec=AdaptiveLinkSpec(),
+            rounds=2,
+            windows_per_round=40,
+        )
+        units = [
+            UnitContext(index=i, parameters={"unit": i}, root_seed=13)
+            for i in range(3)
+        ]
+        serial = run_units(fn, list(units), seed=13, n_workers=1)
+        parallel = run_units(
+            fn, list(units), seed=13, n_workers=2, executor="process"
+        )
+        assert serial.values == parallel.values
+        assert all(v["windows"] == 80 for v in serial.values)
 
 
 class TestStageTimingsParity:
